@@ -1,0 +1,100 @@
+package repro
+
+// Benchmark harness: one testing.B target per experiment of DESIGN.md §3
+// (the paper is a theory paper; each experiment regenerates the table that
+// certifies one of its bounds — run `go run ./cmd/experiments` for the
+// full-size tables). Additional micro-benchmarks cover the computational
+// kernels: GridSplit (Theorem 19) and the Theorem 4 pipeline.
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/grid"
+	"repro/internal/splitter"
+	"repro/internal/workload"
+)
+
+func runExperiment(b *testing.B, fn func(bench.Config) bench.Table) {
+	b.Helper()
+	cfg := bench.Config{Quick: true}
+	var tbl bench.Table
+	for i := 0; i < b.N; i++ {
+		tbl = fn(cfg)
+	}
+	b.StopTimer()
+	b.Log("\n" + tbl.String())
+}
+
+func BenchmarkE1MaxBoundaryVsK(b *testing.B)  { runExperiment(b, bench.E1MaxBoundaryVsK) }
+func BenchmarkE2StrictBalance(b *testing.B)   { runExperiment(b, bench.E2StrictBalance) }
+func BenchmarkE3Tightness(b *testing.B)       { runExperiment(b, bench.E3Tightness) }
+func BenchmarkE4GridSeparator(b *testing.B)   { runExperiment(b, bench.E4GridSeparator) }
+func BenchmarkE5NoTradeoff(b *testing.B)      { runExperiment(b, bench.E5NoTradeoff) }
+func BenchmarkE6GreedyBaseline(b *testing.B)  { runExperiment(b, bench.E6GreedyBaseline) }
+func BenchmarkE7AvgVsMax(b *testing.B)        { runExperiment(b, bench.E7AvgVsMax) }
+func BenchmarkE8Makespan(b *testing.B)        { runExperiment(b, bench.E8Makespan) }
+func BenchmarkE9Scaling(b *testing.B)         { runExperiment(b, bench.E9Scaling) }
+func BenchmarkE10Ablations(b *testing.B)      { runExperiment(b, bench.E10Ablations) }
+func BenchmarkE11SeparatorEquiv(b *testing.B) { runExperiment(b, bench.E11SeparatorEquiv) }
+func BenchmarkE12MultiBalanced(b *testing.B)  { runExperiment(b, bench.E12MultiBalanced) }
+
+// ---- kernel micro-benchmarks ----
+
+func BenchmarkGridSplitUnitCosts(b *testing.B) {
+	gr := grid.MustBox(64, 64)
+	target := gr.G.TotalWeight() / 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gr.SplitSet(gr.G.Weight, target)
+	}
+}
+
+func BenchmarkGridSplitHighFluctuation(b *testing.B) {
+	gr := grid.MustBox(64, 64)
+	workload.ApplyFields(gr, nil, workload.ExponentialCosts(1<<16), 1)
+	target := gr.G.TotalWeight() / 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gr.SplitSet(gr.G.Weight, target)
+	}
+}
+
+func BenchmarkDecomposeGrid32x32K16(b *testing.B) {
+	gr := grid.MustBox(32, 32)
+	workload.ApplyFields(gr, workload.LognormalWeights(0.5), nil, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := PartitionGrid(gr, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecomposeClimateMeshK16(b *testing.B) {
+	mesh := workload.ClimateMesh(24, 24, 4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Partition(mesh, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGreedyBaseline(b *testing.B) {
+	mesh := workload.ClimateMesh(32, 32, 4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baseline.Greedy(mesh, 16)
+	}
+}
+
+func BenchmarkRecursiveBisection(b *testing.B) {
+	gr := grid.MustBox(32, 32)
+	sp := splitter.NewGrid(gr)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		baseline.RecursiveBisection(gr.G, sp, 16)
+	}
+}

@@ -1,0 +1,62 @@
+// Command experiments regenerates every table of the experiment suite
+// (DESIGN.md §3, E1–E11), the reproduction of the paper's bounds.
+//
+// Usage:
+//
+//	experiments [-quick] [-only E4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run at reduced instance sizes")
+	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E4)")
+	flag.Parse()
+
+	cfg := bench.Config{Quick: *quick}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(strings.ToUpper(id)); id != "" {
+			want[id] = true
+		}
+	}
+
+	type exp struct {
+		id string
+		fn func(bench.Config) bench.Table
+	}
+	suite := []exp{
+		{"E1", bench.E1MaxBoundaryVsK},
+		{"E2", bench.E2StrictBalance},
+		{"E3", bench.E3Tightness},
+		{"E4", bench.E4GridSeparator},
+		{"E5", bench.E5NoTradeoff},
+		{"E6", bench.E6GreedyBaseline},
+		{"E7", bench.E7AvgVsMax},
+		{"E8", bench.E8Makespan},
+		{"E9", bench.E9Scaling},
+		{"E10", bench.E10Ablations},
+		{"E11", bench.E11SeparatorEquiv},
+		{"E12", bench.E12MultiBalanced},
+	}
+	ran := 0
+	for _, e := range suite {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		tbl := e.fn(cfg)
+		tbl.Fprint(os.Stdout)
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: no experiment matches -only=%q\n", *only)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunVerifies(t *testing.T) {
+	if err := run("16x16", 64, 0.5, 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRun3D(t *testing.T) {
+	if err := run("6x6x6", 16, 0.3, 2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBadDims(t *testing.T) {
+	for _, dims := range []string{"", "0x4", "axb", "4x-1"} {
+		if err := run(dims, 1, 0.5, 1, false); err == nil {
+			t.Fatalf("expected error for dims %q", dims)
+		}
+	}
+}
+
+func TestRunUnitCosts(t *testing.T) {
+	if err := run("12x12", 1, 0.5, 3, true); err != nil {
+		t.Fatal(err)
+	}
+}

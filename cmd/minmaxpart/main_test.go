@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/grid"
+)
+
+func writeGraphFile(t *testing.T, g *graph.Graph) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := graph.Write(f, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunPartitionsFile(t *testing.T) {
+	gr := grid.MustBox(8, 8)
+	in := writeGraphFile(t, gr.G)
+	out := filepath.Join(t.TempDir(), "coloring.txt")
+	if err := run(4, 2, in, out, true, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var coloring []int32
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		c, err := strconv.Atoi(sc.Text())
+		if err != nil {
+			t.Fatal(err)
+		}
+		coloring = append(coloring, int32(c))
+	}
+	if len(coloring) != gr.G.N() {
+		t.Fatalf("output has %d lines, want %d", len(coloring), gr.G.N())
+	}
+	if err := graph.CheckColoring(coloring, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !graph.IsStrictlyBalanced(gr.G, coloring, 4) {
+		t.Fatal("CLI output not strictly balanced")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(2, 2, "/nonexistent/path", "", false, false); err == nil {
+		t.Fatal("expected error for missing input")
+	}
+	// Bad K propagates from core.
+	gr := grid.MustBox(3, 3)
+	in := writeGraphFile(t, gr.G)
+	if err := run(0, 2, in, "", false, false); err == nil {
+		t.Fatal("expected error for k=0")
+	}
+	if err := run(2, 0.5, in, "", false, false); err == nil {
+		t.Fatal("expected error for p<=1")
+	}
+}

@@ -1,0 +1,61 @@
+// Climate: the paper's motivating scientific-computing scenario. A
+// triangulated climate-simulation mesh with day/night-heterogeneous region
+// weights and coupling-strength edge costs is scheduled onto k machines.
+// The min-max boundary decomposition is compared against greedy bin packing
+// and Simon–Teng recursive bisection under the communication-cost model of
+// the introduction.
+//
+//	go run ./examples/climate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/baseline"
+	"repro/internal/sim"
+	"repro/internal/splitter"
+	"repro/internal/workload"
+)
+
+func main() {
+	// The earth's surface: a 48×48 triangulated mesh; weights model
+	// day/night activity bands and per-region accuracy, costs the
+	// dependency strength between neighboring regions.
+	mesh := workload.ClimateMesh(48, 48, 4, 7)
+	const k = 16
+
+	ours, err := repro.Partition(mesh, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp := splitter.NewRefined(mesh, splitter.NewBFS(mesh))
+	rb := baseline.RecursiveBisection(mesh, sp, k)
+	greedy := baseline.Greedy(mesh, k)
+
+	fmt.Printf("climate mesh: n=%d m=%d, k=%d machines\n\n", mesh.N(), mesh.M(), k)
+	fmt.Println("alpha  scheduler   makespan  speedup  maxComm  imbalance")
+	for _, alpha := range []float64{0, 0.5, 2} {
+		for _, sched := range []struct {
+			name string
+			chi  []int32
+		}{
+			{"min-max", ours.Coloring},
+			{"rec-bisect", rb},
+			{"greedy", greedy},
+		} {
+			s, err := sim.Evaluate(mesh, sched.chi, k, alpha)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%5.1f  %-10s  %8.1f  %7.2f  %7.1f  %9.3f\n",
+				alpha, sched.name, s.Makespan, s.Speedup(mesh.TotalWeight()),
+				s.MaxComm, s.LoadImbalance)
+		}
+		fmt.Println()
+	}
+	fmt.Println("greedy balances perfectly but pays for communication;")
+	fmt.Println("recursive bisection cuts little in total but overloads single machines;")
+	fmt.Println("the min-max decomposition keeps both in check (Theorem 4).")
+}

@@ -1,0 +1,41 @@
+// Gridsep: the Section 6 separator theorem for grids with arbitrary edge
+// costs (Theorem 19). Sweeps the cost fluctuation φ on 2-D and 3-D grids
+// and shows the splitting-set cost tracking d·log^{1/d}(φ+1)·‖c‖_{d/(d−1)},
+// with recursion depth O(log φ) (Lemma 27) and monotone sets (Lemma 24).
+//
+//	go run ./examples/gridsep
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+	"repro/internal/workload"
+)
+
+func main() {
+	fmt.Println("d  n      φ           cost       bound      ratio  levels  monotone")
+	for _, d := range []int{2, 3} {
+		for _, phi := range []float64{1, 16, 256, 4096, 65536} {
+			var gr *grid.Grid
+			if d == 2 {
+				gr = grid.MustBox(48, 48)
+			} else {
+				gr = grid.MustBox(12, 12, 12)
+			}
+			workload.ApplyFields(gr, nil, workload.ExponentialCosts(phi), int64(phi)+int64(d))
+			res := gr.SplitSet(gr.G.Weight, gr.G.TotalWeight()/2)
+
+			all := make([]int32, gr.G.N())
+			for i := range all {
+				all[i] = int32(i)
+			}
+			fmt.Printf("%d  %-5d  %-10.4g  %-9.4g  %-9.4g  %-5.3f  %-6d  %v\n",
+				d, gr.G.N(), gr.G.Fluctuation(), res.BoundaryCost,
+				gr.SeparatorBound(), res.BoundaryCost/gr.SeparatorBound(),
+				res.Levels, gr.IsMonotone(res.U, all))
+		}
+	}
+	fmt.Println("\nthe cost/bound ratio stays bounded as φ sweeps five orders of")
+	fmt.Println("magnitude; levels grow like log φ — Theorem 19 and Lemma 27.")
+}

@@ -1,0 +1,140 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/grid"
+	"repro/internal/splitter"
+)
+
+// Property: Greedy is always strictly balanced (Definition 1) — the
+// guarantee the paper benchmarks against.
+func TestGreedyStrictlyBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 5 + r.Intn(60)
+		k := 2 + r.Intn(8)
+		b := graph.NewBuilder(n)
+		for v := 0; v < n; v++ {
+			b.SetWeight(int32(v), r.Float64()*10)
+		}
+		for v := 1; v < n; v++ {
+			b.AddEdge(int32(r.Intn(v)), int32(v), r.Float64())
+		}
+		g := b.MustBuild()
+		chi := Greedy(g, k)
+		return graph.IsStrictlyBalanced(g, chi, k)
+	}, &quick.Config{MaxCount: 60, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyDeterministic(t *testing.T) {
+	gr := grid.MustBox(5, 5)
+	a := Greedy(gr.G, 3)
+	b := Greedy(gr.G, 3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("greedy not deterministic")
+		}
+	}
+}
+
+func TestGreedyHighBoundaryOnGrid(t *testing.T) {
+	// Greedy scatters unit-weight vertices across classes; on a grid its
+	// boundary cost must be much larger than a geometric split's.
+	gr := grid.MustBox(16, 16)
+	g := gr.G
+	k := 4
+	chi := Greedy(g, k)
+	st := graph.Stats(g, chi, k)
+	geo := RecursiveBisection(g, splitter.NewGrid(gr), k)
+	stGeo := graph.Stats(g, geo, k)
+	if st.MaxBoundary < 2*stGeo.MaxBoundary {
+		t.Fatalf("expected greedy boundary (%v) ≫ geometric (%v)",
+			st.MaxBoundary, stGeo.MaxBoundary)
+	}
+}
+
+func TestRecursiveBisectionCompletesAndBalances(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, k := range []int{2, 3, 5, 8, 16} {
+		gr := grid.MustBox(12, 12)
+		g := gr.G
+		for v := range g.Weight {
+			g.Weight[v] = rng.Float64() + 0.1
+		}
+		chi := RecursiveBisection(g, splitter.NewGrid(gr), k)
+		if err := graph.CheckColoring(chi, k); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		cw := g.ClassWeights(chi, k)
+		avg := g.TotalWeight() / float64(k)
+		// Simon–Teng balance is loose: weight at most proportional to avg.
+		if graph.MaxOf(cw) > 2*avg+2*g.MaxWeight() {
+			t.Fatalf("k=%d: class weight %v far above avg %v", k, graph.MaxOf(cw), avg)
+		}
+	}
+}
+
+func TestRecursiveBisectionLowTotalCut(t *testing.T) {
+	gr := grid.MustBox(16, 16)
+	g := gr.G
+	k := 16
+	chi := RecursiveBisection(g, splitter.NewGrid(gr), k)
+	total := g.TotalCutCost(chi)
+	// Simon–Teng: O(k^{1−1/p} n^{1/p}) = O(4·16) edges for p=2; allow slack.
+	if total > 200 {
+		t.Fatalf("total cut %v too large for 16×16, k=16", total)
+	}
+}
+
+func TestKSTBisectionBalancesBothMeasures(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	gr := grid.MustBox(14, 14)
+	g := gr.G
+	for v := range g.Weight {
+		g.Weight[v] = rng.Float64() + 0.1
+	}
+	for e := range g.Cost {
+		g.Cost[e] = rng.Float64()*9 + 1
+	}
+	k := 8
+	chi := KSTBisection(g, splitter.NewGrid(gr), k, 2)
+	if err := graph.CheckColoring(chi, k); err != nil {
+		t.Fatal(err)
+	}
+	cw := g.ClassWeights(chi, k)
+	avg := g.TotalWeight() / float64(k)
+	if graph.MaxOf(cw) > 3*avg {
+		t.Fatalf("KST weights unbalanced: %v vs avg %v", graph.MaxOf(cw), avg)
+	}
+}
+
+func TestBaselinesSmallK(t *testing.T) {
+	gr := grid.MustBox(4, 4)
+	for _, k := range []int{1, 2} {
+		for _, chi := range [][]int32{
+			Greedy(gr.G, k),
+			RecursiveBisection(gr.G, splitter.NewGrid(gr), k),
+			KSTBisection(gr.G, splitter.NewGrid(gr), k, 2),
+		} {
+			if err := graph.CheckColoring(chi, k); err != nil {
+				t.Fatalf("k=%d: %v", k, err)
+			}
+		}
+	}
+}
+
+func TestSubtract(t *testing.T) {
+	X := []int32{1, 2, 3, 4}
+	U := []int32{2, 4}
+	got := subtract(X, U)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("subtract = %v", got)
+	}
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := Table{
+		ID:     "T0",
+		Title:  "demo",
+		Header: []string{"a", "bbbb"},
+	}
+	tbl.AddRow("1", "2")
+	tbl.AddRow("333", "4")
+	tbl.Verdict = "fine"
+	s := tbl.String()
+	if !strings.Contains(s, "== T0: demo ==") {
+		t.Fatalf("missing title: %q", s)
+	}
+	if !strings.Contains(s, "verdict: fine") {
+		t.Fatal("missing verdict")
+	}
+	// Column alignment: header and rows share widths.
+	if !strings.Contains(s, "a    bbbb") {
+		t.Fatalf("misaligned header: %q", s)
+	}
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	if f(1234.5678) != "1235" {
+		t.Fatalf("f = %q", f(1234.5678))
+	}
+	if fi(7) != "7" || fr(1.23456) != "1.235" {
+		t.Fatal("fi/fr wrong")
+	}
+	if fb(true) != "yes" || fb(false) != "NO" {
+		t.Fatal("fb wrong")
+	}
+}
+
+// Each experiment must produce a non-empty, well-formed table in quick
+// mode with a verdict. This is the integration test of the harness; the
+// scientific assertions live in the per-package tests.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick suite still takes seconds")
+	}
+	tables := All(Config{Quick: true})
+	if len(tables) != 12 {
+		t.Fatalf("suite has %d tables, want 12", len(tables))
+	}
+	seen := map[string]bool{}
+	for _, tbl := range tables {
+		if tbl.ID == "" || seen[tbl.ID] {
+			t.Fatalf("bad or duplicate experiment id %q", tbl.ID)
+		}
+		seen[tbl.ID] = true
+		if len(tbl.Rows) == 0 {
+			t.Fatalf("%s: no rows", tbl.ID)
+		}
+		if tbl.Verdict == "" {
+			t.Fatalf("%s: no verdict", tbl.ID)
+		}
+		for _, row := range tbl.Rows {
+			if len(row) != len(tbl.Header) {
+				t.Fatalf("%s: row width %d != header %d", tbl.ID, len(row), len(tbl.Header))
+			}
+		}
+	}
+}
+
+func TestConfigScaling(t *testing.T) {
+	if (Config{Quick: true}).gridSide(48) != 24 {
+		t.Fatal("quick gridSide wrong")
+	}
+	if (Config{}).gridSide(48) != 48 {
+		t.Fatal("full gridSide wrong")
+	}
+	if len((Config{Quick: true}).kSweep()) >= len((Config{}).kSweep()) {
+		t.Fatal("quick sweep should be smaller")
+	}
+}

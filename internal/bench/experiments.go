@@ -1,0 +1,542 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/grid"
+	"repro/internal/lower"
+	"repro/internal/separator"
+	"repro/internal/sim"
+	"repro/internal/splitter"
+	"repro/internal/workload"
+)
+
+// newDetRand returns a deterministic RNG for experiment inputs.
+func newDetRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Config selects the experiment scale.
+type Config struct {
+	// Quick shrinks instance sizes for use inside unit benches.
+	Quick bool
+}
+
+func (c Config) gridSide(full int) int {
+	if c.Quick {
+		return full / 2
+	}
+	return full
+}
+
+func (c Config) kSweep() []int {
+	if c.Quick {
+		return []int{2, 8, 32}
+	}
+	return []int{2, 4, 8, 16, 32, 64, 128, 256}
+}
+
+// decomposeOnGrid runs the full Theorem 4 pipeline with the exact GridSplit
+// oracle of Section 6.
+func decomposeOnGrid(gr *grid.Grid, k int) core.Result {
+	p := gr.P()
+	if math.IsInf(p, 1) {
+		p = 2
+	}
+	res, err := core.Decompose(gr.G, core.Options{K: k, P: p, Splitter: splitter.NewGrid(gr)})
+	if err != nil {
+		panic(fmt.Sprintf("bench: decompose failed: %v", err))
+	}
+	return res
+}
+
+// E1MaxBoundaryVsK — Theorem 4/5 upper bound: the maximum boundary cost of
+// the strictly balanced coloring is O(σ_p·(k^{−1/p}·‖c‖_p + Δ_c)); the
+// measured/bound ratio stays bounded across k and the absolute value decays
+// like k^{−1/p}.
+func E1MaxBoundaryVsK(cfg Config) Table {
+	t := Table{
+		ID:     "E1",
+		Title:  "max boundary vs k on 2-D grids (Theorems 4/5 upper bound)",
+		Header: []string{"costs", "k", "maxBoundary", "bound(k)", "ratio", "strict"},
+	}
+	side := cfg.gridSide(48)
+	worst := 0.0
+	var firstRatio, lastRatio float64
+	for _, costs := range []string{"unit", "fluctuating"} {
+		for i, k := range cfg.kSweep() {
+			if k > side*side/4 {
+				continue
+			}
+			gr := grid.MustBox(side, side)
+			if costs == "fluctuating" {
+				workload.ApplyFields(gr, workload.LognormalWeights(0.5),
+					workload.ExponentialCosts(64), int64(k))
+			} else {
+				workload.ApplyFields(gr, workload.LognormalWeights(0.5), nil, int64(k))
+			}
+			res := decomposeOnGrid(gr, k)
+			bound := core.TheoremBound(gr.G, k, 2)
+			ratio := res.Stats.MaxBoundary / bound
+			if ratio > worst {
+				worst = ratio
+			}
+			if costs == "unit" {
+				if i == 0 {
+					firstRatio = res.Stats.MaxBoundary
+				}
+				lastRatio = res.Stats.MaxBoundary
+			}
+			t.AddRow(costs, fi(k), f(res.Stats.MaxBoundary), f(bound), fr(ratio),
+				fb(res.Stats.StrictlyBalanced))
+		}
+	}
+	decays := lastRatio <= firstRatio
+	t.Verdict = fmt.Sprintf("worst measured/bound ratio %.3f (bounded ⇒ upper bound holds); boundary decays with k: %v", worst, decays)
+	return t
+}
+
+// E2StrictBalance — Definition 1: every class weight within
+// (1 − 1/k)·‖w‖∞ of the average, for adversarial weight fields.
+func E2StrictBalance(cfg Config) Table {
+	t := Table{
+		ID:     "E2",
+		Title:  "strict balance under adversarial weights (Definition 1)",
+		Header: []string{"weights", "k", "maxDev", "(1-1/k)·‖w‖∞", "strict"},
+	}
+	side := cfg.gridSide(32)
+	fields := map[string]workload.WeightField{
+		"uniform":   workload.UniformWeights(),
+		"lognormal": workload.LognormalWeights(1.2),
+		"hotspot":   workload.HotspotWeights(grid.Point{int32(side / 2), int32(side / 2)}, float64(side)/6, 50),
+	}
+	allOK := true
+	for _, name := range []string{"uniform", "lognormal", "hotspot"} {
+		for _, k := range []int{3, 7, 16} {
+			gr := grid.MustBox(side, side)
+			workload.ApplyFields(gr, fields[name], nil, 11)
+			res := decomposeOnGrid(gr, k)
+			st := res.Stats
+			allOK = allOK && st.StrictlyBalanced
+			t.AddRow(name, fi(k), f(st.MaxWeightDeviation), f(st.StrictBound),
+				fb(st.StrictlyBalanced))
+		}
+	}
+	t.Verdict = fmt.Sprintf("all strictly balanced: %v", allOK)
+	return t
+}
+
+// E3Tightness — Lemma 40 / Corollary 41: on G̃ = ⌊k/4⌋ grid copies, the
+// executable certificate lower-bounds the average boundary of any roughly
+// balanced coloring; our upper bound sits within a constant factor.
+func E3Tightness(cfg Config) Table {
+	t := Table{
+		ID:     "E3",
+		Title:  "tightness on disjoint copies (Lemma 40 / Corollary 41)",
+		Header: []string{"k", "copies", "certLower", "maxBoundary", "upper/lower"},
+	}
+	m := cfg.gridSide(24)
+	ks := []int{8, 16, 32}
+	if cfg.Quick {
+		ks = []int{8, 16}
+	}
+	worst := 0.0
+	for _, k := range ks {
+		gr := grid.MustBox(m, m)
+		gt := lower.Copies(gr.G, k/4)
+		res, err := core.Decompose(gt, core.Options{
+			K: k, P: 2, Splitter: splitter.NewRefined(gt, splitter.NewBFS(gt)),
+		})
+		if err != nil {
+			panic(err)
+		}
+		certs := lower.Certify(gt, gr.G.N(), k/4, k, res.Coloring)
+		lo := lower.AverageCertifiedBoundary(certs, k)
+		ratio := math.Inf(1)
+		if lo > 0 {
+			ratio = res.Stats.MaxBoundary / lo
+		}
+		if ratio > worst {
+			worst = ratio
+		}
+		t.AddRow(fi(k), fi(k/4), f(lo), f(res.Stats.MaxBoundary), fr(ratio))
+	}
+	t.Verdict = fmt.Sprintf("worst upper/lower ratio %.2f — constant ⇒ Θ(‖c‖_p/k^{1/p}+‖c‖∞) tight", worst)
+	return t
+}
+
+// E4GridSeparator — Theorem 19: grid splitting-set cost against
+// d·log^{1/d}(φ+1)·‖c‖_{d/(d−1)} across dimensions and fluctuations.
+func E4GridSeparator(cfg Config) Table {
+	t := Table{
+		ID:     "E4",
+		Title:  "grid separator cost vs d·log^{1/d}(φ+1)·‖c‖_p (Theorem 19)",
+		Header: []string{"d", "n", "φ", "splitCost", "bound", "ratio", "levels"},
+	}
+	worst := 0.0
+	phis := []float64{1, 16, 256, 65536}
+	if cfg.Quick {
+		phis = []float64{1, 256}
+	}
+	for _, d := range []int{1, 2, 3} {
+		var gr *grid.Grid
+		switch d {
+		case 1:
+			gr = grid.MustBox(cfg.gridSide(4096))
+		case 2:
+			s := cfg.gridSide(64)
+			gr = grid.MustBox(s, s)
+		case 3:
+			s := cfg.gridSide(16)
+			gr = grid.MustBox(s, s, s)
+		}
+		for _, phi := range phis {
+			workload.ApplyFields(gr, nil, workload.ExponentialCosts(phi), int64(phi)+3)
+			res := gr.SplitSet(gr.G.Weight, gr.G.TotalWeight()/2)
+			bound := gr.SeparatorBound()
+			ratio := res.BoundaryCost / bound
+			if d > 1 && ratio > worst {
+				worst = ratio
+			}
+			t.AddRow(fi(d), fi(gr.G.N()), f(gr.G.Fluctuation()), f(res.BoundaryCost),
+				f(bound), fr(ratio), fi(res.Levels))
+		}
+	}
+	t.Verdict = fmt.Sprintf("worst cost/bound ratio %.3f (d ≥ 2) — Theorem 19 bound holds", worst)
+	return t
+}
+
+// E5NoTradeoff — Section 1's claim: strict balance costs only a constant
+// factor in maximum boundary over loose balance.
+func E5NoTradeoff(cfg Config) Table {
+	t := Table{
+		ID:     "E5",
+		Title:  "no balance/boundary trade-off (strict vs loose partitions)",
+		Header: []string{"k", "looseMaxB", "strictMaxB", "factor", "looseDev/avg", "strictDev/‖w‖∞"},
+	}
+	side := cfg.gridSide(40)
+	worst := 0.0
+	for _, k := range []int{4, 16, 64} {
+		gr := grid.MustBox(side, side)
+		workload.ApplyFields(gr, workload.LognormalWeights(0.8), nil, int64(17*k))
+		g := gr.G
+		loose := baseline.RecursiveBisection(g, splitter.NewGrid(gr), k)
+		stLoose := graph.Stats(g, loose, k)
+		res := decomposeOnGrid(gr, k)
+		st := res.Stats
+		factor := math.Inf(1)
+		if stLoose.MaxBoundary > 0 {
+			factor = st.MaxBoundary / stLoose.MaxBoundary
+		}
+		if factor > worst {
+			worst = factor
+		}
+		t.AddRow(fi(k), f(stLoose.MaxBoundary), f(st.MaxBoundary), fr(factor),
+			fr(stLoose.MaxWeightDeviation/stLoose.AvgWeight),
+			fr(st.MaxWeightDeviation/(g.MaxWeight()+1e-300)))
+	}
+	t.Verdict = fmt.Sprintf("strict/loose max-boundary factor ≤ %.2f — constant, no trade-off", worst)
+	return t
+}
+
+// E6GreedyBaseline — greedy bin packing has the same balance guarantee but
+// its boundary cost grows with n while ours tracks k^{−1/p}·‖c‖_p.
+func E6GreedyBaseline(cfg Config) Table {
+	t := Table{
+		ID:     "E6",
+		Title:  "greedy bin-packing comparison (balance equal, boundary diverges)",
+		Header: []string{"graph", "n", "k", "greedyMaxB", "oursMaxB", "greedy/ours", "bothStrict"},
+	}
+	k := 8
+	sides := []int{16, 24, 32}
+	if cfg.Quick {
+		sides = []int{12, 16}
+	}
+	var ratios []float64
+	for _, side := range sides {
+		gr := grid.MustBox(side, side)
+		workload.ApplyFields(gr, workload.LognormalWeights(0.5), nil, int64(side))
+		g := gr.G
+		greedy := baseline.Greedy(g, k)
+		stG := graph.Stats(g, greedy, k)
+		res := decomposeOnGrid(gr, k)
+		ratio := stG.MaxBoundary / math.Max(res.Stats.MaxBoundary, 1e-300)
+		ratios = append(ratios, ratio)
+		t.AddRow("grid", fi(g.N()), fi(k), f(stG.MaxBoundary), f(res.Stats.MaxBoundary),
+			fr(ratio), fb(stG.StrictlyBalanced && res.Stats.StrictlyBalanced))
+	}
+	mesh := workload.ClimateMesh(24, 24, 4, 5)
+	greedy := baseline.Greedy(mesh, k)
+	stG := graph.Stats(mesh, greedy, k)
+	resM, err := core.Decompose(mesh, core.Options{K: k})
+	if err != nil {
+		panic(err)
+	}
+	t.AddRow("climate", fi(mesh.N()), fi(k), f(stG.MaxBoundary), f(resM.Stats.MaxBoundary),
+		fr(stG.MaxBoundary/math.Max(resM.Stats.MaxBoundary, 1e-300)),
+		fb(stG.StrictlyBalanced && resM.Stats.StrictlyBalanced))
+	growing := len(ratios) >= 2 && ratios[len(ratios)-1] > ratios[0]
+	t.Verdict = fmt.Sprintf("greedy/ours boundary ratio grows with n: %v (greedy pays Θ(n/k) boundary)", growing)
+	return t
+}
+
+// E7AvgVsMax — the remark after Theorem 5: the average boundary cost obeys
+// the same lower bound, so max/avg stays a constant for our colorings.
+func E7AvgVsMax(cfg Config) Table {
+	t := Table{
+		ID:     "E7",
+		Title:  "average vs maximum boundary cost of our colorings",
+		Header: []string{"k", "avgBoundary", "maxBoundary", "max/avg"},
+	}
+	side := cfg.gridSide(40)
+	worst := 0.0
+	for _, k := range []int{4, 16, 64} {
+		gr := grid.MustBox(side, side)
+		workload.ApplyFields(gr, workload.LognormalWeights(0.5), workload.ExponentialCosts(16), int64(k)+1)
+		res := decomposeOnGrid(gr, k)
+		ratio := res.Stats.MaxBoundary / math.Max(res.Stats.AvgBoundary, 1e-300)
+		if ratio > worst {
+			worst = ratio
+		}
+		t.AddRow(fi(k), f(res.Stats.AvgBoundary), f(res.Stats.MaxBoundary), fr(ratio))
+	}
+	t.Verdict = fmt.Sprintf("max/avg ≤ %.2f — no asymptotic gap between the two objectives", worst)
+	return t
+}
+
+// E8Makespan — the intro's load-balancing application on the climate mesh:
+// makespan of ours vs Simon–Teng recursive bisection vs KST vs greedy
+// across communication-cost factors.
+func E8Makespan(cfg Config) Table {
+	t := Table{
+		ID:     "E8",
+		Title:  "climate-mesh makespan: ours vs recursive bisection vs KST vs greedy",
+		Header: []string{"alpha", "k", "ours", "recBisect", "KST", "greedy", "bestIsOurs"},
+	}
+	side := cfg.gridSide(32)
+	mesh := workload.ClimateMesh(side, side, 4, 13)
+	sp := splitter.NewRefined(mesh, splitter.NewBFS(mesh))
+	oursWins, cells := 0, 0
+	for _, alpha := range []float64{0, 0.5, 2} {
+		for _, k := range []int{4, 16, 64} {
+			res, err := core.Decompose(mesh, core.Options{K: k, Splitter: sp})
+			if err != nil {
+				panic(err)
+			}
+			rb := baseline.RecursiveBisection(mesh, sp, k)
+			kst := baseline.KSTBisection(mesh, sp, k, 2)
+			gd := baseline.Greedy(mesh, k)
+			eval := func(chi []int32) float64 {
+				s, err := sim.Evaluate(mesh, chi, k, alpha)
+				if err != nil {
+					panic(err)
+				}
+				return s.Makespan
+			}
+			mo, mr, mk, mg := eval(res.Coloring), eval(rb), eval(kst), eval(gd)
+			best := mo <= mr*1.05 && mo <= mk*1.05 && mo <= mg*1.05
+			if best {
+				oursWins++
+			}
+			cells++
+			t.AddRow(f(alpha), fi(k), f(mo), f(mr), f(mk), f(mg), fb(best))
+		}
+	}
+	t.Verdict = fmt.Sprintf("ours best (within 5%%) in %d/%d settings; gap widens with alpha", oursWins, cells)
+	return t
+}
+
+// E9Scaling — Theorem 4's O(t(|G|)·log k) decomposition time and
+// Lemma 27's O(m·log φ) GridSplit time.
+func E9Scaling(cfg Config) Table {
+	t := Table{
+		ID:     "E9",
+		Title:  "running-time scaling (Theorem 4, Lemma 27)",
+		Header: []string{"phase", "n or m", "param", "time", "time/unit"},
+	}
+	sides := []int{16, 32, 64, 96}
+	if cfg.Quick {
+		sides = []int{16, 32}
+	}
+	for _, side := range sides {
+		gr := grid.MustBox(side, side)
+		start := time.Now()
+		decomposeOnGrid(gr, 16)
+		el := time.Since(start)
+		t.AddRow("decompose(k=16)", fi(gr.G.N()), "k=16", el.String(),
+			fmt.Sprintf("%.1f ns/vertex", float64(el.Nanoseconds())/float64(gr.G.N())))
+	}
+	for _, phi := range []float64{1, 256, 65536} {
+		s := cfg.gridSide(64)
+		gr := grid.MustBox(s, s)
+		workload.ApplyFields(gr, nil, workload.ExponentialCosts(phi), 3)
+		start := time.Now()
+		res := gr.SplitSet(gr.G.Weight, gr.G.TotalWeight()/2)
+		el := time.Since(start)
+		t.AddRow("gridsplit", fi(gr.G.M()), fmt.Sprintf("φ=%g", phi), el.String(),
+			fmt.Sprintf("%d levels", res.Levels))
+	}
+	t.Verdict = "near-linear growth in |G|; GridSplit levels grow like log φ"
+	return t
+}
+
+// E10Ablations — design-choice ablations: drop the Proposition 7 boundary
+// balancing, drop shrink-and-conquer, drop FM refinement.
+func E10Ablations(cfg Config) Table {
+	t := Table{
+		ID:     "E10",
+		Title:  "ablations of the pipeline stages (k = 32)",
+		Header: []string{"variant", "maxBoundary", "vs full", "strict"},
+	}
+	side := cfg.gridSide(32)
+	k := 32
+	build := func() *grid.Grid {
+		gr := grid.MustBox(side, side)
+		workload.ApplyFields(gr, workload.LognormalWeights(0.6), workload.ExponentialCosts(8), 29)
+		return gr
+	}
+	run := func(opt core.Options) graph.ColoringStats {
+		gr := build()
+		opt.K = k
+		opt.P = 2
+		if opt.Splitter == nil {
+			opt.Splitter = splitter.NewGrid(gr)
+		}
+		res, err := core.Decompose(gr.G, opt)
+		if err != nil {
+			panic(err)
+		}
+		return res.Stats
+	}
+	full := run(core.Options{})
+	variants := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"full pipeline", core.Options{}},
+		{"no Prop7 boundary balance", core.Options{SkipBoundaryBalance: true}},
+		{"no Prop11 stage", core.Options{SkipShrink: true}},
+		{"paper shrink-and-conquer", core.Options{PaperShrink: true}},
+		{"no boundary polish", core.Options{SkipPolish: true}},
+	}
+	for _, v := range variants {
+		st := run(v.opt)
+		t.AddRow(v.name, f(st.MaxBoundary), fr(st.MaxBoundary/math.Max(full.MaxBoundary, 1e-300)),
+			fb(st.StrictlyBalanced))
+	}
+	// Unrefined prefix splitter ablation (oracle quality matters: σ_p).
+	gr := build()
+	st := run(core.Options{Splitter: splitter.NewByID(gr.G)})
+	t.AddRow("ByID prefix splitter", f(st.MaxBoundary),
+		fr(st.MaxBoundary/math.Max(full.MaxBoundary, 1e-300)), fb(st.StrictlyBalanced))
+	t.Verdict = "every stage keeps strictness; boundary degrades when stages are dropped"
+	return t
+}
+
+// E11SeparatorEquiv — Lemma 37: the splitter derived from a balanced-
+// separator routine stays within the predicted factor of the native one.
+func E11SeparatorEquiv(cfg Config) Table {
+	t := Table{
+		ID:     "E11",
+		Title:  "splitter ⇄ separator equivalence (Lemma 37)",
+		Header: []string{"graph", "target", "nativeCost", "derivedCost", "derived/native"},
+	}
+	side := cfg.gridSide(32)
+	gr := grid.MustBox(side, side)
+	g := gr.G
+	native := splitter.NewGrid(gr)
+	derived := separator.NewSplitterFromSeparator(g, separator.NewBFSLayered(g), 2)
+	W := graph.AllVertices(g)
+	worst := 0.0
+	for _, frac := range []float64{0.25, 0.5, 0.75} {
+		target := g.TotalWeight() * frac
+		cost := func(U []int32) float64 {
+			in := make([]bool, g.N())
+			for _, v := range U {
+				in[v] = true
+			}
+			return g.BoundaryCostMask(in)
+		}
+		cn := cost(native.Split(W, g.Weight, target))
+		cd := cost(derived.Split(W, g.Weight, target))
+		ratio := cd / math.Max(cn, 1e-300)
+		if ratio > worst {
+			worst = ratio
+		}
+		t.AddRow("grid", f(target), f(cn), f(cd), fr(ratio))
+	}
+	t.Verdict = fmt.Sprintf("derived/native ≤ %.2f — within the Lemma 37 φ_ℓ·Δ^{1/q} factor", worst)
+	return t
+}
+
+// All runs the full suite in order.
+func All(cfg Config) []Table {
+	return []Table{
+		E1MaxBoundaryVsK(cfg),
+		E2StrictBalance(cfg),
+		E3Tightness(cfg),
+		E4GridSeparator(cfg),
+		E5NoTradeoff(cfg),
+		E6GreedyBaseline(cfg),
+		E7AvgVsMax(cfg),
+		E8Makespan(cfg),
+		E9Scaling(cfg),
+		E10Ablations(cfg),
+		E11SeparatorEquiv(cfg),
+		E12MultiBalanced(cfg),
+	}
+}
+
+// E12MultiBalanced — the multi-balanced version of Theorem 4 stated in the
+// conclusion (Section 7): strict balance in Ψ = w, weak balance in r
+// further measures, maximum boundary within the Theorem 4 shape.
+func E12MultiBalanced(cfg Config) Table {
+	t := Table{
+		ID:     "E12",
+		Title:  "multi-balanced Theorem 4 (Section 7): strict w + r extra measures",
+		Header: []string{"r", "k", "strict", "worstExtra max/avg", "maxBoundary", "bound"},
+	}
+	side := cfg.gridSide(32)
+	worst := 0.0
+	for _, r := range []int{1, 2, 3} {
+		for _, k := range []int{4, 12} {
+			gr := grid.MustBox(side, side)
+			workload.ApplyFields(gr, workload.LognormalWeights(0.4), nil, int64(10*r+k))
+			g := gr.G
+			rng := newDetRand(int64(r*100 + k))
+			extras := make([][]float64, r)
+			for j := range extras {
+				m := make([]float64, g.N())
+				for v := range m {
+					m[v] = rng.ExpFloat64()
+				}
+				extras[j] = m
+			}
+			res, err := core.Decompose(g, core.Options{
+				K: k, P: 2, Splitter: splitter.NewGrid(gr), Measures: extras,
+			})
+			if err != nil {
+				panic(err)
+			}
+			worstRatio := 0.0
+			for _, m := range extras {
+				per := g.ClassMeasure(res.Coloring, k, m)
+				avg := graph.SumOf(m) / float64(k)
+				if ratio := graph.MaxOf(per) / avg; ratio > worstRatio {
+					worstRatio = ratio
+				}
+			}
+			if worstRatio > worst {
+				worst = worstRatio
+			}
+			t.AddRow(fi(r), fi(k), fb(res.Stats.StrictlyBalanced), fr(worstRatio),
+				f(res.Stats.MaxBoundary), f(core.TheoremBound(g, k, 2)))
+		}
+	}
+	t.Verdict = fmt.Sprintf("strict in w everywhere; extra measures within %.2f× of average", worst)
+	return t
+}

@@ -1,0 +1,78 @@
+// Package bench is the experiment harness: one function per experiment in
+// DESIGN.md §3 (E1–E11), each regenerating a table whose shape certifies
+// the corresponding theorem of the paper. cmd/experiments prints the full
+// suite; bench_test.go wraps each experiment in a testing.B target.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output: a titled grid of rows.
+type Table struct {
+	ID     string // experiment id, e.g. "E1"
+	Title  string // claim being reproduced
+	Header []string
+	Rows   [][]string
+	// Verdict summarizes whether the measured shape matches the paper.
+	Verdict string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Verdict != "" {
+		fmt.Fprintf(w, "  verdict: %s\n", t.Verdict)
+	}
+	fmt.Fprintln(w)
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Fprint(&sb)
+	return sb.String()
+}
+
+func f(x float64) string  { return fmt.Sprintf("%.4g", x) }
+func fi(x int) string     { return fmt.Sprintf("%d", x) }
+func fb(ok bool) string   { return map[bool]string{true: "yes", false: "NO"}[ok] }
+func fr(x float64) string { return fmt.Sprintf("%.3f", x) }

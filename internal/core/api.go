@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/measure"
+	"repro/internal/splitter"
+)
+
+// Options configures Decompose.
+type Options struct {
+	// K is the number of parts (colors); must be ≥ 1.
+	K int
+
+	// P is the Hölder exponent of the splittability assumption
+	// (Definition 3). Defaults to 2; use d/(d−1) on d-dimensional grids.
+	P float64
+
+	// Splitter is the splitting-set oracle. Defaults to an FM-refined BFS
+	// prefix splitter on the input graph.
+	Splitter splitter.Splitter
+
+	// Measures are additional vertex measures to balance alongside the
+	// vertex weights (the multi-balanced extension noted in Section 7).
+	Measures [][]float64
+
+	// SkipBoundaryBalance disables the Proposition 7 boundary-balancing
+	// stage (ablation E10a): the coloring is still multi-balanced in
+	// weights and π, but only the average boundary cost is controlled.
+	SkipBoundaryBalance bool
+
+	// SkipShrink replaces the Proposition 11 stage with nothing (ablation
+	// E10b); strictness then rests entirely on BinPack2.
+	SkipShrink bool
+
+	// PaperShrink selects the faithful Section 5 shrink-and-conquer
+	// recursion for the Proposition 11 stage instead of the default direct
+	// surplus-to-deficit rebalancing (both meet the proposition's bound;
+	// the recursion's worst-case constants are much larger — E10).
+	PaperShrink bool
+
+	// SkipPolish disables the final balance-preserving boundary polish
+	// pass (an engineering extension over the paper; every move is
+	// feasibility-checked against Definition 1, so the guarantee is
+	// unchanged — it only shrinks the constant).
+	SkipPolish bool
+}
+
+// Result is a strictly balanced k-coloring with its statistics.
+type Result struct {
+	// Coloring maps each vertex to its color in [0, K).
+	Coloring []int32
+	// Stats summarizes weights and boundary costs per Definition 1.
+	Stats graph.ColoringStats
+	// UsedFallback reports that the chunked-greedy backstop had to repair
+	// strictness (degenerate inputs only).
+	UsedFallback bool
+
+	// Diag reports oracle-call counts and per-stage durations.
+	Diag Diagnostics
+}
+
+// Decompose computes a strictly balanced k-coloring of g with small
+// maximum boundary cost — the algorithmic content of Theorem 4:
+//
+//	∂ᵏ∞(G, c) = O_p(σ_p · (k^{−1/p}·‖c‖_p + Δ_c)).
+//
+// The pipeline is Proposition 7 (multi-balanced, min-max boundary) →
+// Proposition 11 (almost strictly balanced) → Proposition 12 (strictly
+// balanced).
+func Decompose(g *graph.Graph, opt Options) (Result, error) {
+	if opt.K < 1 {
+		return Result{}, fmt.Errorf("core: K must be ≥ 1, got %d", opt.K)
+	}
+	if g.N() == 0 {
+		return Result{Coloring: []int32{}, Stats: graph.ColoringStats{K: opt.K}}, nil
+	}
+	c, err := newCtx(g, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	k := opt.K
+	var diag Diagnostics
+	c.sp = countingSplitter{inner: c.sp, calls: &diag.SplitterCalls}
+	start := time.Now()
+
+	// Stage 1 (Proposition 7): weakly balanced in w, π and user measures,
+	// with bounded maximum boundary cost.
+	user := append([][]float64{g.Weight}, opt.Measures...)
+	var chi []int32
+	if opt.SkipBoundaryBalance {
+		ms := append([][]float64{c.pi}, user...)
+		chi = c.multiBalanced(k, ms)
+	} else {
+		chi = c.minMaxBalanced(k, user)
+	}
+	diag.MultiBalance = time.Since(start)
+
+	// Stage 2 (Proposition 11): almost strictly balanced.
+	mark := time.Now()
+	if !opt.SkipShrink {
+		chi = c.almostStrict(chi, k, opt.PaperShrink)
+	}
+	diag.AlmostStrict = time.Since(mark)
+
+	// Stage 3 (Proposition 12): strictly balanced.
+	mark = time.Now()
+	chi = c.binPack2(chi, k)
+	diag.StrictPack = time.Since(mark)
+
+	// Final polish: strictness-preserving greedy boundary reduction.
+	mark = time.Now()
+	if !opt.SkipPolish && graph.IsStrictlyBalanced(g, chi, k) {
+		chi = c.polish(chi, k, 3)
+	}
+	diag.Polish = time.Since(mark)
+	diag.Total = time.Since(start)
+
+	res := Result{Coloring: chi, Diag: diag}
+	res.Stats = graph.Stats(g, chi, k)
+	if !res.Stats.StrictlyBalanced {
+		// Degenerate inputs (e.g. wildly heavy vertices) can defeat the
+		// practical constants; the chunked-greedy backstop is always strict.
+		chi = c.chunkedGreedy(chi, k)
+		res.Coloring = chi
+		res.Stats = graph.Stats(g, chi, k)
+		res.UsedFallback = true
+	}
+	if err := graph.CheckColoring(chi, k); err != nil {
+		return Result{}, fmt.Errorf("core: internal error: %w", err)
+	}
+	return res, nil
+}
+
+// newCtx validates options and builds the shared pipeline context.
+func newCtx(g *graph.Graph, opt Options) (*ctx, error) {
+	p := opt.P
+	if p == 0 {
+		p = 2
+	}
+	if p <= 1 || math.IsNaN(p) {
+		return nil, fmt.Errorf("core: P must be > 1, got %v", opt.P)
+	}
+	sp := opt.Splitter
+	if sp == nil {
+		sp = splitter.NewRefined(g, splitter.NewBFS(g))
+	}
+	return &ctx{
+		g:  g,
+		sp: sp,
+		p:  p,
+		pi: measure.SplittingCost(g, p, 1),
+	}, nil
+}
+
+// TheoremBound returns the Theorem 5 upper-bound shape
+// ‖c‖_p/k^{1/p} + ‖c‖∞ (without the σ_p and constant factors), used by the
+// experiment harness to normalize measured boundary costs.
+func TheoremBound(g *graph.Graph, k int, p float64) float64 {
+	if math.IsInf(p, 1) {
+		return 2 * g.MaxCost()
+	}
+	return g.CostNorm(p)/math.Pow(float64(k), 1/p) + g.MaxCost()
+}
+
+// MultiBalanced exposes the Lemma 6 stage: a k-coloring balanced with
+// respect to every measure in ms with small *average* boundary cost.
+func MultiBalanced(g *graph.Graph, opt Options, ms [][]float64) ([]int32, error) {
+	if opt.K < 1 {
+		return nil, fmt.Errorf("core: K must be ≥ 1, got %d", opt.K)
+	}
+	c, err := newCtx(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	return c.multiBalanced(opt.K, ms), nil
+}
+
+// MinMaxBalanced exposes the Proposition 7 stage: a k-coloring balanced in
+// the given measures (plus π) with small *maximum* boundary cost.
+func MinMaxBalanced(g *graph.Graph, opt Options, ms [][]float64) ([]int32, error) {
+	if opt.K < 1 {
+		return nil, fmt.Errorf("core: K must be ≥ 1, got %d", opt.K)
+	}
+	c, err := newCtx(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	return c.minMaxBalanced(opt.K, ms), nil
+}
+
+// AlmostStrict exposes the Proposition 11 stage on an existing coloring.
+func AlmostStrict(g *graph.Graph, opt Options, chi []int32) ([]int32, error) {
+	if len(chi) != g.N() {
+		return nil, fmt.Errorf("core: coloring length %d != N %d", len(chi), g.N())
+	}
+	if err := graph.CheckColoring(chi, opt.K); err != nil {
+		return nil, err
+	}
+	c, err := newCtx(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	return c.almostStrict(chi, opt.K, opt.PaperShrink), nil
+}
+
+// StrictBalance exposes the Proposition 12 stage (BinPack2) on an existing
+// coloring; the result is strictly balanced per Definition 1 (with the
+// chunked-greedy backstop applied if needed).
+func StrictBalance(g *graph.Graph, opt Options, chi []int32) ([]int32, error) {
+	if len(chi) != g.N() {
+		return nil, fmt.Errorf("core: coloring length %d != N %d", len(chi), g.N())
+	}
+	if err := graph.CheckColoring(chi, opt.K); err != nil {
+		return nil, err
+	}
+	c, err := newCtx(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	out := c.binPack2(chi, opt.K)
+	if !graph.IsStrictlyBalanced(g, out, opt.K) {
+		out = c.chunkedGreedy(out, opt.K)
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/splitter"
+)
+
+// ctx bundles the graph, the splitting-set oracle and the Hölder exponent
+// that all pipeline stages share.
+type ctx struct {
+	g  *graph.Graph
+	sp splitter.Splitter
+	p  float64
+	pi []float64 // splitting-cost measure π of Definition 10 (σ_p = 1)
+}
+
+// sumOver returns Σ_{v∈U} m[v].
+func sumOver(m []float64, U []int32) float64 {
+	s := 0.0
+	for _, v := range U {
+		s += m[v]
+	}
+	return s
+}
+
+// maxOver returns max_{v∈U} m[v] (0 for empty U).
+func maxOver(m []float64, U []int32) float64 {
+	mx := 0.0
+	for _, v := range U {
+		if m[v] > mx {
+			mx = m[v]
+		}
+	}
+	return mx
+}
+
+// totalOf returns ‖m‖₁.
+func totalOf(m []float64) float64 {
+	s := 0.0
+	for _, x := range m {
+		s += x
+	}
+	return s
+}
+
+// maxOf returns ‖m‖∞.
+func maxOf(m []float64) float64 {
+	mx := 0.0
+	for _, x := range m {
+		if x > mx {
+			mx = x
+		}
+	}
+	return mx
+}
+
+// subtract returns X \ U for vertex lists (U given as a set).
+func subtract(X []int32, U []int32) []int32 {
+	in := make(map[int32]bool, len(U))
+	for _, v := range U {
+		in[v] = true
+	}
+	out := make([]int32, 0, len(X)-len(U))
+	for _, v := range X {
+		if !in[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// classLists returns the vertex list of each color class of a (possibly
+// partial) coloring.
+func classLists(coloring []int32, k int) [][]int32 {
+	out := make([][]int32, k)
+	for v, c := range coloring {
+		if c >= 0 {
+			out[c] = append(out[c], int32(v))
+		}
+	}
+	return out
+}
+
+// paint sets coloring[v] = color for all v in X.
+func paint(coloring []int32, X []int32, color int32) {
+	for _, v := range X {
+		coloring[v] = color
+	}
+}
+
+// boundaryOf returns ∂X in the full graph.
+func (c *ctx) boundaryOf(X []int32) float64 {
+	return c.g.BoundaryCostOf(X)
+}

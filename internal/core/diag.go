@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/splitter"
+)
+
+// Diagnostics reports where a Decompose run spent its effort. Theorem 4's
+// running time is O(t(|G|)·log k) where t is the splitting-oracle cost;
+// SplitterCalls makes that oracle complexity observable.
+type Diagnostics struct {
+	// SplitterCalls counts invocations of the splitting-set oracle.
+	SplitterCalls int
+
+	// Durations of the three pipeline stages plus the polish pass.
+	MultiBalance time.Duration // Proposition 7 (or Lemma 6 under ablation)
+	AlmostStrict time.Duration // Proposition 11
+	StrictPack   time.Duration // Proposition 12 (BinPack2)
+	Polish       time.Duration
+	Total        time.Duration
+}
+
+// String renders a one-line summary.
+func (d Diagnostics) String() string {
+	return fmt.Sprintf("splits=%d prop7=%v prop11=%v binpack=%v polish=%v total=%v",
+		d.SplitterCalls, d.MultiBalance.Round(time.Microsecond),
+		d.AlmostStrict.Round(time.Microsecond), d.StrictPack.Round(time.Microsecond),
+		d.Polish.Round(time.Microsecond), d.Total.Round(time.Microsecond))
+}
+
+// countingSplitter decorates a Splitter with a call counter.
+type countingSplitter struct {
+	inner splitter.Splitter
+	calls *int
+}
+
+func (cs countingSplitter) Split(W []int32, w []float64, target float64) []int32 {
+	*cs.calls++
+	return cs.inner.Split(W, w, target)
+}

@@ -1,0 +1,34 @@
+// Package core implements the primary contribution of Steurer (SPAA 2006):
+// strictly weight-balanced k-colorings of weighted, edge-costed graphs with
+// maximum boundary cost O_p(σ_p · (k^{-1/p}·‖c‖_p + Δ_c)) — Theorem 4.
+//
+// The pipeline follows the paper's proof structure:
+//
+//  1. Multi-balanced colorings (Section 3). Lemma 8 produces 2-colorings
+//     simultaneously balanced with respect to r vertex measures; Lemma 9
+//     rebalances a k-coloring with respect to a new measure Ψ while
+//     preserving balance in the others, using the Move procedure over
+//     Light/Medium/Heavy color classes and a binary-forest charging
+//     argument; Lemma 6 iterates Lemma 9 over all measures; Proposition 7
+//     additionally balances the boundary-cost function by treating it as a
+//     (dynamic) vertex measure via the splitting-cost measure π of
+//     Definition 10.
+//
+//  2. Shrink-and-conquer (Sections 4–5). The Shrink procedure
+//     (CutDown / AddTo / ReduceBuffer plus the part-extraction corollaries
+//     16–18) peels off an almost-strictly-balanced sub-coloring χ₀ while
+//     geometrically shrinking all costs of the remainder χ₁; Proposition 11
+//     recurses on χ₁ and re-merges with the conquer bin-packing of
+//     Lemma 15 (BinPack1).
+//
+//  3. Strict balance (Appendix A.2). BinPack2 (Proposition 12) converts an
+//     almost strictly balanced coloring into a strictly balanced one:
+//     every class weight within (1 − 1/k)·‖w‖∞ of the average — exactly
+//     the guarantee of greedy bin packing, but with bounded boundary cost.
+//
+// The implementation keeps the structure of every procedure but uses
+// practical constants instead of the worst-case proof constants (e.g.
+// M = 1/ε⁵); the paper's invariants are validated by the test suite, and a
+// guaranteed-strict chunked-greedy fallback backstops degenerate inputs
+// (see DESIGN.md §4, "Substitutions").
+package core

@@ -1,0 +1,201 @@
+package core
+
+// This file implements a boundary polish pass run after Proposition 12.
+// It is an engineering extension over the paper (documented in DESIGN.md):
+// greedy single-vertex moves and pairwise swaps across class borders that
+// strictly decrease the maximum boundary cost while provably preserving
+// Definition 1 strict balance. Every change is feasibility-checked against
+// the strict-balance window, so the Theorem 4 guarantee is untouched — the
+// pass only shrinks the constant (quantified in E10). Swaps matter in the
+// uniform-weight regime, where the window (1 − 1/k)·‖w‖∞ < ‖w‖∞ forbids
+// any single-vertex move but allows weight-neutral exchanges.
+
+// polishState carries the incremental bookkeeping of the pass.
+type polishState struct {
+	c   *ctx
+	k   int
+	out []int32
+	cw  []float64 // class weights
+	cb  []float64 // class boundary costs
+
+	avg, window, tol float64
+}
+
+func (c *ctx) polish(chi []int32, k int, rounds int) []int32 {
+	if k <= 1 || rounds <= 0 {
+		return append([]int32(nil), chi...)
+	}
+	g := c.g
+	ps := &polishState{
+		c:   c,
+		k:   k,
+		out: append([]int32(nil), chi...),
+		cw:  g.ClassWeights(chi, k),
+		cb:  g.ClassBoundaryCosts(chi, k),
+	}
+	total := totalOf(g.Weight)
+	maxw := maxOf(g.Weight)
+	ps.avg = total / float64(k)
+	ps.window = (1 - 1/float64(k)) * maxw
+	ps.tol = 1e-9 * (ps.avg + maxw + 1)
+
+	for round := 0; round < rounds; round++ {
+		if !ps.round() {
+			break
+		}
+	}
+	return ps.out
+}
+
+// moveDelta returns the exact boundary-cost changes (dFrom for v's current
+// class, dTo for class `to`) of moving v, under the current coloring.
+// Classes other than from/to are unaffected: their cut edges to v stay cut.
+func (ps *polishState) moveDelta(v, to int32) (dFrom, dTo float64) {
+	g := ps.c.g
+	from := ps.out[v]
+	for _, e := range g.IncidentEdges(v) {
+		o := g.Other(e, v)
+		cost := g.Cost[e]
+		switch ps.out[o] {
+		case from:
+			dFrom += cost // becomes cut
+			dTo += cost
+		case to:
+			dFrom -= cost // becomes internal
+			dTo -= cost
+		default:
+			dFrom -= cost // still cut, charged to `to` now
+			dTo += cost
+		}
+	}
+	return dFrom, dTo
+}
+
+// applyMove commits the move of v to class `to`.
+func (ps *polishState) applyMove(v, to int32) {
+	from := ps.out[v]
+	dFrom, dTo := ps.moveDelta(v, to)
+	ps.cb[from] += dFrom
+	ps.cb[to] += dTo
+	w := ps.c.g.Weight[v]
+	ps.cw[from] -= w
+	ps.cw[to] += w
+	ps.out[v] = to
+}
+
+// weightOK reports whether a class weight x is inside the strict window.
+func (ps *polishState) weightOK(x float64) bool {
+	d := x - ps.avg
+	if d < 0 {
+		d = -d
+	}
+	return d <= ps.window+ps.tol
+}
+
+// round performs one sweep; returns whether anything improved.
+func (ps *polishState) round() bool {
+	g := ps.c.g
+	k := ps.k
+	maxB := maxOf(ps.cb)
+	if maxB <= 0 {
+		return false
+	}
+	// Border vertices per class (those with at least one cut edge).
+	border := make([][]int32, k)
+	isBorder := make([]bool, g.N())
+	for e := 0; e < g.M(); e++ {
+		u, v := g.Endpoints(int32(e))
+		if ps.out[u] != ps.out[v] {
+			for _, x := range []int32{u, v} {
+				if !isBorder[x] {
+					isBorder[x] = true
+					border[ps.out[x]] = append(border[ps.out[x]], x)
+				}
+			}
+		}
+	}
+
+	improved := false
+	for donor := int32(0); donor < int32(k); donor++ {
+		if ps.cb[donor] < 0.75*maxB {
+			continue
+		}
+		for _, v := range border[donor] {
+			if ps.out[v] != donor {
+				continue // moved earlier this round
+			}
+			// Receiver: the neighboring class with the largest adjacency.
+			perClass := map[int32]float64{}
+			for _, e := range g.IncidentEdges(v) {
+				o := g.Other(e, v)
+				if ps.out[o] != donor {
+					perClass[ps.out[o]] += g.Cost[e]
+				}
+			}
+			var best int32 = -1
+			bestCost := 0.0
+			for cls, cost := range perClass {
+				if cost > bestCost {
+					best, bestCost = cls, cost
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			dDonor, dBest := ps.moveDelta(v, best)
+			if dDonor >= -1e-12 {
+				continue
+			}
+			// Single move.
+			if ps.weightOK(ps.cw[donor]-g.Weight[v]) &&
+				ps.weightOK(ps.cw[best]+g.Weight[v]) &&
+				ps.cb[best]+dBest < maxB-1e-12 {
+				ps.applyMove(v, best)
+				improved = true
+				continue
+			}
+			// Swap: find a counterpart x in `best` on the mutual border.
+			if ps.trySwap(v, best, border[best], maxB) {
+				improved = true
+			}
+		}
+	}
+	return improved
+}
+
+// trySwap attempts to exchange v (in the hot donor class) with a border
+// vertex x of class `to`, committing only if the pairwise exchange keeps
+// both weights in the strict window and strictly lowers
+// max(∂donor, ∂to) without creating a new global hotspot.
+func (ps *polishState) trySwap(v, to int32, candidates []int32, maxB float64) bool {
+	g := ps.c.g
+	donor := ps.out[v]
+	oldDonor, oldTo := ps.cb[donor], ps.cb[to]
+	oldPair := oldDonor
+	if oldTo > oldPair {
+		oldPair = oldTo
+	}
+	for _, x := range candidates {
+		if ps.out[x] != to || x == v {
+			continue
+		}
+		// Weight feasibility of the full exchange.
+		dw := g.Weight[x] - g.Weight[v]
+		if !ps.weightOK(ps.cw[donor]+dw) || !ps.weightOK(ps.cw[to]-dw) {
+			continue
+		}
+		// Trial: apply both moves, evaluate, revert on failure.
+		ps.applyMove(v, to)
+		ps.applyMove(x, donor)
+		newPair := ps.cb[donor]
+		if ps.cb[to] > newPair {
+			newPair = ps.cb[to]
+		}
+		if newPair < oldPair-1e-12 && ps.cb[donor] < maxB && ps.cb[to] < maxB {
+			return true
+		}
+		ps.applyMove(x, to)
+		ps.applyMove(v, donor)
+	}
+	return false
+}

@@ -1,0 +1,151 @@
+package core
+
+// This file implements Lemma 9: given a k-coloring χ, compute χ̂ that is
+// balanced with respect to a new measure Ψ while the maximum Φ⁽ʲ⁾-measure
+// of the preserved measures and the average boundary cost grow by at most a
+// constant factor (plus the B = q·k^{−1/p}·σ_p·‖c‖_p term).
+//
+// The algorithm maintains tentative color classes tent(i) with the
+// three-state life cycle Untouched → Pending → Finished and the weight
+// partition Light/Medium/Heavy:
+//
+//	Light  = { i : Ψ(tent(i)) <  ‖Ψ‖avg }
+//	Heavy  = { i : Ψ(tent(i)) ≥ 3‖Ψ‖avg + 2^r·‖Ψ‖∞ }
+//	Medium = the rest
+//
+// Procedure Move(i) on a pending color i: if i is medium, finish it; if
+// heavy, split a slice U of weight [avg, avg+‖Ψ‖∞] off tent(i) (which
+// becomes χ̂⁻¹(i)), 2-color the remainder Vout(i) with Lemma 8 balanced in
+// all measures, and hand the two halves to two light colors, which become
+// pending. Claim 1 (|Light| ≥ 2|Heavy|) guarantees light colors exist;
+// Claims 3–7 bound the measure growth and total splitting cost via the
+// binary forest induced on colors.
+
+const (
+	stateUntouched = iota
+	statePending
+	stateFinished
+)
+
+// rebalance computes χ̂ from χ as in Lemma 9.
+//
+//   - psi is the measure Ψ to balance (Φ⁽¹⁾ in the paper).
+//   - preserve are the measures whose balance must be maintained
+//     (Φ⁽²⁾ … Φ⁽ʳ⁾).
+//   - dynamic, if non-nil, is invoked once per heavy Move with the incoming
+//     set Vin(i) of the color being split and must return the extra measure
+//     Φ⁽ʳ⁺¹⁾ used by Proposition 7 to drive the χ-monochromatic boundary
+//     cost down along the forest; nil outside Proposition 7.
+func (c *ctx) rebalance(chi []int32, k int, psi []float64, preserve [][]float64, dynamic func(vin []int32) []float64) []int32 {
+	psiTotal := totalOf(psi)
+	psiMax := maxOf(psi)
+	if psiTotal <= 0 || psiMax <= 0 || k <= 1 {
+		return append([]int32(nil), chi...)
+	}
+	avg := psiTotal / float64(k)
+	r := len(preserve) + 1
+	pow2r := 1.0
+	for i := 0; i < r && i < 30; i++ {
+		pow2r *= 2
+	}
+	heavyThresh := 3*avg + pow2r*psiMax
+
+	tent := classLists(chi, k)
+	psiTent := make([]float64, k)
+	for i := 0; i < k; i++ {
+		psiTent[i] = sumOver(psi, tent[i])
+	}
+	state := make([]int, k)
+	vin := make([][]int32, k)
+	chiHat := append([]int32(nil), chi...)
+
+	var pending []int32
+	for i := 0; i < k; i++ {
+		if psiTent[i] >= heavyThresh {
+			state[i] = statePending
+			pending = append(pending, int32(i))
+		}
+	}
+
+	// pickLights returns up to two untouched colors with Ψ(tent) < avg,
+	// preferring the lightest (keeps children from re-pending needlessly).
+	pickLights := func() (a, b int32, ok bool) {
+		a, b = -1, -1
+		for i := 0; i < k; i++ {
+			if state[i] != stateUntouched || psiTent[i] >= avg {
+				continue
+			}
+			switch {
+			case a < 0 || psiTent[i] < psiTent[a]:
+				b = a
+				a = int32(i)
+			case b < 0 || psiTent[i] < psiTent[b]:
+				b = int32(i)
+			}
+		}
+		return a, b, a >= 0 && b >= 0
+	}
+
+	maxMoves := 4*k + 16 // the forest argument guarantees ≤ 2k iterations
+	for moves := 0; len(pending) > 0 && moves < maxMoves; moves++ {
+		i := pending[0]
+		pending = pending[1:]
+
+		finish := func() {
+			paint(chiHat, tent[i], i)
+			state[i] = stateFinished
+		}
+
+		if psiTent[i] < heavyThresh || len(tent[i]) <= 1 {
+			finish() // Move step (1.): pending ∧ medium → finished
+			continue
+		}
+		x1, x2, ok := pickLights()
+		if !ok {
+			// Claim 1 rules this out for valid inputs; degrade gracefully.
+			finish()
+			continue
+		}
+		X := tent[i]
+		// Step (3.): splitting set U with Ψ(U) ∈ [avg, avg + ‖Ψ‖∞].
+		U := c.sp.Split(X, psi, avg+maxOver(psi, X)/2)
+		W := subtract(X, U)
+		if len(U) == 0 || len(W) == 0 {
+			finish()
+			continue
+		}
+		// Step (4.): Lemma 8 coloring of W balanced in Ψ, the preserved
+		// measures, and (for Proposition 7) the dynamic measure.
+		ms := make([][]float64, 0, r+1)
+		ms = append(ms, psi)
+		ms = append(ms, preserve...)
+		if dynamic != nil {
+			ms = append(ms, dynamic(vin[i]))
+		}
+		halves := c.twoColor(W, ms)
+
+		// Step (5.)–(6.): finish color i with χ̂⁻¹(i) = U; hand halves to
+		// the light colors, which become pending.
+		paint(chiHat, U, i)
+		state[i] = stateFinished
+		tent[i] = U
+		psiTent[i] = sumOver(psi, U)
+
+		for b, x := range []int32{x1, x2} {
+			half := halves[b]
+			vin[x] = half
+			tent[x] = append(append([]int32(nil), tent[x]...), half...)
+			psiTent[x] += sumOver(psi, half)
+			state[x] = statePending
+			pending = append(pending, x)
+		}
+	}
+
+	// Any still-pending colors (iteration cap) keep their tentative sets.
+	for i := 0; i < k; i++ {
+		if state[i] == statePending {
+			paint(chiHat, tent[i], int32(i))
+		}
+	}
+	return chiHat
+}

@@ -1,0 +1,294 @@
+package core
+
+// This file implements the shrinking procedure of Section 5 (Definition 13,
+// Lemma 14: procedures CutDown, AddTo, ReduceBuffer, Shrink) and the
+// shrink-and-conquer recursion of Proposition 11.
+//
+// Shrink takes a weakly balanced coloring χ of a vertex set W and produces
+//
+//	χ₀ on W₀ — almost strictly balanced, every class of weight
+//	            ≈ ε·Ψ* (Ψ* = w(W)/k), carrying a guaranteed share of the
+//	            splitting-cost measure π, of deg_W, and of the boundary
+//	            cost (Corollary 18), and
+//	χ₁ on W₁ — still weakly balanced, with ‖πχ₁⁻¹‖∞, ‖∂χ₁⁻¹‖∞ and
+//	            |G[W₁]| all geometrically smaller (Definition 13 b/c).
+//
+// Proposition 11 recurses on χ₁ and re-merges with BinPack1 (Lemma 15).
+//
+// Constants: the paper uses ε "sufficiently small" and M = 1/ε⁵ for the
+// worst-case induction. We use ε = 0.2 and trigger the base case when
+// ‖w‖∞ > ε·Ψ*/4 (instead of ε⁵·Ψ*), which keeps the recursion meaningful
+// at practical instance sizes; the almost-strictness of the final coloring
+// is verified by the caller with a chunked-greedy backstop (DESIGN.md §4).
+
+const shrinkEps = 0.2
+
+// shrinkResult carries the two colorings produced by Shrink as class lists.
+type shrinkResult struct {
+	classes0 [][]int32 // χ₀: class i ⊆ W₀, weight ≈ ε·Ψ*
+	classes1 [][]int32 // χ₁: class i ⊆ W₁, weakly balanced
+}
+
+// shrink is procedure Shrink of Lemma 14 applied to the coloring given by
+// class lists over W = ∪ classes. w is the weight measure Ψ.
+func (c *ctx) shrink(classes [][]int32, w []float64) shrinkResult {
+	k := len(classes)
+	var W []int32
+	for _, cl := range classes {
+		W = append(W, cl...)
+	}
+	psiStar := sumOver(w, W) / float64(k)
+	eps := shrinkEps
+
+	// Impact measures for the corollaries: π and deg_W; the boundary cost
+	// is handled inside the extractors.
+	degW := c.degreesWithin(W)
+	impactMeasures := [][]float64{c.pi, degW}
+
+	work := make([][]int32, k)
+	for i := range classes {
+		work[i] = append([]int32(nil), classes[i]...)
+	}
+	cw := make([]float64, k)
+	for i := range work {
+		cw[i] = sumOver(w, work[i])
+	}
+
+	cutThresh := 3 * psiStar // M/2·Ψ* with the practical M = 6
+	var buffer []chunk
+
+	// Step (2.): CutDown overweight classes.
+	for i := 0; i < k; i++ {
+		guard := 0
+		for cw[i] > cutThresh && guard < len(work[i])+8 {
+			guard++
+			X := c.extractLowImpact(work[i], w, 2*eps*psiStar, impactMeasures)
+			if len(X) == 0 || len(X) == len(work[i]) {
+				break
+			}
+			work[i] = subtract(work[i], X)
+			xw := sumOver(w, X)
+			cw[i] -= xw
+			buffer = append(buffer, chunk{X, xw})
+		}
+	}
+
+	// Step (3.): AddTo underweight classes.
+	for i := 0; i < k; i++ {
+		guard := 0
+		for cw[i] < eps*psiStar && guard < k+8 {
+			guard++
+			var X []int32
+			if len(buffer) > 0 {
+				X = buffer[len(buffer)-1].verts
+				buffer = buffer[:len(buffer)-1]
+			} else {
+				// Donate from a class with weight ≥ Ψ*/2 (Corollary 17).
+				donor := -1
+				for j := 0; j < k; j++ {
+					if j != i && cw[j] >= psiStar/2 && (donor < 0 || cw[j] > cw[donor]) {
+						donor = j
+					}
+				}
+				if donor < 0 {
+					break
+				}
+				X = c.extractLowImpact(work[donor], w, 2*eps*psiStar, impactMeasures)
+				if len(X) == 0 || len(X) == len(work[donor]) {
+					break
+				}
+				work[donor] = subtract(work[donor], X)
+				cw[donor] -= sumOver(w, X)
+			}
+			work[i] = append(work[i], X...)
+			cw[i] += sumOver(w, X)
+		}
+	}
+
+	// Step (4.): ReduceBuffer — leftover parts go to at-most-average classes.
+	for len(buffer) > 0 {
+		ch := buffer[len(buffer)-1]
+		buffer = buffer[:len(buffer)-1]
+		best := 0
+		for j := 1; j < k; j++ {
+			if cw[j] < cw[best] {
+				best = j
+			}
+		}
+		work[best] = append(work[best], ch.verts...)
+		cw[best] += ch.weight
+	}
+
+	// Steps (5.)–(7.): Corollary 18 extraction of X_i from every class;
+	// W₀ = ∪X_i with χ₀ = χ̃|W₀, W₁ = rest with χ₁ = χ̃|W₁.
+	res := shrinkResult{
+		classes0: make([][]int32, k),
+		classes1: make([][]int32, k),
+	}
+	for i := 0; i < k; i++ {
+		Xi := c.extractHighImpact(work[i], w, eps*psiStar, impactMeasures)
+		res.classes0[i] = Xi
+		res.classes1[i] = subtract(work[i], Xi)
+	}
+	return res
+}
+
+// degreesWithin returns deg_W as a dense measure (0 outside W).
+func (c *ctx) degreesWithin(W []int32) []float64 {
+	in := make([]bool, c.g.N())
+	for _, v := range W {
+		in[v] = true
+	}
+	deg := make([]float64, c.g.N())
+	for _, v := range W {
+		d := 0
+		for _, e := range c.g.IncidentEdges(v) {
+			if in[c.g.Other(e, v)] {
+				d++
+			}
+		}
+		deg[v] = float64(d)
+	}
+	return deg
+}
+
+// almostStrict is Proposition 11: transform a weakly balanced coloring into
+// an almost strictly balanced one (every class within 2·‖w‖∞ of average)
+// without blowing up the maximum boundary or splitting cost.
+//
+// Two realizations are provided. The default, directAlmostStrict, moves one
+// surplus-sized splitting-set piece from the heaviest class to the lightest
+// until every class is inside the window — each class is touched O(1)
+// times, so the boundary grows by O(1) splitting cuts per class, matching
+// the proposition's bound with small practical constants. paperShrink
+// switches to the faithful shrink-and-conquer recursion of Section 5,
+// whose worst-case induction constants (M = 1/ε⁵ scale) are much larger in
+// practice; E10 quantifies the difference.
+func (c *ctx) almostStrict(chi []int32, k int, paperShrink bool) []int32 {
+	classes := classLists(chi, k)
+	var out [][]int32
+	if paperShrink {
+		out = c.almostStrictRec(classes, k, 0)
+	} else {
+		out = c.directAlmostStrict(classes, k)
+	}
+	return classesToColoring(out, c.g.N())
+}
+
+// directAlmostStrict pairs the most overweight class with the most
+// underweight class and moves a splitting-set piece of weight
+// min(surplus, deficit) between them. Every move parks at least one class
+// inside the ±‖w‖∞/2 window, so at most ~k moves happen and every class
+// gains O(1) cut costs.
+func (c *ctx) directAlmostStrict(classes [][]int32, k int) [][]int32 {
+	w := c.g.Weight
+	total, maxw := 0.0, 0.0
+	cw := make([]float64, k)
+	for i := range classes {
+		cw[i] = sumOver(w, classes[i])
+		total += cw[i]
+		if m := maxOver(w, classes[i]); m > maxw {
+			maxw = m
+		}
+	}
+	if maxw <= 0 || k <= 1 {
+		return classes
+	}
+	avg := total / float64(k)
+	window := 2 * maxw
+	tol := 1e-9 * (avg + maxw + 1)
+
+	for moves := 0; moves < 4*k+16; moves++ {
+		hi, lo := 0, 0
+		for i := 1; i < k; i++ {
+			if cw[i] > cw[hi] {
+				hi = i
+			}
+			if cw[i] < cw[lo] {
+				lo = i
+			}
+		}
+		surplus := cw[hi] - avg
+		deficit := avg - cw[lo]
+		if surplus <= window+tol && deficit <= window+tol {
+			break
+		}
+		amount := surplus
+		if deficit < amount {
+			amount = deficit
+		}
+		if amount <= 0 {
+			break
+		}
+		X := c.sp.Split(classes[hi], w, amount)
+		if len(X) == 0 || len(X) == len(classes[hi]) {
+			break
+		}
+		xw := sumOver(w, X)
+		classes[hi] = subtract(classes[hi], X)
+		classes[lo] = append(classes[lo], X...)
+		cw[hi] -= xw
+		cw[lo] += xw
+	}
+	return classes
+}
+
+// almostStrictRec is the shrink-and-conquer recursion on class lists.
+func (c *ctx) almostStrictRec(classes [][]int32, k int, depth int) [][]int32 {
+	w := c.g.Weight
+	var W []int32
+	for _, cl := range classes {
+		W = append(W, cl...)
+	}
+	if len(W) == 0 {
+		return classes
+	}
+	totalW := sumOver(w, W)
+	avg := totalW / float64(k)
+	maxw := maxOver(w, W)
+
+	// Already almost strictly balanced: nothing to improve — transforming
+	// further could only churn boundary cost (the procedure's goal is the
+	// ±2‖w‖∞ window, which the input already meets).
+	already := true
+	for i := range classes {
+		if d := sumOver(w, classes[i]) - avg; d > 2*maxw+1e-12 || d < -2*maxw-1e-12 {
+			already = false
+			break
+		}
+	}
+	if already {
+		return classes
+	}
+
+	// Base case: weights too coarse for shrinking (paper: ‖w‖∞ > ε⁵·Ψ*;
+	// practical: ε·Ψ*/4), or recursion guards. Lemma 15 with W₁ = ∅.
+	if maxw > shrinkEps*avg/4 || len(W) <= 4*k || depth > 200 {
+		zero := make([]float64, k)
+		return c.binPack1(classes, w, zero, avg, maxw)
+	}
+
+	sr := c.shrink(classes, w)
+	// Guard: the shrink must make progress on W.
+	w1size := 0
+	for _, cl := range sr.classes1 {
+		w1size += len(cl)
+	}
+	if w1size >= len(W) {
+		zero := make([]float64, k)
+		return c.binPack1(classes, w, zero, avg, maxw)
+	}
+
+	hat1 := c.almostStrictRec(sr.classes1, k, depth+1)
+	w1 := make([]float64, k)
+	for i := range hat1 {
+		w1[i] = sumOver(w, hat1[i])
+	}
+	tilde0 := c.binPack1(sr.classes0, w, w1, avg, maxw)
+
+	merged := make([][]int32, k)
+	for i := 0; i < k; i++ {
+		merged[i] = append(append([]int32(nil), tilde0[i]...), hat1[i]...)
+	}
+	return merged
+}

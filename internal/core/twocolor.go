@@ -1,0 +1,41 @@
+package core
+
+// This file implements Lemma 8: a 2-coloring of a vertex set W that is
+// simultaneously balanced with respect to measures Φ⁽¹⁾ … Φ⁽ʳ⁾, with the
+// strongest guarantee for Φ⁽¹⁾ (each side at most ½·(Φ⁽¹⁾(W) + 2^{r−1}‖Φ⁽¹⁾‖∞))
+// and cut cost at most (2ʳ − 1)·σ_p·‖c|W‖_p.
+//
+// The recursion follows the paper exactly: split W by the *last* measure
+// Φ⁽ʳ⁾ using the splitting oracle, 2-color both halves recursively for the
+// remaining measures, then orient the halves so the sides' Φ⁽ʳ⁾ loads
+// interleave (assumption (5) in the proof).
+
+// twoColor partitions W into two parts balanced w.r.t. all measures in ms
+// (ms[0] strongest). Returns the two parts; their union is W.
+func (c *ctx) twoColor(W []int32, ms [][]float64) [2][]int32 {
+	r := len(ms)
+	if r == 0 || len(W) <= 1 {
+		// No balance requirement: put everything on side 0.
+		return [2][]int32{append([]int32(nil), W...), nil}
+	}
+	last := ms[r-1]
+	U1 := c.sp.Split(W, last, sumOver(last, W)/2)
+	U2 := subtract(W, U1)
+	if r == 1 {
+		return [2][]int32{U1, U2}
+	}
+	p1 := c.twoColor(U1, ms[:r-1])
+	p2 := c.twoColor(U2, ms[:r-1])
+	// Orient so that side b receives at most half of U_b's Φ⁽ʳ⁾ from χ_b:
+	// side 0 light in U1, side 1 light in U2.
+	if sumOver(last, p1[0]) > sumOver(last, U1)/2 {
+		p1[0], p1[1] = p1[1], p1[0]
+	}
+	if sumOver(last, p2[1]) > sumOver(last, U2)/2 {
+		p2[0], p2[1] = p2[1], p2[0]
+	}
+	return [2][]int32{
+		append(append([]int32(nil), p1[0]...), p2[0]...),
+		append(append([]int32(nil), p1[1]...), p2[1]...),
+	}
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Verification is the result of checking a Result against every guarantee
+// Theorem 4 promises (plus structural sanity). It is what a downstream
+// user audits before trusting a partition.
+type Verification struct {
+	// Complete: every vertex has a color in [0, K).
+	Complete bool
+	// StrictBalance: Definition 1's inequality (1).
+	StrictBalance bool
+	// BoundaryConsistent: recomputed class boundaries match Stats.
+	BoundaryConsistent bool
+	// WithinBound: MaxBoundary ≤ Factor·(‖c‖_p/k^{1/p} + ‖c‖∞); Factor
+	// absorbs σ_p and the pipeline constant (not a theorem violation when
+	// false, but a useful quality signal).
+	WithinBound bool
+	Factor      float64
+
+	Errors []string
+}
+
+// OK reports whether all hard guarantees hold (WithinBound is advisory).
+func (v Verification) OK() bool {
+	return v.Complete && v.StrictBalance && v.BoundaryConsistent
+}
+
+// Verify audits a Result against graph g with the options it was produced
+// under. factor is the advisory bound multiplier (e.g. 20).
+func Verify(g *graph.Graph, opt Options, res Result, factor float64) Verification {
+	out := Verification{Factor: factor}
+	k := opt.K
+	p := opt.P
+	if p == 0 {
+		p = 2
+	}
+
+	if len(res.Coloring) != g.N() {
+		out.Errors = append(out.Errors,
+			fmt.Sprintf("coloring length %d != N %d", len(res.Coloring), g.N()))
+		return out
+	}
+	if err := graph.CheckColoring(res.Coloring, k); err != nil {
+		out.Errors = append(out.Errors, err.Error())
+		return out
+	}
+	out.Complete = true
+
+	st := graph.Stats(g, res.Coloring, k)
+	out.StrictBalance = st.StrictlyBalanced
+	if !st.StrictlyBalanced {
+		out.Errors = append(out.Errors,
+			fmt.Sprintf("strict balance violated: dev %g > bound %g",
+				st.MaxWeightDeviation, st.StrictBound))
+	}
+
+	// Reported stats must match recomputation.
+	tol := 1e-6 * (st.MaxBoundary + 1)
+	if diff := abs(st.MaxBoundary - res.Stats.MaxBoundary); diff > tol {
+		out.Errors = append(out.Errors,
+			fmt.Sprintf("reported max boundary %g != recomputed %g",
+				res.Stats.MaxBoundary, st.MaxBoundary))
+	} else {
+		out.BoundaryConsistent = true
+	}
+
+	bound := TheoremBound(g, k, p)
+	out.WithinBound = st.MaxBoundary <= factor*bound
+	if !out.WithinBound {
+		out.Errors = append(out.Errors,
+			fmt.Sprintf("advisory: max boundary %g > %g×bound %g",
+				st.MaxBoundary, factor, bound))
+	}
+	return out
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

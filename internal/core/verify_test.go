@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/splitter"
+)
+
+func TestVerifyAcceptsGoodResult(t *testing.T) {
+	gr, g := gridGraph(t, 12, 12)
+	opt := Options{K: 6, Splitter: splitter.NewGrid(gr)}
+	res, err := Decompose(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Verify(g, opt, res, 50)
+	if !v.OK() {
+		t.Fatalf("good result rejected: %v", v.Errors)
+	}
+	if !v.WithinBound {
+		t.Fatalf("advisory bound failed: %v", v.Errors)
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	gr, g := gridGraph(t, 8, 8)
+	opt := Options{K: 4, Splitter: splitter.NewGrid(gr)}
+	res, err := Decompose(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: everything one color.
+	bad := res
+	bad.Coloring = make([]int32, g.N())
+	v := Verify(g, opt, bad, 50)
+	if v.OK() {
+		t.Fatal("corrupted coloring accepted")
+	}
+	if v.StrictBalance {
+		t.Fatal("all-one-class reported strictly balanced")
+	}
+
+	// Corrupt: wrong length.
+	bad2 := res
+	bad2.Coloring = bad2.Coloring[:g.N()-1]
+	if Verify(g, opt, bad2, 50).OK() {
+		t.Fatal("short coloring accepted")
+	}
+
+	// Corrupt: out-of-range color.
+	bad3 := res
+	bad3.Coloring = append([]int32(nil), res.Coloring...)
+	bad3.Coloring[0] = 99
+	if Verify(g, opt, bad3, 50).OK() {
+		t.Fatal("out-of-range color accepted")
+	}
+
+	// Corrupt: falsified stats.
+	bad4 := res
+	bad4.Coloring = append([]int32(nil), res.Coloring...)
+	bad4.Stats.MaxBoundary = res.Stats.MaxBoundary / 7
+	v4 := Verify(g, opt, bad4, 50)
+	if v4.BoundaryConsistent {
+		t.Fatal("falsified max boundary accepted")
+	}
+}
+
+func TestVerifyAdvisoryBound(t *testing.T) {
+	// The greedy-style scattered coloring is strict but far from the
+	// boundary bound — advisory must flag it at a tight factor.
+	gr, g := gridGraph(t, 12, 12)
+	opt := Options{K: 4, Splitter: splitter.NewGrid(gr)}
+	chi := make([]int32, g.N())
+	for v := range chi {
+		chi[v] = int32(v % 4) // interleaved stripes: huge boundary
+	}
+	if !graph.IsStrictlyBalanced(g, chi, 4) {
+		t.Skip("interleaving not strict on this size")
+	}
+	res := Result{Coloring: chi, Stats: graph.Stats(g, chi, 4)}
+	v := Verify(g, opt, res, 1)
+	if v.WithinBound {
+		t.Fatal("interleaved coloring passed a 1× advisory bound")
+	}
+	if !v.OK() {
+		t.Fatalf("hard guarantees should still hold: %v", v.Errors)
+	}
+}

@@ -1,0 +1,129 @@
+package graph
+
+// This file implements cut and boundary-cost computations:
+// δ(U) = {e ∈ E : |e ∩ U| = 1} and ∂U = c(δ(U)) in the paper's notation.
+
+// CutEdges returns the edge ids of δ(U) for the vertex set U given as a
+// membership predicate over vertex ids.
+func (g *Graph) CutEdges(in func(v int32) bool) []int32 {
+	var cut []int32
+	for e := 0; e < g.M(); e++ {
+		if in(g.edgeU[e]) != in(g.edgeV[e]) {
+			cut = append(cut, int32(e))
+		}
+	}
+	return cut
+}
+
+// BoundaryCostOf returns ∂U = c(δ(U)) for U given as a vertex list.
+// Vertices outside [0, N) are ignored.
+func (g *Graph) BoundaryCostOf(U []int32) float64 {
+	in := make([]bool, g.N())
+	for _, v := range U {
+		in[v] = true
+	}
+	return g.BoundaryCostMask(in)
+}
+
+// BoundaryCostMask returns ∂U for U given as a membership mask.
+func (g *Graph) BoundaryCostMask(in []bool) float64 {
+	s := 0.0
+	for e := 0; e < g.M(); e++ {
+		if in[g.edgeU[e]] != in[g.edgeV[e]] {
+			s += g.Cost[e]
+		}
+	}
+	return s
+}
+
+// ClassBoundaryCosts returns, for a k-coloring χ (values in [0,k), or -1 for
+// uncolored vertices), the vector ∂χ⁻¹: the boundary cost of each color
+// class. An edge {u,v} with χ(u) ≠ χ(v) contributes c_e to both endpoint
+// classes (and to neither if a side is uncolored with -1, matching δ of the
+// colored class against everything else).
+func (g *Graph) ClassBoundaryCosts(coloring []int32, k int) []float64 {
+	out := make([]float64, k)
+	for e := 0; e < g.M(); e++ {
+		cu, cv := coloring[g.edgeU[e]], coloring[g.edgeV[e]]
+		if cu == cv {
+			continue
+		}
+		if cu >= 0 {
+			out[cu] += g.Cost[e]
+		}
+		if cv >= 0 {
+			out[cv] += g.Cost[e]
+		}
+	}
+	return out
+}
+
+// ClassWeights returns wχ⁻¹: the total vertex weight of each color class.
+func (g *Graph) ClassWeights(coloring []int32, k int) []float64 {
+	out := make([]float64, k)
+	for v, c := range coloring {
+		if c >= 0 {
+			out[c] += g.Weight[v]
+		}
+	}
+	return out
+}
+
+// ClassMeasure returns Φχ⁻¹ for an arbitrary vertex measure Φ.
+func (g *Graph) ClassMeasure(coloring []int32, k int, phi []float64) []float64 {
+	out := make([]float64, k)
+	for v, c := range coloring {
+		if c >= 0 {
+			out[c] += phi[v]
+		}
+	}
+	return out
+}
+
+// TotalCutCost returns the total cost of χ-bichromatic edges (each edge
+// counted once). Edges with an uncolored endpoint count as bichromatic
+// if the other endpoint is colored.
+func (g *Graph) TotalCutCost(coloring []int32) float64 {
+	s := 0.0
+	for e := 0; e < g.M(); e++ {
+		if coloring[g.edgeU[e]] != coloring[g.edgeV[e]] {
+			s += g.Cost[e]
+		}
+	}
+	return s
+}
+
+// MaxOf returns the maximum entry of xs (0 for empty).
+func MaxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// SumOf returns the sum of xs.
+func SumOf(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// BichromaticIncidence returns the measure Ψ(v) = c({uv ∈ E : χ(u) ≠ χ(v)})
+// used in the proof of Proposition 7: for each vertex, the total cost of its
+// incident χ-bichromatic edges.
+func (g *Graph) BichromaticIncidence(coloring []int32) []float64 {
+	out := make([]float64, g.N())
+	for e := 0; e < g.M(); e++ {
+		u, v := g.edgeU[e], g.edgeV[e]
+		if coloring[u] != coloring[v] {
+			out[u] += g.Cost[e]
+			out[v] += g.Cost[e]
+		}
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundaryCostOfPath(t *testing.T) {
+	g := path(5) // edges (0,1),(1,2),(2,3),(3,4)
+	if got := g.BoundaryCostOf([]int32{0, 1}); got != 1 {
+		t.Fatalf("∂{0,1} = %v, want 1", got)
+	}
+	if got := g.BoundaryCostOf([]int32{1, 3}); got != 4 {
+		t.Fatalf("∂{1,3} = %v, want 4", got)
+	}
+	if got := g.BoundaryCostOf(nil); got != 0 {
+		t.Fatalf("∂∅ = %v, want 0", got)
+	}
+	if got := g.BoundaryCostOf([]int32{0, 1, 2, 3, 4}); got != 0 {
+		t.Fatalf("∂V = %v, want 0", got)
+	}
+}
+
+func TestCutEdges(t *testing.T) {
+	g := cycle(4)
+	in := func(v int32) bool { return v < 2 }
+	cut := g.CutEdges(in)
+	if len(cut) != 2 {
+		t.Fatalf("cut size = %d, want 2", len(cut))
+	}
+}
+
+// Property: ∂U == ∂(V \ U) — cut symmetry.
+func TestBoundaryCostSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 40, 80)
+	if err := quick.Check(func(bits uint64) bool {
+		in := make([]bool, g.N())
+		comp := make([]bool, g.N())
+		for v := 0; v < g.N(); v++ {
+			in[v] = bits>>(uint(v)%64)&1 == 1 && rng.Intn(2) == 0
+			comp[v] = !in[v]
+		}
+		a := g.BoundaryCostMask(in)
+		b := g.BoundaryCostMask(comp)
+		return math.Abs(a-b) <= 1e-9*(a+1)
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClassBoundaryCosts(t *testing.T) {
+	g := path(4)
+	coloring := []int32{0, 0, 1, 1}
+	bc := g.ClassBoundaryCosts(coloring, 2)
+	if bc[0] != 1 || bc[1] != 1 {
+		t.Fatalf("class boundaries = %v, want [1 1]", bc)
+	}
+	// Uncolored endpoint: edge contributes only to the colored side.
+	coloring = []int32{0, Uncolored, 1, 1}
+	bc = g.ClassBoundaryCosts(coloring, 2)
+	if bc[0] != 1 {
+		t.Fatalf("class 0 boundary = %v, want 1", bc[0])
+	}
+	if bc[1] != 1 { // edge (1,2) crosses into uncolored
+		t.Fatalf("class 1 boundary = %v, want 1", bc[1])
+	}
+}
+
+// Property: sum over classes of boundary cost = 2 × total bichromatic cost
+// when all vertices are colored.
+func TestBoundarySumIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 30, 60)
+		k := 2 + rng.Intn(5)
+		coloring := make([]int32, g.N())
+		for v := range coloring {
+			coloring[v] = int32(rng.Intn(k))
+		}
+		bc := g.ClassBoundaryCosts(coloring, k)
+		total := g.TotalCutCost(coloring)
+		if math.Abs(SumOf(bc)-2*total) > 1e-9*(total+1) {
+			t.Fatalf("Σ∂χ⁻¹ = %v, want 2×%v", SumOf(bc), total)
+		}
+	}
+}
+
+func TestClassWeights(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1, 1)
+	b.SetWeight(0, 2)
+	b.SetWeight(1, 3)
+	b.SetWeight(2, 4)
+	g := b.MustBuild()
+	cw := g.ClassWeights([]int32{0, 1, 0}, 2)
+	if cw[0] != 6 || cw[1] != 3 {
+		t.Fatalf("class weights = %v, want [6 3]", cw)
+	}
+}
+
+func TestBichromaticIncidence(t *testing.T) {
+	g := path(3)
+	coloring := []int32{0, 1, 1}
+	psi := g.BichromaticIncidence(coloring)
+	if psi[0] != 1 || psi[1] != 1 || psi[2] != 0 {
+		t.Fatalf("Ψ = %v, want [1 1 0]", psi)
+	}
+}
+
+func TestClassMeasure(t *testing.T) {
+	g := path(3)
+	phi := []float64{10, 20, 30}
+	cm := g.ClassMeasure([]int32{0, 1, 0}, 2, phi)
+	if cm[0] != 40 || cm[1] != 20 {
+		t.Fatalf("class measure = %v", cm)
+	}
+}
+
+func TestMaxSumHelpers(t *testing.T) {
+	if MaxOf([]float64{1, 5, 2}) != 5 || MaxOf(nil) != 0 {
+		t.Fatal("MaxOf wrong")
+	}
+	if SumOf([]float64{1, 5, 2}) != 8 {
+		t.Fatal("SumOf wrong")
+	}
+}

@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file provides standard graph generators used across tests,
+// examples and experiments: paths, cycles, stars, binary trees, random
+// trees and bounded-degree random regular-ish graphs. All have unit
+// weights and unit costs unless noted; callers adjust Weight/Cost after
+// construction.
+
+// Path returns the path graph 0–1–…–(n−1).
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(int32(i), int32(i+1), 1)
+	}
+	return b.MustBuild()
+}
+
+// Cycle returns the cycle on n ≥ 3 vertices.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: Cycle needs n ≥ 3, got %d", n))
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(int32(i), int32((i+1)%n), 1)
+	}
+	return b.MustBuild()
+}
+
+// Star returns the star with center 0 and n−1 leaves. Note its maximum
+// degree is unbounded — a deliberately *not* well-behaved instance for
+// testing the pipeline's degenerate paths.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, int32(i), 1)
+	}
+	return b.MustBuild()
+}
+
+// CompleteBinaryTree returns the complete binary tree with n vertices
+// (heap indexing: children of v are 2v+1, 2v+2).
+func CompleteBinaryTree(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		if c := 2*v + 1; c < n {
+			b.AddEdge(int32(v), int32(c), 1)
+		}
+		if c := 2*v + 2; c < n {
+			b.AddEdge(int32(v), int32(c), 1)
+		}
+	}
+	return b.MustBuild()
+}
+
+// RandomTree returns a uniformly attached random tree: vertex v ≥ 1
+// attaches to a uniform earlier vertex.
+func RandomTree(n int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(int32(rng.Intn(v)), int32(v), 1)
+	}
+	return b.MustBuild()
+}
+
+// NearRegular returns a connected random graph of maximum degree ≤ deg:
+// a random spanning tree plus random matching-style extra edges. Such
+// graphs are expanders with high probability — instances with *no* small
+// separators, the hard regime for the boundary bounds.
+func NearRegular(n, deg int, seed int64) *Graph {
+	if deg < 2 {
+		deg = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	count := make([]int, n)
+	seen := map[[2]int32]bool{}
+	add := func(u, v int32) bool {
+		if u == v || count[u] >= deg || count[v] >= deg {
+			return false
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int32{u, v}] {
+			return false
+		}
+		seen[[2]int32{u, v}] = true
+		count[u]++
+		count[v]++
+		b.AddEdge(u, v, 1)
+		return true
+	}
+	for v := 1; v < n; v++ {
+		// Spanning-tree edge; retry bounded times under the degree cap.
+		for try := 0; try < 64; try++ {
+			if add(int32(rng.Intn(v)), int32(v)) {
+				break
+			}
+		}
+	}
+	extra := n * (deg - 2) / 2
+	for i := 0; i < extra; i++ {
+		add(int32(rng.Intn(n)), int32(rng.Intn(n)))
+	}
+	return b.MustBuild()
+}
+
+// Disjoint returns the disjoint union of the given graphs, relabeling
+// vertex ids consecutively.
+func Disjoint(gs ...*Graph) *Graph {
+	n := 0
+	for _, g := range gs {
+		n += g.N()
+	}
+	b := NewBuilder(n)
+	off := int32(0)
+	for _, g := range gs {
+		for v := 0; v < g.N(); v++ {
+			b.SetWeight(off+int32(v), g.Weight[v])
+		}
+		for e := 0; e < g.M(); e++ {
+			u, v := g.Endpoints(int32(e))
+			b.AddEdge(off+u, off+v, g.Cost[e])
+		}
+		off += int32(g.N())
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestPathCycleStar(t *testing.T) {
+	p := Path(5)
+	if p.N() != 5 || p.M() != 4 || !p.IsConnected() {
+		t.Fatal("Path wrong")
+	}
+	c := Cycle(6)
+	if c.M() != 6 || c.MaxDegree() != 2 {
+		t.Fatal("Cycle wrong")
+	}
+	s := Star(9)
+	if s.M() != 8 || s.Degree(0) != 8 {
+		t.Fatal("Star wrong")
+	}
+}
+
+func TestCyclePanicsSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n<3")
+		}
+	}()
+	Cycle(2)
+}
+
+func TestCompleteBinaryTree(t *testing.T) {
+	g := CompleteBinaryTree(15)
+	if g.M() != 14 || !g.IsConnected() {
+		t.Fatal("binary tree wrong")
+	}
+	if g.MaxDegree() != 3 {
+		t.Fatalf("max degree %d, want 3", g.MaxDegree())
+	}
+}
+
+func TestRandomTree(t *testing.T) {
+	g := RandomTree(50, 1)
+	if g.M() != 49 || !g.IsConnected() {
+		t.Fatal("random tree wrong")
+	}
+	h := RandomTree(50, 1)
+	if h.M() != g.M() {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestNearRegular(t *testing.T) {
+	g := NearRegular(100, 4, 2)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDegree() > 4 {
+		t.Fatalf("degree cap violated: %d", g.MaxDegree())
+	}
+	if !g.IsConnected() {
+		t.Fatal("should be connected (tree backbone)")
+	}
+	if g.M() < 110 {
+		t.Fatalf("too few extra edges: %d", g.M())
+	}
+}
+
+func TestDisjoint(t *testing.T) {
+	a := Path(3)
+	a.Weight[0] = 7
+	b := Cycle(4)
+	b.Cost[0] = 9
+	g := Disjoint(a, b)
+	if g.N() != 7 || g.M() != 6 {
+		t.Fatalf("disjoint union N=%d M=%d", g.N(), g.M())
+	}
+	if len(g.Components()) != 2 {
+		t.Fatal("should have two components")
+	}
+	if g.Weight[0] != 7 {
+		t.Fatal("weights not carried")
+	}
+	if g.MaxCost() != 9 {
+		t.Fatal("costs not carried")
+	}
+}

@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements a simple textual graph format used by the CLI tools:
+//
+//	# comments and blank lines are ignored
+//	n m
+//	w_0
+//	...
+//	w_{n-1}
+//	u v cost      (m lines)
+//
+// Vertex ids are 0-based.
+
+// Write serializes g in the textual format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%d %d\n", g.N(), g.M())
+	for _, wt := range g.Weight {
+		fmt.Fprintf(bw, "%g\n", wt)
+	}
+	us, vs, cs := g.SortedEdgeList()
+	for i := range us {
+		fmt.Fprintf(bw, "%d %d %g\n", us[i], vs[i], cs[i])
+	}
+	return bw.Flush()
+}
+
+// Read parses a graph in the textual format.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	next := func() (string, error) {
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			return line, nil
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+
+	header, err := next()
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading header: %w", err)
+	}
+	var n, m int
+	if _, err := fmt.Sscanf(header, "%d %d", &n, &m); err != nil {
+		return nil, fmt.Errorf("graph: bad header %q: %w", header, err)
+	}
+	if n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: negative sizes in header %q", header)
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		line, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading weight %d: %w", v, err)
+		}
+		wt, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: bad weight %q for vertex %d: %w", line, v, err)
+		}
+		b.SetWeight(int32(v), wt)
+	}
+	for e := 0; e < m; e++ {
+		line, err := next()
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading edge %d: %w", e, err)
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("graph: bad edge line %q", line)
+		}
+		u, err1 := strconv.Atoi(fields[0])
+		v, err2 := strconv.Atoi(fields[1])
+		c, err3 := strconv.ParseFloat(fields[2], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("graph: bad edge line %q", line)
+		}
+		b.AddEdge(int32(u), int32(v), c)
+	}
+	return b.Build()
+}

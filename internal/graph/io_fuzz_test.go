@@ -1,0 +1,105 @@
+package graph
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Write∘Read is the identity on valid graphs (weights, costs and
+// structure preserved exactly through the textual format).
+func TestIORoundTripProperty(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 5+rng.Intn(40), rng.Intn(60))
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			return false
+		}
+		h, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if h.N() != g.N() || h.M() != g.M() {
+			return false
+		}
+		for v := 0; v < g.N(); v++ {
+			if math.Abs(h.Weight[v]-g.Weight[v]) > 1e-12*(g.Weight[v]+1) {
+				return false
+			}
+		}
+		us1, vs1, cs1 := g.SortedEdgeList()
+		us2, vs2, cs2 := h.SortedEdgeList()
+		for i := range us1 {
+			if us1[i] != us2[i] || vs1[i] != vs2[i] {
+				return false
+			}
+			if math.Abs(cs1[i]-cs2[i]) > 1e-12*(cs1[i]+1) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Fuzz-style: Read must never panic on arbitrary garbage — it either
+// parses or errors.
+func TestReadNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	alphabet := []byte("0123456789 .-e\n#x")
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(200)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Read panicked on %q: %v", b, r)
+				}
+			}()
+			g, err := Read(bytes.NewReader(b))
+			if err == nil && g != nil {
+				// Anything successfully parsed must validate.
+				if verr := g.Validate(); verr != nil {
+					t.Fatalf("Read accepted invalid graph from %q: %v", b, verr)
+				}
+			}
+		}()
+	}
+}
+
+// Mutation fuzz: corrupt single bytes of a valid serialization; Read must
+// still never panic, and successful parses must validate.
+func TestReadMutatedInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 12, 10)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	orig := buf.Bytes()
+	for trial := 0; trial < 300; trial++ {
+		mut := append([]byte(nil), orig...)
+		pos := rng.Intn(len(mut))
+		mut[pos] = byte(rng.Intn(128))
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Read panicked on mutated input (pos %d): %v", pos, r)
+				}
+			}()
+			h, err := Read(bytes.NewReader(mut))
+			if err == nil && h != nil {
+				if verr := h.Validate(); verr != nil {
+					t.Fatalf("mutated parse invalid: %v", verr)
+				}
+			}
+		}()
+	}
+}

@@ -1,0 +1,188 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSubBasics(t *testing.T) {
+	g := path(6)
+	s := NewSub(g, []int32{1, 2, 3})
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Contains(2) || s.Contains(0) {
+		t.Fatal("membership wrong")
+	}
+	edges := s.EdgesWithin()
+	if len(edges) != 2 { // (1,2) and (2,3)
+		t.Fatalf("EdgesWithin = %d edges, want 2", len(edges))
+	}
+	if got := s.WeightOf(); got != 3 {
+		t.Fatalf("WeightOf = %v, want 3", got)
+	}
+	if got := s.SizeWithin(); got != 5 {
+		t.Fatalf("SizeWithin = %v, want 5", got)
+	}
+}
+
+func TestSubRelease(t *testing.T) {
+	g := path(4)
+	mask := make([]bool, g.N())
+	s := NewSubWithMask(g, []int32{0, 1}, mask)
+	if !mask[0] || !mask[1] {
+		t.Fatal("mask not set")
+	}
+	s.Release()
+	for _, b := range mask {
+		if b {
+			t.Fatal("mask not cleared")
+		}
+	}
+}
+
+func TestCostNormWithin(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 3)
+	b.AddEdge(1, 2, 4)
+	b.AddEdge(2, 3, 100)
+	g := b.MustBuild()
+	s := NewSub(g, []int32{0, 1, 2})
+	if got := s.CostNormWithin(2); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("‖c|W‖₂ = %v, want 5", got)
+	}
+	if got := s.CostWithin(func(c float64) float64 { return c }); got != 7 {
+		t.Fatalf("Σc|W = %v, want 7", got)
+	}
+}
+
+func TestBoundaryCostWithin(t *testing.T) {
+	g := path(5)
+	s := NewSub(g, []int32{1, 2, 3})
+	inU := make([]bool, g.N())
+	inU[1] = true
+	inU[2] = true
+	// Within G[{1,2,3}], ∂{1,2} is just edge (2,3); edge (0,1) is outside W.
+	if got := s.BoundaryCostWithin(inU); got != 1 {
+		t.Fatalf("∂_W U = %v, want 1", got)
+	}
+}
+
+func TestInducedCopy(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 2)
+	b.AddEdge(2, 3, 3)
+	b.AddEdge(3, 4, 4)
+	b.SetWeight(2, 7)
+	g := b.MustBuild()
+	s := NewSub(g, []int32{1, 2, 3})
+	h, toOld := s.InducedCopy()
+	if h.N() != 3 || h.M() != 2 {
+		t.Fatalf("induced copy N=%d M=%d, want 3, 2", h.N(), h.M())
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Weight carries over.
+	found := false
+	for newID, old := range toOld {
+		if old == 2 {
+			if h.Weight[newID] != 7 {
+				t.Fatalf("weight of mapped vertex = %v, want 7", h.Weight[newID])
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("vertex 2 not in mapping")
+	}
+	if got := h.TotalCost(); got != 5 {
+		t.Fatalf("induced cost total = %v, want 5 (edges 2 and 3)", got)
+	}
+}
+
+func TestBFSOrder(t *testing.T) {
+	g := path(5)
+	s := NewSub(g, AllVertices(g))
+	order := s.BFSOrder(0)
+	if len(order) != 5 || order[0] != 0 || order[4] != 4 {
+		t.Fatalf("BFS order wrong: %v", order)
+	}
+	// Restricted: BFS cannot cross outside W.
+	s2 := NewSub(g, []int32{0, 1, 3, 4})
+	order2 := s2.BFSOrder(0)
+	if len(order2) != 2 {
+		t.Fatalf("restricted BFS reached %d vertices, want 2", len(order2))
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := path(5)
+	s := NewSub(g, []int32{0, 1, 3, 4})
+	comps := s.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if !g.IsConnected() {
+		t.Fatal("path should be connected")
+	}
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	g2 := b.MustBuild()
+	if g2.IsConnected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if len(g2.Components()) != 2 {
+		t.Fatal("wrong component count")
+	}
+}
+
+func TestDegreeWithin(t *testing.T) {
+	g := cycle(5)
+	s := NewSub(g, []int32{0, 1, 2})
+	if got := s.DegreeWithin(1); got != 2 {
+		t.Fatalf("DegreeWithin(1) = %d, want 2", got)
+	}
+	if got := s.DegreeWithin(0); got != 1 {
+		t.Fatalf("DegreeWithin(0) = %d, want 1 (edge to 4 outside)", got)
+	}
+}
+
+func TestEmptyGraphConnected(t *testing.T) {
+	g := NewBuilder(0).MustBuild()
+	if !g.IsConnected() {
+		t.Fatal("empty graph should count as connected")
+	}
+}
+
+// Property: the sum of component weights equals the sub's weight.
+func TestComponentsPartitionWeight(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(rng, 40, 20)
+		var W []int32
+		for v := int32(0); v < int32(g.N()); v++ {
+			if rng.Intn(2) == 0 {
+				W = append(W, v)
+			}
+		}
+		s := NewSub(g, W)
+		total := 0.0
+		count := 0
+		for _, comp := range s.Components() {
+			count += len(comp)
+			for _, v := range comp {
+				total += g.Weight[v]
+			}
+		}
+		if count != len(W) {
+			t.Fatalf("components cover %d vertices, want %d", count, len(W))
+		}
+		if math.Abs(total-s.WeightOf()) > 1e-9 {
+			t.Fatalf("component weight %v != sub weight %v", total, s.WeightOf())
+		}
+	}
+}

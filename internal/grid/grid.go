@@ -1,0 +1,197 @@
+// Package grid implements d-dimensional grid graphs and the paper's
+// Section 6 separator theorem for grids with arbitrary edge costs
+// (Theorem 19): monotone w*-splitting sets of cost
+// O(d · log^{1/d}(φ+1) · ‖c‖_{d/(d−1)}), computable in O(m · log φ).
+//
+// A grid graph is a graph G = (V, E) with V ⊆ Z^d and ‖x − y‖₁ = 1 for
+// every edge {x, y} ∈ E. The class is closed under induced subgraphs, which
+// is what makes σ_p(G, c) = O_d(log^{1/d}(φ+1)) a splittability bound.
+package grid
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// MaxDim is the largest supported grid dimension.
+const MaxDim = 8
+
+// Point is a lattice point; only the first Dim entries of a Grid are used.
+type Point [MaxDim]int32
+
+// Grid couples a graph with lattice coordinates for its vertices.
+type Grid struct {
+	G   *graph.Graph
+	Dim int
+	// Coord[v] is the lattice coordinate of vertex v.
+	Coord []Point
+}
+
+// P returns the Hölder exponent of the grid separator theorem, p = d/(d−1).
+// For d = 1 (paths, where every splitting cut is a single edge) it returns
+// +Inf, matching ‖c‖_∞ semantics.
+func (gr *Grid) P() float64 {
+	if gr.Dim <= 1 {
+		return math.Inf(1)
+	}
+	return float64(gr.Dim) / float64(gr.Dim-1)
+}
+
+// NewBox builds the full box grid with the given side lengths, unit edge
+// costs and unit vertex weights. dims must have 1 ≤ len(dims) ≤ MaxDim and
+// positive entries.
+func NewBox(dims ...int) (*Grid, error) {
+	d := len(dims)
+	if d < 1 || d > MaxDim {
+		return nil, fmt.Errorf("grid: dimension %d out of range [1,%d]", d, MaxDim)
+	}
+	n := 1
+	for _, s := range dims {
+		if s < 1 {
+			return nil, fmt.Errorf("grid: non-positive side length %d", s)
+		}
+		if n > (1<<31-1)/s {
+			return nil, fmt.Errorf("grid: box too large")
+		}
+		n *= s
+	}
+	// Vertex id = mixed-radix encoding of the coordinate.
+	stride := make([]int, d)
+	stride[0] = 1
+	for i := 1; i < d; i++ {
+		stride[i] = stride[i-1] * dims[i-1]
+	}
+	coord := make([]Point, n)
+	for v := 0; v < n; v++ {
+		rem := v
+		for i := 0; i < d; i++ {
+			coord[v][i] = int32(rem % dims[i])
+			rem /= dims[i]
+		}
+	}
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			if int(coord[v][i]) < dims[i]-1 {
+				b.AddEdge(int32(v), int32(v+stride[i]), 1)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Grid{G: g, Dim: d, Coord: coord}, nil
+}
+
+// MustBox is NewBox but panics on error.
+func MustBox(dims ...int) *Grid {
+	gr, err := NewBox(dims...)
+	if err != nil {
+		panic(err)
+	}
+	return gr
+}
+
+// FromPoints builds a grid graph on the given lattice points: every pair at
+// L1-distance 1 becomes an edge with unit cost. Duplicate points are an
+// error.
+func FromPoints(dim int, pts []Point) (*Grid, error) {
+	if dim < 1 || dim > MaxDim {
+		return nil, fmt.Errorf("grid: dimension %d out of range", dim)
+	}
+	index := make(map[Point]int32, len(pts))
+	for i, p := range pts {
+		for j := dim; j < MaxDim; j++ {
+			if p[j] != 0 {
+				return nil, fmt.Errorf("grid: point %d has non-zero coordinate beyond dim", i)
+			}
+		}
+		if _, dup := index[p]; dup {
+			return nil, fmt.Errorf("grid: duplicate point %v", p)
+		}
+		index[p] = int32(i)
+	}
+	b := graph.NewBuilder(len(pts))
+	for i, p := range pts {
+		for axis := 0; axis < dim; axis++ {
+			q := p
+			q[axis]++
+			if j, ok := index[q]; ok {
+				b.AddEdge(int32(i), j, 1)
+			}
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Grid{G: g, Dim: dim, Coord: append([]Point(nil), pts...)}, nil
+}
+
+// SetCosts assigns each edge the cost f(u, v) of its endpoints' coordinates.
+func (gr *Grid) SetCosts(f func(u, v Point) float64) {
+	for e := 0; e < gr.G.M(); e++ {
+		a, b := gr.G.Endpoints(int32(e))
+		gr.G.Cost[e] = f(gr.Coord[a], gr.Coord[b])
+	}
+}
+
+// SetWeights assigns each vertex the weight f(p) of its coordinate.
+func (gr *Grid) SetWeights(f func(p Point) float64) {
+	for v := 0; v < gr.G.N(); v++ {
+		gr.G.Weight[v] = f(gr.Coord[v])
+	}
+}
+
+// Induced returns the grid induced on the vertex subset W (parent ids are
+// preserved in the returned mapping new→old). The result is again a grid
+// graph — the class is closed under induced subgraphs.
+func (gr *Grid) Induced(W []int32) (*Grid, []int32) {
+	s := graph.NewSub(gr.G, W)
+	g, toOld := s.InducedCopy()
+	coord := make([]Point, len(toOld))
+	for i, old := range toOld {
+		coord[i] = gr.Coord[old]
+	}
+	s.Release()
+	return &Grid{G: g, Dim: gr.Dim, Coord: coord}, toOld
+}
+
+// LexLess reports whether a precedes b lexicographically on the first dim
+// coordinates.
+func LexLess(a, b Point, dim int) bool {
+	for i := 0; i < dim; i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Dominates reports whether a ≤ b componentwise (the partial order behind
+// the paper's monotone sets).
+func Dominates(a, b Point, dim int) bool {
+	for i := 0; i < dim; i++ {
+		if a[i] > b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SeparatorBound returns the Theorem 19 cost bound
+// d · log^{1/d}(φ+1) · ‖c‖_{d/(d−1)} for the grid's current costs, where
+// φ is the fluctuation. (Up to the theorem's implicit constant.) For d = 1
+// it returns ‖c‖∞ (a path is split by removing one edge).
+func (gr *Grid) SeparatorBound() float64 {
+	d := gr.Dim
+	if d <= 1 {
+		return gr.G.MaxCost()
+	}
+	phi := gr.G.Fluctuation()
+	p := float64(d) / float64(d-1)
+	return float64(d) * math.Pow(math.Log2(phi+1)+1, 1/float64(d)) * gr.G.CostNorm(p)
+}

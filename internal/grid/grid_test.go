@@ -1,0 +1,212 @@
+package grid
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewBox2D(t *testing.T) {
+	gr := MustBox(3, 3)
+	if gr.G.N() != 9 {
+		t.Fatalf("N = %d, want 9", gr.G.N())
+	}
+	if gr.G.M() != 12 {
+		t.Fatalf("M = %d, want 12", gr.G.M())
+	}
+	if err := gr.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if gr.G.MaxDegree() != 4 {
+		t.Fatalf("max degree = %d, want 4", gr.G.MaxDegree())
+	}
+}
+
+func TestNewBox3D(t *testing.T) {
+	gr := MustBox(2, 2, 2)
+	if gr.G.N() != 8 || gr.G.M() != 12 {
+		t.Fatalf("N=%d M=%d, want 8, 12", gr.G.N(), gr.G.M())
+	}
+	if !gr.G.IsConnected() {
+		t.Fatal("box grid should be connected")
+	}
+}
+
+func TestNewBox1D(t *testing.T) {
+	gr := MustBox(5)
+	if gr.G.N() != 5 || gr.G.M() != 4 {
+		t.Fatalf("N=%d M=%d, want 5, 4", gr.G.N(), gr.G.M())
+	}
+	if !math.IsInf(gr.P(), 1) {
+		t.Fatalf("P for 1-D = %v, want +Inf", gr.P())
+	}
+}
+
+func TestNewBoxErrors(t *testing.T) {
+	if _, err := NewBox(); err == nil {
+		t.Fatal("expected error for no dims")
+	}
+	if _, err := NewBox(0); err == nil {
+		t.Fatal("expected error for zero side")
+	}
+	if _, err := NewBox(1, 2, 3, 4, 5, 6, 7, 8, 9); err == nil {
+		t.Fatal("expected error for too many dims")
+	}
+}
+
+func TestP(t *testing.T) {
+	if p := MustBox(2, 2).P(); math.Abs(p-2) > 1e-12 {
+		t.Fatalf("P(2d) = %v, want 2", p)
+	}
+	if p := MustBox(2, 2, 2).P(); math.Abs(p-1.5) > 1e-12 {
+		t.Fatalf("P(3d) = %v, want 1.5", p)
+	}
+}
+
+func TestEdgesAreUnitL1(t *testing.T) {
+	gr := MustBox(4, 3, 2)
+	for e := 0; e < gr.G.M(); e++ {
+		u, v := gr.G.Endpoints(int32(e))
+		dist := 0
+		for i := 0; i < gr.Dim; i++ {
+			d := int(gr.Coord[u][i] - gr.Coord[v][i])
+			if d < 0 {
+				d = -d
+			}
+			dist += d
+		}
+		if dist != 1 {
+			t.Fatalf("edge %d has L1 distance %d", e, dist)
+		}
+	}
+}
+
+func TestFromPoints(t *testing.T) {
+	// An L-shaped tromino: (0,0), (1,0), (1,1).
+	pts := []Point{{0, 0}, {1, 0}, {1, 1}}
+	gr, err := FromPoints(2, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.G.N() != 3 || gr.G.M() != 2 {
+		t.Fatalf("N=%d M=%d, want 3, 2", gr.G.N(), gr.G.M())
+	}
+}
+
+func TestFromPointsRejectsDuplicates(t *testing.T) {
+	if _, err := FromPoints(2, []Point{{0, 0}, {0, 0}}); err == nil {
+		t.Fatal("expected duplicate error")
+	}
+}
+
+func TestFromPointsRejectsExtraCoords(t *testing.T) {
+	if _, err := FromPoints(1, []Point{{0, 5}}); err == nil {
+		t.Fatal("expected out-of-dim coordinate error")
+	}
+}
+
+func TestSetCostsWeights(t *testing.T) {
+	gr := MustBox(3, 3)
+	gr.SetCosts(func(u, v Point) float64 { return float64(u[0] + v[0] + 1) })
+	gr.SetWeights(func(p Point) float64 { return float64(p[1] + 1) })
+	if gr.G.Cost[0] <= 0 {
+		t.Fatal("costs not set")
+	}
+	tot := 0.0
+	for _, w := range gr.G.Weight {
+		tot += w
+	}
+	if tot != 3*(1+2+3) {
+		t.Fatalf("weight total = %v, want 18", tot)
+	}
+}
+
+func TestInducedIsGrid(t *testing.T) {
+	gr := MustBox(4, 4)
+	W := []int32{0, 1, 2, 4, 5, 8}
+	sub, toOld := gr.Induced(W)
+	if sub.G.N() != len(W) {
+		t.Fatalf("induced N = %d", sub.G.N())
+	}
+	// Edges of the induced grid connect L1-neighbors only.
+	for e := 0; e < sub.G.M(); e++ {
+		u, v := sub.G.Endpoints(int32(e))
+		dist := 0
+		for i := 0; i < sub.Dim; i++ {
+			d := int(sub.Coord[u][i] - sub.Coord[v][i])
+			if d < 0 {
+				d = -d
+			}
+			dist += d
+		}
+		if dist != 1 {
+			t.Fatal("induced edge not unit L1")
+		}
+	}
+	for i, old := range toOld {
+		if gr.Coord[old] != sub.Coord[i] {
+			t.Fatal("coordinates not preserved")
+		}
+	}
+}
+
+func TestLexLessAndDominates(t *testing.T) {
+	a := Point{0, 1}
+	b := Point{0, 2}
+	c := Point{1, 0}
+	if !LexLess(a, b, 2) || LexLess(b, a, 2) {
+		t.Fatal("LexLess wrong on (0,1) vs (0,2)")
+	}
+	if !LexLess(a, c, 2) {
+		t.Fatal("LexLess wrong on (0,1) vs (1,0)")
+	}
+	if LexLess(a, a, 2) {
+		t.Fatal("LexLess not irreflexive")
+	}
+	if !Dominates(a, b, 2) {
+		t.Fatal("(0,1) should dominate-below (0,2)")
+	}
+	if Dominates(c, a, 2) || Dominates(a, c, 2) {
+		t.Fatal("(1,0) and (0,1) are incomparable")
+	}
+}
+
+func TestFloorDivMod(t *testing.T) {
+	cases := []struct{ x, m, q, r int32 }{
+		{5, 3, 1, 2}, {6, 3, 2, 0}, {-1, 3, -1, 2}, {-3, 3, -1, 0}, {-4, 3, -2, 2},
+	}
+	for _, c := range cases {
+		if got := floorDiv(c.x, c.m); got != c.q {
+			t.Errorf("floorDiv(%d,%d) = %d, want %d", c.x, c.m, got, c.q)
+		}
+		if got := mod32(c.x, c.m); got != c.r {
+			t.Errorf("mod32(%d,%d) = %d, want %d", c.x, c.m, got, c.r)
+		}
+	}
+}
+
+func TestCeilRoot(t *testing.T) {
+	cases := []struct {
+		x float64
+		d int
+		w int
+	}{
+		{1, 2, 1}, {2, 2, 2}, {4, 2, 2}, {4.01, 2, 3}, {8, 3, 2}, {9, 3, 3},
+		{0.5, 2, 1}, {1000000, 2, 1000},
+	}
+	for _, c := range cases {
+		if got := ceilRoot(c.x, c.d); got != c.w {
+			t.Errorf("ceilRoot(%v,%d) = %d, want %d", c.x, c.d, got, c.w)
+		}
+	}
+}
+
+func TestSeparatorBoundPositive(t *testing.T) {
+	gr := MustBox(8, 8)
+	if b := gr.SeparatorBound(); b <= 0 {
+		t.Fatalf("SeparatorBound = %v", b)
+	}
+	line := MustBox(9)
+	if b := line.SeparatorBound(); b != 1 {
+		t.Fatalf("1-D SeparatorBound = %v, want ‖c‖∞ = 1", b)
+	}
+}

@@ -1,0 +1,333 @@
+package grid
+
+import (
+	"math"
+	"sort"
+)
+
+// This file implements procedure GridSplit of Section 6 (Theorem 19):
+// given a grid graph with positive edge costs, vertex weights w and a
+// splitting value w*, it computes a *monotone* w*-splitting set U, i.e.
+// |w(U) − w*| ≤ ‖w‖∞/2, of boundary cost O(d · log^{1/d}(φ+1) · ‖c‖_p)
+// with p = d/(d−1).
+//
+// Structure, following the paper:
+//
+//  1. pick a cheap ℓ-coarse graph G/φ_α with ‖c/φ_α‖₁ ≤ ‖c‖₁/ℓ (Lemma 20),
+//     ℓ = max(⌈(‖c‖₁/d)^{1/d}⌉, 1);
+//  2. order the cells lexicographically by their cell coordinate
+//     (Lemma 22 makes prefixes monotone);
+//  3. take the longest prefix S of cells with w(∪S) ≤ w*; let Q be the next
+//     cell;
+//  4. if ℓ = 1 every cell is one vertex: return whichever of ∪S, ∪S∪Q is
+//     closer to w* (a w*-splitting set);
+//  5. otherwise recurse inside Q on the reduced instance: drop edges with
+//     c ≤ 1 and halve the rest via c' = (c−1)/2, splitting value
+//     w* − w(∪S); the recursion terminates after O(log ‖c‖∞) levels;
+//  6. return ∪S ∪ U′, monotone by Lemma 23.
+
+// gsEdge is an edge of the current recursion level with its reduced cost.
+type gsEdge struct {
+	u, v int32 // global vertex ids
+	c    float64
+}
+
+// SplitResult reports a splitting set and its cost accounting.
+type SplitResult struct {
+	// U is the splitting set (global vertex ids of the grid).
+	U []int32
+	// BoundaryCost is ∂U in the *original* grid with original costs.
+	BoundaryCost float64
+	// Levels is the recursion depth used.
+	Levels int
+}
+
+// SplitSet computes a monotone w*-splitting set of the whole grid for the
+// given weights (indexed by vertex id; pass gr.G.Weight for the graph's own
+// weights) and splitting value target ∈ [0, w(V)]. Edge costs are the
+// grid's current costs; zero-cost edges are treated as free to cut.
+func (gr *Grid) SplitSet(w []float64, target float64) SplitResult {
+	return gr.SplitSubset(allVerts(gr.G.N()), w, target)
+}
+
+// SplitSubset computes a monotone splitting set of the induced subgraph
+// G[W]. Because grids are closed under induced subgraphs, this realizes the
+// splitting-set oracle of Definition 3 and hence the splittability bound
+// σ_p(G, c) = O_d(log^{1/d}(φ+1)).
+func (gr *Grid) SplitSubset(W []int32, w []float64, target float64) SplitResult {
+	// Gather the edges of G[W] with positive cost, scaled so the minimum
+	// positive cost is 1 (the theorem's normalization ‖1/c‖∞ = 1; boundary
+	// guarantees are scale-free).
+	in := make([]bool, gr.G.N())
+	for _, v := range W {
+		in[v] = true
+	}
+	minC := 0.0
+	for e := 0; e < gr.G.M(); e++ {
+		u, v := gr.G.Endpoints(int32(e))
+		c := gr.G.Cost[e]
+		if in[u] && in[v] && c > 0 && (minC == 0 || c < minC) {
+			minC = c
+		}
+	}
+	var edges []gsEdge
+	for e := 0; e < gr.G.M(); e++ {
+		u, v := gr.G.Endpoints(int32(e))
+		c := gr.G.Cost[e]
+		if in[u] && in[v] && c > 0 {
+			edges = append(edges, gsEdge{u, v, c / minC})
+		}
+	}
+
+	verts := append([]int32(nil), W...)
+	levels := 0
+	U := gr.gridSplit(verts, edges, w, clamp(target, 0, sum(w, W)), &levels)
+
+	return SplitResult{
+		U:            U,
+		BoundaryCost: gr.G.BoundaryCostOf(U),
+		Levels:       levels,
+	}
+}
+
+// gridSplit is one level of the recursion. verts is the current vertex set,
+// edges its positive-cost edges with current (reduced) costs.
+func (gr *Grid) gridSplit(verts []int32, edges []gsEdge, w []float64, target float64, levels *int) []int32 {
+	*levels++
+	d := gr.Dim
+
+	// ℓ := max(⌈(‖c‖₁/d)^{1/d}⌉, 1)
+	c1 := 0.0
+	for _, e := range edges {
+		c1 += e.c
+	}
+	ell := int32(1)
+	if c1 > 0 {
+		ell = int32(ceilRoot(c1/float64(d), d))
+		if ell < 1 {
+			ell = 1
+		}
+	}
+
+	if ell == 1 {
+		// Trivial case: G/φ = G; lexicographic vertex ordering, take the
+		// prefix whose weight is nearest to target.
+		order := append([]int32(nil), verts...)
+		sort.Slice(order, func(a, b int) bool {
+			return LexLess(gr.Coord[order[a]], gr.Coord[order[b]], d)
+		})
+		return bestPrefix(order, w, target)
+	}
+
+	// Lemma 20: choose the offset α ∈ [ℓ] minimizing the coarse cost
+	// ‖c/φ_α^{(ℓ)}‖₁. Each edge, differing in exactly one coordinate i with
+	// smaller endpoint value a_i, crosses a cell boundary for exactly one α.
+	// The edge with smaller differing coordinate a_i crosses a cell boundary
+	// of φ_α^{(ℓ)} iff (a_i + α − 1) mod ℓ = ℓ−1, i.e. α ≡ −a_i (mod ℓ).
+	// fa[j] accumulates the cost of edges crossing for the residue j.
+	fa := make([]float64, ell)
+	for _, e := range edges {
+		ax := gr.crossAxis(e.u, e.v)
+		ai := min32(gr.Coord[e.u][ax], gr.Coord[e.v][ax])
+		fa[mod32(-ai, ell)] += e.c
+	}
+	best := int32(0)
+	for a := int32(1); a < ell; a++ {
+		if fa[a] < fa[best] {
+			best = a
+		}
+	}
+	alpha := best // residue j corresponds to offset α = j, or α = ℓ for j = 0
+	if alpha == 0 {
+		alpha = ell
+	}
+
+	// Group vertices into cells φ_α(coord) and order cells lexicographically.
+	cellOf := func(v int32) Point {
+		var q Point
+		for i := 0; i < d; i++ {
+			q[i] = floorDiv(gr.Coord[v][i]+alpha-1, ell)
+		}
+		return q
+	}
+	cells := make(map[Point][]int32)
+	for _, v := range verts {
+		q := cellOf(v)
+		cells[q] = append(cells[q], v)
+	}
+	keys := make([]Point, 0, len(cells))
+	for q := range cells {
+		keys = append(keys, q)
+	}
+	sort.Slice(keys, func(a, b int) bool { return LexLess(keys[a], keys[b], d) })
+
+	// Longest prefix S with w(∪S) ≤ target.
+	var prefix []int32
+	acc := 0.0
+	idx := 0
+	for ; idx < len(keys); idx++ {
+		cw := sum(w, cells[keys[idx]])
+		if acc+cw > target {
+			break
+		}
+		acc += cw
+		prefix = append(prefix, cells[keys[idx]]...)
+	}
+	if idx == len(keys) {
+		// target ≥ total weight (numerically): everything is the answer.
+		return prefix
+	}
+	Q := cells[keys[idx]]
+
+	// Recurse inside Q with reduced costs c' = (c−1)/2, dropping c ≤ 1.
+	inQ := make(map[int32]bool, len(Q))
+	for _, v := range Q {
+		inQ[v] = true
+	}
+	var sub []gsEdge
+	for _, e := range edges {
+		if e.c > 1 && inQ[e.u] && inQ[e.v] {
+			sub = append(sub, gsEdge{e.u, e.v, (e.c - 1) / 2})
+		}
+	}
+	U := gr.gridSplit(Q, sub, w, target-acc, levels)
+	return append(prefix, U...)
+}
+
+// crossAxis returns the coordinate axis in which the two endpoints of a
+// grid edge differ.
+func (gr *Grid) crossAxis(u, v int32) int {
+	for i := 0; i < gr.Dim; i++ {
+		if gr.Coord[u][i] != gr.Coord[v][i] {
+			return i
+		}
+	}
+	panic("grid: edge endpoints coincide")
+}
+
+// bestPrefix returns the prefix of order whose cumulative weight is closest
+// to target; the gap is at most half the weight of the pivot element, hence
+// ≤ ‖w‖∞/2.
+func bestPrefix(order []int32, w []float64, target float64) []int32 {
+	acc := 0.0
+	i := 0
+	for ; i < len(order); i++ {
+		if acc+w[order[i]] > target {
+			break
+		}
+		acc += w[order[i]]
+	}
+	if i == len(order) {
+		return append([]int32(nil), order...)
+	}
+	// Choose between prefix (acc) and prefix+pivot (acc + w_pivot).
+	if target-acc <= acc+w[order[i]]-target {
+		return append([]int32(nil), order[:i]...)
+	}
+	return append([]int32(nil), order[:i+1]...)
+}
+
+// IsMonotone reports whether W is monotone in Q (both given as vertex id
+// lists of the grid): for all x ∈ Q, y ∈ W with coord(x) ≤ coord(y)
+// componentwise, x ∈ W. Quadratic; intended for testing and verification.
+func (gr *Grid) IsMonotone(W, Q []int32) bool {
+	inW := make(map[int32]bool, len(W))
+	for _, v := range W {
+		inW[v] = true
+	}
+	for _, x := range Q {
+		if inW[x] {
+			continue
+		}
+		for _, y := range W {
+			if Dominates(gr.Coord[x], gr.Coord[y], gr.Dim) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func allVerts(n int) []int32 {
+	vs := make([]int32, n)
+	for i := range vs {
+		vs[i] = int32(i)
+	}
+	return vs
+}
+
+func sum(w []float64, vs []int32) float64 {
+	s := 0.0
+	for _, v := range vs {
+		s += w[v]
+	}
+	return s
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// mod32 returns x mod m in [0, m) for possibly negative x.
+func mod32(x, m int32) int32 {
+	r := x % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// floorDiv returns ⌊x/m⌋ for positive m and any x.
+func floorDiv(x, m int32) int32 {
+	q := x / m
+	if x%m != 0 && (x < 0) != (m < 0) {
+		q--
+	}
+	return q
+}
+
+// ceilRoot returns ⌈x^{1/d}⌉ for x ≥ 0 computed without floating-point
+// edge cases near integer boundaries.
+func ceilRoot(x float64, d int) int {
+	if x <= 1 {
+		return 1
+	}
+	// Integer search around the float estimate.
+	est := int(pow(x, d))
+	for est > 1 && powInt(est-1, d) >= x {
+		est--
+	}
+	for powInt(est, d) < x {
+		est++
+	}
+	return est
+}
+
+func pow(x float64, d int) float64 {
+	// x^{1/d}
+	if d == 1 {
+		return x
+	}
+	return math.Pow(x, 1/float64(d))
+}
+
+func powInt(b, d int) float64 {
+	r := 1.0
+	for i := 0; i < d; i++ {
+		r *= float64(b)
+	}
+	return r
+}

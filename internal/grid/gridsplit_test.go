@@ -1,0 +1,255 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// maxWeight returns ‖w|W‖∞.
+func maxWeight(w []float64, W []int32) float64 {
+	m := 0.0
+	for _, v := range W {
+		if w[v] > m {
+			m = w[v]
+		}
+	}
+	return m
+}
+
+func TestSplitSetWeightWindowUnit(t *testing.T) {
+	gr := MustBox(8, 8)
+	w := gr.G.Weight
+	for _, target := range []float64{0, 1, 7.5, 32, 63.4, 64} {
+		res := gr.SplitSet(w, target)
+		got := sum(w, res.U)
+		if math.Abs(got-target) > 0.5+1e-9 {
+			t.Fatalf("target %v: |w(U)−w*| = %v > ‖w‖∞/2", target, math.Abs(got-target))
+		}
+	}
+}
+
+// Property (Definition 3 window): |w(U) − w*| ≤ ‖w‖∞/2 for random weights,
+// costs, and targets across 2-D and 3-D grids.
+func TestSplitSetWeightWindowRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		var gr *Grid
+		if trial%2 == 0 {
+			gr = MustBox(3+rng.Intn(8), 3+rng.Intn(8))
+		} else {
+			gr = MustBox(2+rng.Intn(4), 2+rng.Intn(4), 2+rng.Intn(4))
+		}
+		gr.SetCosts(func(u, v Point) float64 { return math.Exp(rng.Float64() * 8) })
+		w := make([]float64, gr.G.N())
+		for i := range w {
+			w[i] = rng.Float64() * 10
+		}
+		total := 0.0
+		for _, x := range w {
+			total += x
+		}
+		target := rng.Float64() * total
+		res := gr.SplitSubset(allVerts(gr.G.N()), w, target)
+		got := sum(w, res.U)
+		if math.Abs(got-target) > maxWeight(w, allVerts(gr.G.N()))/2+1e-9 {
+			t.Fatalf("trial %d: |w(U)−w*| = %v > ‖w‖∞/2 = %v",
+				trial, math.Abs(got-target), maxWeight(w, allVerts(gr.G.N()))/2)
+		}
+	}
+}
+
+// Lemma 24: the splitting set is monotone in V.
+func TestSplitSetMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		gr := MustBox(4+rng.Intn(6), 4+rng.Intn(6))
+		gr.SetCosts(func(u, v Point) float64 { return 1 + rng.Float64()*100 })
+		w := make([]float64, gr.G.N())
+		for i := range w {
+			w[i] = rng.Float64() + 0.01
+		}
+		total := 0.0
+		for _, x := range w {
+			total += x
+		}
+		res := gr.SplitSet(w, total*rng.Float64())
+		if !gr.IsMonotone(res.U, allVerts(gr.G.N())) {
+			t.Fatalf("trial %d: splitting set not monotone", trial)
+		}
+	}
+}
+
+// Theorem 19 shape: boundary cost within a moderate constant of
+// d·log^{1/d}(φ+1)·‖c‖_p across fluctuation sweeps.
+func TestSplitSetCostBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, phiExp := range []float64{0, 2, 6, 12} {
+		gr := MustBox(16, 16)
+		gr.SetCosts(func(u, v Point) float64 {
+			return math.Exp(rng.Float64() * phiExp * math.Ln2)
+		})
+		w := gr.G.Weight
+		worst := 0.0
+		for _, frac := range []float64{0.25, 0.5, 0.75} {
+			res := gr.SplitSet(w, frac*gr.G.TotalWeight())
+			if r := res.BoundaryCost / gr.SeparatorBound(); r > worst {
+				worst = r
+			}
+		}
+		// The theorem's constant is unspecified; 4 is a generous practical cap
+		// (observed ratios are well below 1 for these instances).
+		if worst > 4 {
+			t.Fatalf("phiExp=%v: boundary/bound ratio %v too large", phiExp, worst)
+		}
+	}
+}
+
+// Lemma 27 shape: recursion depth is O(log φ).
+func TestSplitSetLevels(t *testing.T) {
+	gr := MustBox(12, 12)
+	gr.SetCosts(func(u, v Point) float64 { return 1 })
+	res := gr.SplitSet(gr.G.Weight, gr.G.TotalWeight()/2)
+	lowPhiLevels := res.Levels
+
+	gr2 := MustBox(12, 12)
+	rng := rand.New(rand.NewSource(3))
+	gr2.SetCosts(func(u, v Point) float64 { return math.Exp(rng.Float64() * 20) })
+	res2 := gr2.SplitSet(gr2.G.Weight, gr2.G.TotalWeight()/2)
+	phi := gr2.G.Fluctuation()
+	if float64(res2.Levels) > 3*math.Log2(phi+2)+5 {
+		t.Fatalf("levels %d exceed O(log φ) with φ=%v", res2.Levels, phi)
+	}
+	if lowPhiLevels > 5 {
+		t.Fatalf("unit-cost levels %d too deep", lowPhiLevels)
+	}
+}
+
+func TestSplitSubsetInducedWindow(t *testing.T) {
+	gr := MustBox(6, 6)
+	rng := rand.New(rand.NewSource(5))
+	// Random subset W.
+	var W []int32
+	for v := int32(0); v < int32(gr.G.N()); v++ {
+		if rng.Intn(3) > 0 {
+			W = append(W, v)
+		}
+	}
+	w := make([]float64, gr.G.N())
+	for i := range w {
+		w[i] = rng.Float64()
+	}
+	target := sum(w, W) * 0.4
+	res := gr.SplitSubset(W, w, target)
+	// U ⊆ W.
+	inW := map[int32]bool{}
+	for _, v := range W {
+		inW[v] = true
+	}
+	for _, v := range res.U {
+		if !inW[v] {
+			t.Fatalf("splitting set contains %d outside W", v)
+		}
+	}
+	if math.Abs(sum(w, res.U)-target) > maxWeight(w, W)/2+1e-9 {
+		t.Fatal("subset split outside weight window")
+	}
+}
+
+func TestSplitSetExtremes(t *testing.T) {
+	gr := MustBox(5, 5)
+	res := gr.SplitSet(gr.G.Weight, 0)
+	if len(res.U) != 0 {
+		t.Fatalf("target 0 gave |U| = %d", len(res.U))
+	}
+	resAll := gr.SplitSet(gr.G.Weight, gr.G.TotalWeight())
+	if len(resAll.U) != gr.G.N() {
+		t.Fatalf("target total gave |U| = %d, want %d", len(resAll.U), gr.G.N())
+	}
+	// Negative and overshooting targets clamp.
+	if got := gr.SplitSet(gr.G.Weight, -5); len(got.U) != 0 {
+		t.Fatal("negative target should clamp to empty")
+	}
+	if got := gr.SplitSet(gr.G.Weight, 1e9); len(got.U) != gr.G.N() {
+		t.Fatal("huge target should clamp to everything")
+	}
+}
+
+// Lemma 20: for every ℓ and every α, the residue-crossing formula used in
+// gridSplit matches a brute-force computation of ‖c/φ_α‖₁, and the chosen
+// α is within the ‖c‖₁/ℓ guarantee.
+func TestCheapCoarseGraphLemma20(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	gr := MustBox(9, 7)
+	gr.SetCosts(func(u, v Point) float64 { return rng.Float64() * 10 })
+	var edges []gsEdge
+	total := 0.0
+	for e := 0; e < gr.G.M(); e++ {
+		u, v := gr.G.Endpoints(int32(e))
+		edges = append(edges, gsEdge{u, v, gr.G.Cost[e]})
+		total += gr.G.Cost[e]
+	}
+	for _, ell := range []int32{2, 3, 4, 5} {
+		// Formula-based accumulation, as in gridSplit.
+		fa := make([]float64, ell)
+		for _, e := range edges {
+			ax := gr.crossAxis(e.u, e.v)
+			ai := min32(gr.Coord[e.u][ax], gr.Coord[e.v][ax])
+			fa[mod32(-ai, ell)] += e.c
+		}
+		for alpha := int32(1); alpha <= ell; alpha++ {
+			// Brute force: compare cells of the two endpoints.
+			brute := 0.0
+			for _, e := range edges {
+				cross := false
+				for i := 0; i < gr.Dim; i++ {
+					a := floorDiv(gr.Coord[e.u][i]+alpha-1, ell)
+					b := floorDiv(gr.Coord[e.v][i]+alpha-1, ell)
+					if a != b {
+						cross = true
+					}
+				}
+				if cross {
+					brute += e.c
+				}
+			}
+			j := mod32(alpha, ell)
+			if math.Abs(fa[j]-brute) > 1e-9 {
+				t.Fatalf("ℓ=%d α=%d: formula %v != brute %v", ell, alpha, fa[j], brute)
+			}
+		}
+		// The minimum residue cost satisfies Lemma 20.
+		minCost := fa[0]
+		for _, f := range fa {
+			if f < minCost {
+				minCost = f
+			}
+		}
+		if minCost > total/float64(ell)+1e-9 {
+			t.Fatalf("ℓ=%d: min coarse cost %v > ‖c‖₁/ℓ = %v", ell, minCost, total/float64(ell))
+		}
+	}
+}
+
+// Splitting a path (d=1) cuts at most ⌈log φ⌉+1 edges' worth of cost —
+// sanity check that 1-D works at all.
+func TestSplitSet1D(t *testing.T) {
+	gr := MustBox(32)
+	res := gr.SplitSet(gr.G.Weight, 16)
+	got := sum(gr.G.Weight, res.U)
+	if math.Abs(got-16) > 0.5+1e-9 {
+		t.Fatalf("1-D split weight %v, want ~16", got)
+	}
+}
+
+func TestSplitZeroCostEdges(t *testing.T) {
+	gr := MustBox(6, 6)
+	gr.SetCosts(func(u, v Point) float64 { return 0 })
+	res := gr.SplitSet(gr.G.Weight, 18)
+	if math.Abs(sum(gr.G.Weight, res.U)-18) > 0.5+1e-9 {
+		t.Fatal("zero-cost split outside window")
+	}
+	if res.BoundaryCost != 0 {
+		t.Fatal("zero-cost graph has positive boundary")
+	}
+}

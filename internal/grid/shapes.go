@@ -1,0 +1,104 @@
+package grid
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// This file provides non-box grid-graph shapes. The grid separator theorem
+// (Theorem 19) applies to *every* V ⊆ Z^d, and the splittability bound
+// needs the class to be closed under induced subgraphs — these shapes
+// exercise exactly that generality.
+
+// Ball returns the grid graph on the L2 ball of the given radius around
+// the origin in d dimensions (a discrete disc/sphere interior — the
+// "well-shaped mesh" regime of [7,9]).
+func Ball(d int, radius int) (*Grid, error) {
+	if d < 1 || d > MaxDim {
+		return nil, fmt.Errorf("grid: dimension %d out of range", d)
+	}
+	if radius < 0 {
+		return nil, fmt.Errorf("grid: negative radius")
+	}
+	var pts []Point
+	var rec func(p Point, axis int)
+	rec = func(p Point, axis int) {
+		if axis == d {
+			s := 0
+			for i := 0; i < d; i++ {
+				s += int(p[i]) * int(p[i])
+			}
+			if s <= radius*radius {
+				pts = append(pts, p)
+			}
+			return
+		}
+		for x := -radius; x <= radius; x++ {
+			q := p
+			q[axis] = int32(x)
+			rec(q, axis+1)
+		}
+	}
+	rec(Point{}, 0)
+	return FromPoints(d, pts)
+}
+
+// LShape returns a 2-D L-shaped region: an outer×outer square with the
+// top-right inner×inner corner removed. A classic non-convex domain from
+// finite-element practice (re-entrant corner).
+func LShape(outer, inner int) (*Grid, error) {
+	if inner >= outer || inner < 1 {
+		return nil, fmt.Errorf("grid: need 1 ≤ inner < outer, got %d, %d", inner, outer)
+	}
+	var pts []Point
+	for x := 0; x < outer; x++ {
+		for y := 0; y < outer; y++ {
+			if x >= outer-inner && y >= outer-inner {
+				continue
+			}
+			pts = append(pts, Point{int32(x), int32(y)})
+		}
+	}
+	return FromPoints(2, pts)
+}
+
+// Annulus returns a 2-D square annulus: outer×outer minus the centered
+// hole×hole interior. Its cycles make BFS-layer separators non-trivial.
+func Annulus(outer, hole int) (*Grid, error) {
+	if hole >= outer-1 || hole < 1 {
+		return nil, fmt.Errorf("grid: need 1 ≤ hole < outer−1, got %d, %d", hole, outer)
+	}
+	lo := (outer - hole) / 2
+	hi := lo + hole
+	var pts []Point
+	for x := 0; x < outer; x++ {
+		for y := 0; y < outer; y++ {
+			if x >= lo && x < hi && y >= lo && y < hi {
+				continue
+			}
+			pts = append(pts, Point{int32(x), int32(y)})
+		}
+	}
+	return FromPoints(2, pts)
+}
+
+// RandomSubgrid returns the grid graph on a random p-fraction of the
+// box lattice points (possibly disconnected) — a porous-medium style
+// instance.
+func RandomSubgrid(dims []int, keep float64, seed int64) (*Grid, error) {
+	full, err := NewBox(dims...)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var pts []Point
+	for v := 0; v < full.G.N(); v++ {
+		if rng.Float64() < keep {
+			pts = append(pts, full.Coord[v])
+		}
+	}
+	if len(pts) == 0 {
+		pts = append(pts, full.Coord[0])
+	}
+	return FromPoints(len(dims), pts)
+}

@@ -1,0 +1,124 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestBall2D(t *testing.T) {
+	gr, err := Ball(2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// |B_2(5) ∩ Z²| = 81 lattice points.
+	if gr.G.N() != 81 {
+		t.Fatalf("N = %d, want 81", gr.G.N())
+	}
+	if !gr.G.IsConnected() {
+		t.Fatal("disc should be connected")
+	}
+	if err := gr.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBall3D(t *testing.T) {
+	gr, err := Ball(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.G.N() == 0 || !gr.G.IsConnected() {
+		t.Fatal("3-D ball wrong")
+	}
+	if _, err := Ball(0, 2); err == nil {
+		t.Fatal("expected dim error")
+	}
+	if _, err := Ball(2, -1); err == nil {
+		t.Fatal("expected radius error")
+	}
+}
+
+func TestLShape(t *testing.T) {
+	gr, err := LShape(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.G.N() != 64-16 {
+		t.Fatalf("N = %d, want 48", gr.G.N())
+	}
+	if !gr.G.IsConnected() {
+		t.Fatal("L-shape should be connected")
+	}
+	if _, err := LShape(4, 4); err == nil {
+		t.Fatal("expected inner<outer error")
+	}
+}
+
+func TestAnnulus(t *testing.T) {
+	gr, err := Annulus(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.G.N() != 100-16 {
+		t.Fatalf("N = %d, want 84", gr.G.N())
+	}
+	if !gr.G.IsConnected() {
+		t.Fatal("annulus should be connected")
+	}
+	if _, err := Annulus(5, 4); err == nil {
+		t.Fatal("expected hole bound error")
+	}
+}
+
+func TestRandomSubgrid(t *testing.T) {
+	gr, err := RandomSubgrid([]int{12, 12}, 0.7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gr.G.N() < 50 || gr.G.N() > 144 {
+		t.Fatalf("N = %d out of expected range", gr.G.N())
+	}
+	if err := gr.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The Theorem 19 oracle applies to every shape: weight window holds and
+// sets are monotone on non-convex domains too.
+func TestSplitSetOnShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shapes := []*Grid{}
+	if gr, err := Ball(2, 6); err == nil {
+		shapes = append(shapes, gr)
+	}
+	if gr, err := LShape(10, 5); err == nil {
+		shapes = append(shapes, gr)
+	}
+	if gr, err := Annulus(12, 6); err == nil {
+		shapes = append(shapes, gr)
+	}
+	if gr, err := RandomSubgrid([]int{10, 10}, 0.8, 7); err == nil {
+		shapes = append(shapes, gr)
+	}
+	for si, gr := range shapes {
+		gr.SetCosts(func(u, v Point) float64 { return math.Exp(rng.Float64() * 5) })
+		w := make([]float64, gr.G.N())
+		for i := range w {
+			w[i] = rng.Float64() + 0.05
+		}
+		total := 0.0
+		for _, x := range w {
+			total += x
+		}
+		target := total * 0.4
+		res := gr.SplitSubset(allVerts(gr.G.N()), w, target)
+		got := sum(w, res.U)
+		if math.Abs(got-target) > maxWeight(w, allVerts(gr.G.N()))/2+1e-9 {
+			t.Fatalf("shape %d: weight window violated (%v vs %v)", si, got, target)
+		}
+		if !gr.IsMonotone(res.U, allVerts(gr.G.N())) {
+			t.Fatalf("shape %d: splitting set not monotone", si)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package lower
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/grid"
+	"repro/internal/splitter"
+)
+
+func TestCopiesStructure(t *testing.T) {
+	gr := grid.MustBox(4, 4)
+	g := gr.G
+	r := 3
+	gt := Copies(g, r)
+	if gt.N() != r*g.N() || gt.M() != r*g.M() {
+		t.Fatalf("copies size N=%d M=%d, want %d, %d", gt.N(), gt.M(), r*g.N(), r*g.M())
+	}
+	if err := gt.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	comps := gt.Components()
+	if len(comps) != r {
+		t.Fatalf("copies have %d components, want %d", len(comps), r)
+	}
+	if math.Abs(gt.TotalCost()-3*g.TotalCost()) > 1e-9 {
+		t.Fatal("costs not copied")
+	}
+	if math.Abs(gt.TotalWeight()-3*g.TotalWeight()) > 1e-9 {
+		t.Fatal("weights not copied")
+	}
+}
+
+func TestIsRoughlyBalanced(t *testing.T) {
+	gr := grid.MustBox(4, 4)
+	g := gr.G
+	chi := baseline.Greedy(g, 4)
+	if !IsRoughlyBalanced(g, chi, 4) {
+		t.Fatal("greedy should be roughly balanced")
+	}
+	all0 := make([]int32, g.N())
+	if IsRoughlyBalanced(g, all0, 4) {
+		t.Fatal("all-one-class is not roughly balanced for k=4")
+	}
+}
+
+func TestCertifySides(t *testing.T) {
+	m := 8
+	gr := grid.MustBox(m, m)
+	g := gr.G
+	k := 8
+	r := k / 4
+	gt := Copies(g, r)
+	chi := baseline.Greedy(gt, k)
+	certs := Certify(gt, g.N(), r, k, chi)
+	if len(certs) != r {
+		t.Fatalf("%d certificates, want %d", len(certs), r)
+	}
+	for _, c := range certs {
+		copyW := g.TotalWeight()
+		lim := 2*copyW/3 + 1e-9
+		if c.SideWeights[0] > lim || c.SideWeights[1] > lim {
+			t.Fatalf("copy %d side weights %v exceed 2/3 of %v", c.Copy, c.SideWeights, copyW)
+		}
+		if c.BoundaryCost < 0 {
+			t.Fatal("negative boundary")
+		}
+	}
+}
+
+// The executable Lemma 40: on G̃ built from grids, ANY roughly balanced
+// coloring — including the one produced by our own Theorem 4 pipeline —
+// certifies an average boundary within a constant factor of the Theorem 5
+// upper bound, i.e. the bound is tight for these instances.
+func TestTightnessOnGridCopies(t *testing.T) {
+	m := 12
+	gr := grid.MustBox(m, m)
+	g := gr.G
+	for _, k := range []int{8, 16} {
+		r := k / 4
+		gt := Copies(g, r)
+		res, err := core.Decompose(gt, core.Options{
+			K: k, P: 2, Splitter: splitter.NewRefined(gt, splitter.NewBFS(gt)),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Stats.StrictlyBalanced {
+			t.Fatalf("k=%d: not strict", k)
+		}
+		certs := Certify(gt, g.N(), r, k, res.Coloring)
+		lower := AverageCertifiedBoundary(certs, k)
+		upper := res.Stats.MaxBoundary
+		if lower <= 0 {
+			t.Fatalf("k=%d: certificate vanished (lower=%v)", k, lower)
+		}
+		// Upper bound must hold: avg certificate ≤ 2×max boundary
+		// (each copy's U* boundary is a union of ≤ k class boundaries —
+		// but per copy it is one cut, so ∂U* ≤ Σ boundary of classes in R;
+		// sanity: lower bound cannot exceed k×upper).
+		if lower > float64(k)*upper+1e-9 {
+			t.Fatalf("k=%d: certificate %v exceeds k×upper %v", k, lower, float64(k)*upper)
+		}
+		// Tightness shape: upper within a constant factor of lower.
+		if ratio := upper / lower; ratio > 40 {
+			t.Fatalf("k=%d: upper/lower ratio %v too large — bound not tight", k, ratio)
+		}
+	}
+}
+
+func TestGridSeparatorLowerBound(t *testing.T) {
+	if GridSeparatorLowerBound(12) != 4 {
+		t.Fatalf("m=12 bound = %v", GridSeparatorLowerBound(12))
+	}
+}
+
+func TestTheoremLowerShape(t *testing.T) {
+	gr := grid.MustBox(8, 8)
+	v := TheoremLowerShape(gr.G, 16, 2, 2.0)
+	if v <= 0 {
+		t.Fatalf("lower shape %v", v)
+	}
+	// Larger k → smaller shape.
+	if TheoremLowerShape(gr.G, 64, 2, 2.0) >= v {
+		t.Fatal("lower shape should decay with k")
+	}
+}

@@ -1,0 +1,104 @@
+package separator
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/grid"
+)
+
+// Geometric is a coordinate-sweep separator finder for geometric graphs
+// (grids, meshes with lattice coordinates): it sorts W along each axis,
+// takes the vertex layer at the weight median of the best axis, and uses
+// it as the separator — a simplified Miller–Teng-style geometric separator
+// ([7,9] in the paper's bibliography), realizing a d/(d−1)-separator
+// theorem for well-shaped instances.
+type Geometric struct {
+	G     *graph.Graph
+	Dim   int
+	Coord []grid.Point
+	// Tau is the vertex cost; nil means τ(v) = c(δ(v)).
+	Tau []float64
+}
+
+// NewGeometric builds a geometric finder from a grid.
+func NewGeometric(gr *grid.Grid) *Geometric {
+	tau := make([]float64, gr.G.N())
+	for v := int32(0); v < int32(gr.G.N()); v++ {
+		tau[v] = gr.G.CostDegree(v)
+	}
+	return &Geometric{G: gr.G, Dim: gr.Dim, Coord: gr.Coord, Tau: tau}
+}
+
+// FindSeparation implements Finder: for each axis, split W at the weight
+// median coordinate x*; the separator is the slab {v : coord(v) = x*}.
+// Among the d candidates, the cheapest (by τ) balanced one wins.
+func (f *Geometric) FindSeparation(W []int32, w []float64) Separation {
+	if len(W) == 0 {
+		return Separation{}
+	}
+	total := 0.0
+	for _, v := range W {
+		total += w[v]
+	}
+	bestCost := -1.0
+	var best Separation
+	for axis := 0; axis < f.Dim; axis++ {
+		sorted := append([]int32(nil), W...)
+		sort.Slice(sorted, func(a, b int) bool {
+			ca, cb := f.Coord[sorted[a]][axis], f.Coord[sorted[b]][axis]
+			if ca != cb {
+				return ca < cb
+			}
+			return sorted[a] < sorted[b]
+		})
+		// Find the coordinate whose prefix crosses the median.
+		acc := 0.0
+		var median int32
+		for _, v := range sorted {
+			acc += w[v]
+			if acc >= total/2 {
+				median = f.Coord[v][axis]
+				break
+			}
+		}
+		var front, slab, back []int32
+		cost := 0.0
+		for _, v := range sorted {
+			switch {
+			case f.Coord[v][axis] < median:
+				front = append(front, v)
+			case f.Coord[v][axis] > median:
+				back = append(back, v)
+			default:
+				slab = append(slab, v)
+				cost += f.tau(v)
+			}
+		}
+		sep := Separation{
+			A: append(append([]int32(nil), front...), slab...),
+			B: append(append([]int32(nil), back...), slab...),
+		}
+		if !sep.IsBalanced(w, W) {
+			continue
+		}
+		if bestCost < 0 || cost < bestCost {
+			bestCost = cost
+			best = sep
+		}
+	}
+	if bestCost < 0 {
+		// No axis gave balance (e.g. one dominant coordinate value):
+		// fall back to BFS layering.
+		bfs := &BFSLayered{G: f.G, Tau: f.Tau}
+		return bfs.FindSeparation(W, w)
+	}
+	return best
+}
+
+func (f *Geometric) tau(v int32) float64 {
+	if f.Tau != nil {
+		return f.Tau[v]
+	}
+	return f.G.CostDegree(v)
+}

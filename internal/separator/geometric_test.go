@@ -1,0 +1,103 @@
+package separator
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/splitter"
+)
+
+func TestGeometricOnGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 15; trial++ {
+		gr := grid.MustBox(5+rng.Intn(8), 5+rng.Intn(8))
+		f := NewGeometric(gr)
+		w := make([]float64, gr.G.N())
+		for i := range w {
+			w[i] = rng.Float64() + 0.01
+		}
+		W := allVerts(gr.G.N())
+		sep := f.FindSeparation(W, w)
+		if !sep.IsValid(gr.G, W) {
+			t.Fatalf("trial %d: invalid separation", trial)
+		}
+		if !sep.IsBalanced(w, W) {
+			t.Fatalf("trial %d: unbalanced separation", trial)
+		}
+	}
+}
+
+func TestGeometricSlabIsThin(t *testing.T) {
+	gr := grid.MustBox(16, 16)
+	f := NewGeometric(gr)
+	w := unitWeights(gr.G.N())
+	sep := f.FindSeparation(allVerts(gr.G.N()), w)
+	// On a 16×16 unit grid the median slab has exactly 16 vertices.
+	if got := len(sep.Separator()); got != 16 {
+		t.Fatalf("separator size %d, want 16", got)
+	}
+}
+
+func TestGeometricCheapAxis(t *testing.T) {
+	// Make vertical cuts expensive: costs high on horizontal edges near
+	// the x-median. The finder should prefer the other axis.
+	gr := grid.MustBox(12, 12)
+	gr.SetCosts(func(u, v grid.Point) float64 {
+		if u[1] == v[1] { // horizontal edge (x varies)
+			return 100
+		}
+		return 1
+	})
+	f := NewGeometric(gr)
+	w := unitWeights(gr.G.N())
+	sep := f.FindSeparation(allVerts(gr.G.N()), w)
+	// A y-slab cuts only vertical edges; its τ cost is much lower.
+	// Verify the chosen separator's vertices share a y coordinate.
+	S := sep.Separator()
+	if len(S) == 0 {
+		t.Fatal("empty separator")
+	}
+	y := gr.Coord[S[0]][1]
+	same := true
+	for _, v := range S {
+		if gr.Coord[v][1] != y {
+			same = false
+		}
+	}
+	if !same {
+		t.Fatal("expected a y-slab separator on cost-anisotropic grid")
+	}
+}
+
+func TestGeometricDegenerateFallsBack(t *testing.T) {
+	// All vertices share one x-coordinate: the x-axis slab is everything,
+	// never balanced; the y-axis works. With dim=1 it must fall back.
+	gr := grid.MustBox(9)
+	f := NewGeometric(gr)
+	w := unitWeights(gr.G.N())
+	// Concentrate weight so the median slab IS balanced trivially — then
+	// force the degenerate path by zero dims? Instead: all weight on one
+	// vertex makes every axis unbalanced around it.
+	for i := range w {
+		w[i] = 0.0001
+	}
+	w[4] = 100
+	sep := f.FindSeparation(allVerts(gr.G.N()), w)
+	W := allVerts(gr.G.N())
+	if !sep.IsValid(gr.G, W) || !sep.IsBalanced(w, W) {
+		t.Fatal("fallback separation invalid or unbalanced")
+	}
+}
+
+// The geometric finder plugged into Lemma 37 yields a working splitter.
+func TestGeometricAsSplitter(t *testing.T) {
+	gr := grid.MustBox(10, 10)
+	s := NewSplitterFromSeparator(gr.G, NewGeometric(gr), 2)
+	w := unitWeights(gr.G.N())
+	W := allVerts(gr.G.N())
+	U := s.Split(W, w, 37)
+	if !splitter.CheckWindow(U, W, w, 37) {
+		t.Fatal("geometric-derived splitter window violated")
+	}
+}

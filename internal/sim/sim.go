@@ -1,0 +1,84 @@
+// Package sim is the load-balancing substrate from the paper's
+// introduction: a parallel system of k identical machines where the vertex
+// weight w_u is the processing time of job u and every dependency edge
+// {u, v} whose endpoints land on different machines charges its cost c_e to
+// *both* machines as communication overhead. A schedule's makespan is
+//
+//	max_i ( w(χ⁻¹(i)) + α · c(δ(χ⁻¹(i))) )
+//
+// where α converts communication volume into time. Good schedules need
+// both balanced weights and small *maximum* boundary cost — precisely the
+// min-max boundary decomposition objective.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// MachineLoad is the simulated load of one machine.
+type MachineLoad struct {
+	Compute float64 // w(χ⁻¹(i))
+	Comm    float64 // c(δ(χ⁻¹(i)))
+}
+
+// Schedule is the evaluation of one partition on the machine model.
+type Schedule struct {
+	K        int
+	Alpha    float64
+	Machines []MachineLoad
+
+	Makespan      float64 // max_i (Compute + α·Comm)
+	ComputeOnly   float64 // max_i Compute (lower bound with free comm)
+	IdealSpan     float64 // ‖w‖₁/k — perfect balance, free communication
+	MaxComm       float64 // max_i Comm
+	TotalComm     float64 // Σ_i Comm (each cut edge charged twice)
+	LoadImbalance float64 // max_i Compute / (‖w‖₁/k)
+}
+
+// Evaluate runs the machine model on a complete k-coloring.
+func Evaluate(g *graph.Graph, coloring []int32, k int, alpha float64) (Schedule, error) {
+	if err := graph.CheckColoring(coloring, k); err != nil {
+		return Schedule{}, fmt.Errorf("sim: %w", err)
+	}
+	if len(coloring) != g.N() {
+		return Schedule{}, fmt.Errorf("sim: coloring length %d != N %d", len(coloring), g.N())
+	}
+	s := Schedule{K: k, Alpha: alpha, Machines: make([]MachineLoad, k)}
+	cw := g.ClassWeights(coloring, k)
+	cb := g.ClassBoundaryCosts(coloring, k)
+	for i := 0; i < k; i++ {
+		s.Machines[i] = MachineLoad{Compute: cw[i], Comm: cb[i]}
+		span := cw[i] + alpha*cb[i]
+		if span > s.Makespan {
+			s.Makespan = span
+		}
+		if cw[i] > s.ComputeOnly {
+			s.ComputeOnly = cw[i]
+		}
+		if cb[i] > s.MaxComm {
+			s.MaxComm = cb[i]
+		}
+		s.TotalComm += cb[i]
+	}
+	s.IdealSpan = g.TotalWeight() / float64(k)
+	if s.IdealSpan > 0 {
+		s.LoadImbalance = s.ComputeOnly / s.IdealSpan
+	}
+	return s, nil
+}
+
+// Speedup returns the parallel speedup of the schedule over serial
+// execution: ‖w‖₁ / makespan.
+func (s Schedule) Speedup(totalWork float64) float64 {
+	if s.Makespan <= 0 {
+		return 0
+	}
+	return totalWork / s.Makespan
+}
+
+// Efficiency returns Speedup / k ∈ (0, 1].
+func (s Schedule) Efficiency(totalWork float64) float64 {
+	return s.Speedup(totalWork) / float64(s.K)
+}

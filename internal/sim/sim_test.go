@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/graph"
+	"repro/internal/grid"
+	"repro/internal/workload"
+)
+
+func TestEvaluatePath(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 2)
+	b.AddEdge(1, 2, 3)
+	b.AddEdge(2, 3, 4)
+	g := b.MustBuild()
+	chi := []int32{0, 0, 1, 1}
+	s, err := Evaluate(g, chi, 2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Machine 0: compute 2, comm 3; machine 1: compute 2, comm 3.
+	if s.Machines[0].Compute != 2 || s.Machines[0].Comm != 3 {
+		t.Fatalf("machine 0 = %+v", s.Machines[0])
+	}
+	if math.Abs(s.Makespan-3.5) > 1e-12 {
+		t.Fatalf("makespan %v, want 3.5", s.Makespan)
+	}
+	if s.ComputeOnly != 2 || s.IdealSpan != 2 {
+		t.Fatalf("compute-only %v ideal %v", s.ComputeOnly, s.IdealSpan)
+	}
+	if math.Abs(s.LoadImbalance-1) > 1e-12 {
+		t.Fatalf("imbalance %v, want 1", s.LoadImbalance)
+	}
+	if s.TotalComm != 6 {
+		t.Fatalf("total comm %v, want 6", s.TotalComm)
+	}
+}
+
+func TestEvaluateAlphaZero(t *testing.T) {
+	gr := grid.MustBox(6, 6)
+	chi := baseline.Greedy(gr.G, 4)
+	s, err := Evaluate(gr.G, chi, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan != s.ComputeOnly {
+		t.Fatal("alpha=0 makespan should equal compute-only")
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	gr := grid.MustBox(3, 3)
+	bad := make([]int32, gr.G.N())
+	bad[0] = 7
+	if _, err := Evaluate(gr.G, bad, 4, 1); err == nil {
+		t.Fatal("expected color range error")
+	}
+	if _, err := Evaluate(gr.G, make([]int32, 2), 1, 1); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestSpeedupEfficiency(t *testing.T) {
+	gr := grid.MustBox(8, 8)
+	g := gr.G
+	chi := baseline.Greedy(g, 4)
+	s, err := Evaluate(g, chi, 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := s.Speedup(g.TotalWeight())
+	if sp <= 1 || sp > 4.0001 {
+		t.Fatalf("speedup %v out of (1, 4]", sp)
+	}
+	eff := s.Efficiency(g.TotalWeight())
+	if eff <= 0 || eff > 1.0001 {
+		t.Fatalf("efficiency %v out of (0, 1]", eff)
+	}
+}
+
+// Boundary-aware schedules must beat greedy once communication costs bite.
+func TestCommunicationMattersOnMesh(t *testing.T) {
+	g := workload.ClimateMesh(16, 16, 2, 9)
+	k := 4
+	greedy := baseline.Greedy(g, k)
+	// A contiguous partition (by vertex-id stripes — rows of the mesh).
+	stripes := make([]int32, g.N())
+	per := (g.N() + k - 1) / k
+	for v := range stripes {
+		stripes[v] = int32(v / per)
+	}
+	alpha := 1.0
+	sg, err := Evaluate(g, greedy, k, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := Evaluate(g, stripes, k, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sg.Makespan < ss.Makespan {
+		t.Fatalf("greedy (%v) should lose to contiguous stripes (%v) at α=1",
+			sg.Makespan, ss.Makespan)
+	}
+}

@@ -1,0 +1,131 @@
+package splitter
+
+import (
+	"repro/internal/graph"
+)
+
+// Refined wraps an inner splitter with Fiduccia–Mattheyses-style local
+// refinement: single-vertex moves across the cut of G[W] that strictly
+// decrease boundary cost while preserving the Definition 3 weight window.
+// Refinement never invalidates the oracle contract — it only improves the
+// constant in front of ‖c|W‖_p in practice.
+type Refined struct {
+	G     *graph.Graph
+	Inner Splitter
+	// Passes bounds the number of full improvement passes (default 4).
+	Passes int
+}
+
+// NewRefined wraps inner with FM refinement on graph g.
+func NewRefined(g *graph.Graph, inner Splitter) *Refined {
+	return &Refined{G: g, Inner: inner, Passes: 4}
+}
+
+// Split implements Splitter.
+func (r *Refined) Split(W []int32, w []float64, target float64) []int32 {
+	U := r.Inner.Split(W, w, target)
+	passes := r.Passes
+	if passes <= 0 {
+		passes = 4
+	}
+	return refine(r.G, W, U, w, target, passes)
+}
+
+// refine greedily applies improving moves. A move flips one vertex of W
+// between U and W\U. It is admissible if it strictly decreases the cut cost
+// of U inside G[W] and keeps |w(U) − target| ≤ ‖w|W‖∞/2.
+func refine(g *graph.Graph, W, U []int32, w []float64, target float64, passes int) []int32 {
+	inW := make([]bool, g.N())
+	inU := make([]bool, g.N())
+	for _, v := range W {
+		inW[v] = true
+	}
+	total, maxw := 0.0, 0.0
+	for _, v := range W {
+		total += w[v]
+		if w[v] > maxw {
+			maxw = w[v]
+		}
+	}
+	if target < 0 {
+		target = 0
+	}
+	if target > total {
+		target = total
+	}
+	weightU := 0.0
+	for _, v := range U {
+		inU[v] = true
+		weightU += w[v]
+	}
+	window := maxw/2 + 1e-12*(total+1)
+
+	// gain(v): cut-cost decrease from flipping v (within G[W]).
+	gain := func(v int32) float64 {
+		sameSide, otherSide := 0.0, 0.0
+		for _, e := range g.IncidentEdges(v) {
+			o := g.Other(e, v)
+			if !inW[o] {
+				continue
+			}
+			if inU[o] == inU[v] {
+				sameSide += g.Cost[e]
+			} else {
+				otherSide += g.Cost[e]
+			}
+		}
+		return otherSide - sameSide
+	}
+	feasible := func(v int32) bool {
+		nw := weightU
+		if inU[v] {
+			nw -= w[v]
+		} else {
+			nw += w[v]
+		}
+		d := nw - target
+		if d < 0 {
+			d = -d
+		}
+		return d <= window
+	}
+
+	for pass := 0; pass < passes; pass++ {
+		improved := false
+		moved := make(map[int32]bool)
+		for {
+			var best int32 = -1
+			bestGain := 1e-12
+			for _, v := range W {
+				if moved[v] {
+					continue
+				}
+				if gv := gain(v); gv > bestGain && feasible(v) {
+					best, bestGain = v, gv
+				}
+			}
+			if best < 0 {
+				break
+			}
+			if inU[best] {
+				weightU -= w[best]
+			} else {
+				weightU += w[best]
+			}
+			inU[best] = !inU[best]
+			moved[best] = true
+			improved = true
+		}
+		if !improved {
+			break
+		}
+	}
+
+	out := make([]int32, 0, len(U))
+	for _, v := range W {
+		if inU[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

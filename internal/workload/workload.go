@@ -1,0 +1,202 @@
+// Package workload generates the synthetic scientific-computing instances
+// that the paper's introduction motivates: climate-simulation meshes with
+// heterogeneous per-region computation times (vertex weights) and
+// heterogeneous inter-region communication volumes (edge costs), plus
+// generic weight/cost field models and random geometric graphs.
+//
+// The paper's running example: the earth's surface is subdivided into
+// triangular regions; per-region simulation time differs "tremendously
+// depending on day-time, desired accuracy, et cetera", and dependency
+// strength between neighbors varies similarly. These generators reproduce
+// that structure synthetically (see DESIGN.md §4, Substitutions).
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/grid"
+)
+
+// ClimateMesh builds a triangulated rows×cols mesh (a grid with one
+// diagonal per cell — the triangular-region adjacency of the intro's
+// climate example) with:
+//
+//   - vertex weights following a day/night illumination band moving across
+//     the longitude axis, multiplied by a lognormal per-region accuracy
+//     factor, and
+//   - edge costs proportional to the harmonic mean of the endpoint weights
+//     (stronger coupling between more active regions), with fluctuation
+//     controlled by costSpread.
+//
+// The graph has bounded degree (≤ 8) and bounded local fluctuation, i.e.
+// it is "well-behaved" in the paper's sense.
+func ClimateMesh(rows, cols int, costSpread float64, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := rows * cols
+	id := func(r, c int) int32 { return int32(r*cols + c) }
+	b := graph.NewBuilder(n)
+
+	weight := make([]float64, n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			// Day/night band: activity peaks near "noon" longitude.
+			phase := 2 * math.Pi * float64(c) / float64(cols)
+			day := 1.5 + math.Sin(phase)
+			// Latitude attenuation: poles are cheaper.
+			lat := 0.5 + math.Sin(math.Pi*float64(r)/float64(rows))
+			// Accuracy multiplier: lognormal with σ ≈ 0.5.
+			acc := math.Exp(rng.NormFloat64() * 0.5)
+			weight[id(r, c)] = day * lat * acc
+			b.SetWeight(id(r, c), weight[id(r, c)])
+		}
+	}
+
+	coupling := func(u, v int32) float64 {
+		hm := 2 * weight[u] * weight[v] / (weight[u] + weight[v])
+		jitter := math.Exp(rng.NormFloat64() * math.Log(math.Max(costSpread, 1)) / 3)
+		return hm * jitter
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			u := id(r, c)
+			if c+1 < cols {
+				b.AddEdge(u, id(r, c+1), coupling(u, id(r, c+1)))
+			}
+			if r+1 < rows {
+				b.AddEdge(u, id(r+1, c), coupling(u, id(r+1, c)))
+			}
+			if r+1 < rows && c+1 < cols {
+				// Triangulating diagonal.
+				b.AddEdge(u, id(r+1, c+1), coupling(u, id(r+1, c+1)))
+			}
+		}
+	}
+	return b.MustBuild()
+}
+
+// WeightField is a named vertex-weight generator.
+type WeightField func(rng *rand.Rand, p grid.Point) float64
+
+// UniformWeights returns the constant-1 field.
+func UniformWeights() WeightField {
+	return func(*rand.Rand, grid.Point) float64 { return 1 }
+}
+
+// LognormalWeights returns i.i.d. lognormal weights with the given sigma.
+func LognormalWeights(sigma float64) WeightField {
+	return func(rng *rand.Rand, _ grid.Point) float64 {
+		return math.Exp(rng.NormFloat64() * sigma)
+	}
+}
+
+// HotspotWeights concentrates weight near the given center with the given
+// peak-to-background ratio — an adversarial field for balance.
+func HotspotWeights(center grid.Point, radius, peak float64) WeightField {
+	return func(_ *rand.Rand, p grid.Point) float64 {
+		d := 0.0
+		for i := 0; i < grid.MaxDim; i++ {
+			dx := float64(p[i] - center[i])
+			d += dx * dx
+		}
+		d = math.Sqrt(d)
+		if d <= radius {
+			return peak
+		}
+		return 1
+	}
+}
+
+// CostField is a named edge-cost generator.
+type CostField func(rng *rand.Rand, u, v grid.Point) float64
+
+// UniformCosts returns the constant-1 field.
+func UniformCosts() CostField {
+	return func(*rand.Rand, grid.Point, grid.Point) float64 { return 1 }
+}
+
+// ExponentialCosts returns i.i.d. costs in [1, φ] with log-uniform spread —
+// the fluctuation regime of Theorem 19.
+func ExponentialCosts(phi float64) CostField {
+	if phi <= 1 {
+		return func(*rand.Rand, grid.Point, grid.Point) float64 { return 1 }
+	}
+	return func(rng *rand.Rand, _, _ grid.Point) float64 {
+		return math.Exp(rng.Float64() * math.Log(phi))
+	}
+}
+
+// RidgeCosts makes edges crossing a vertical ridge at x = pos expensive —
+// an adversarial field where the cheap separator is displaced.
+func RidgeCosts(pos int32, high float64) CostField {
+	return func(_ *rand.Rand, u, v grid.Point) float64 {
+		if (u[0] <= pos && v[0] > pos) || (v[0] <= pos && u[0] > pos) {
+			return high
+		}
+		return 1
+	}
+}
+
+// ApplyFields populates a grid's weights and costs from field generators.
+func ApplyFields(gr *grid.Grid, wf WeightField, cf CostField, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	if wf != nil {
+		gr.SetWeights(func(p grid.Point) float64 { return wf(rng, p) })
+	}
+	if cf != nil {
+		gr.SetCosts(func(u, v grid.Point) float64 { return cf(rng, u, v) })
+	}
+}
+
+// RandomGeometric builds a random geometric graph: n points uniform in the
+// unit square, edges between pairs within the given radius, unit weights,
+// costs inversely proportional to distance (closer points communicate
+// more). Degree is capped at maxDeg to keep the instance well-behaved.
+func RandomGeometric(n int, radius float64, maxDeg int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	// Bucket by cell for near-linear neighbor search.
+	cell := radius
+	if cell <= 0 {
+		cell = 0.1
+	}
+	type key [2]int
+	buckets := map[key][]int32{}
+	at := func(i int32) key {
+		return key{int(xs[i] / cell), int(ys[i] / cell)}
+	}
+	for i := int32(0); i < int32(n); i++ {
+		buckets[at(i)] = append(buckets[at(i)], i)
+	}
+	b := graph.NewBuilder(n)
+	deg := make([]int, n)
+	for i := int32(0); i < int32(n); i++ {
+		k := at(i)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range buckets[key{k[0] + dx, k[1] + dy}] {
+					if j <= i {
+						continue
+					}
+					d := math.Hypot(xs[i]-xs[j], ys[i]-ys[j])
+					if d > radius || d == 0 {
+						continue
+					}
+					if deg[i] >= maxDeg || deg[j] >= maxDeg {
+						continue
+					}
+					b.AddEdge(i, j, math.Min(radius/d, 8))
+					deg[i]++
+					deg[j]++
+				}
+			}
+		}
+	}
+	return b.MustBuild()
+}

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestClimateMeshStructure(t *testing.T) {
+	g := ClimateMesh(10, 20, 4, 1)
+	if g.N() != 200 {
+		t.Fatalf("N = %d, want 200", g.N())
+	}
+	// rows×cols grid + diagonals: (r-1)c + r(c-1) + (r-1)(c-1) edges.
+	want := 9*20 + 10*19 + 9*19
+	if g.M() != want {
+		t.Fatalf("M = %d, want %d", g.M(), want)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDegree() > 8 {
+		t.Fatalf("max degree %d > 8", g.MaxDegree())
+	}
+	if !g.IsConnected() {
+		t.Fatal("mesh should be connected")
+	}
+}
+
+func TestClimateMeshHeterogeneous(t *testing.T) {
+	g := ClimateMesh(16, 32, 4, 2)
+	if g.MaxWeight() < 2*g.TotalWeight()/float64(g.N()) {
+		t.Fatal("weights look uniform; day/night banding missing")
+	}
+	if g.Fluctuation() < 2 {
+		t.Fatalf("cost fluctuation %v too small", g.Fluctuation())
+	}
+	// Deterministic for a fixed seed.
+	h := ClimateMesh(16, 32, 4, 2)
+	for v := range g.Weight {
+		if g.Weight[v] != h.Weight[v] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestWeightFields(t *testing.T) {
+	gr := grid.MustBox(8, 8)
+	ApplyFields(gr, UniformWeights(), UniformCosts(), 1)
+	if gr.G.TotalWeight() != 64 || gr.G.TotalCost() != float64(gr.G.M()) {
+		t.Fatal("uniform fields wrong")
+	}
+	ApplyFields(gr, LognormalWeights(1), nil, 2)
+	if gr.G.MaxWeight() <= 1 {
+		t.Fatal("lognormal field produced no spread")
+	}
+	ApplyFields(gr, HotspotWeights(grid.Point{4, 4}, 2, 100), nil, 3)
+	if gr.G.MaxWeight() != 100 {
+		t.Fatalf("hotspot peak %v, want 100", gr.G.MaxWeight())
+	}
+}
+
+func TestCostFields(t *testing.T) {
+	gr := grid.MustBox(8, 8)
+	ApplyFields(gr, nil, ExponentialCosts(1024), 4)
+	phi := gr.G.Fluctuation()
+	if phi < 4 || phi > 1024*1.01 {
+		t.Fatalf("exponential fluctuation %v outside (4, 1024]", phi)
+	}
+	ApplyFields(gr, nil, RidgeCosts(3, 50), 5)
+	// Edges crossing x=3..4 are expensive, others unit.
+	found50, found1 := false, false
+	for e := 0; e < gr.G.M(); e++ {
+		switch gr.G.Cost[e] {
+		case 50:
+			found50 = true
+		case 1:
+			found1 = true
+		}
+	}
+	if !found50 || !found1 {
+		t.Fatal("ridge costs not applied")
+	}
+}
+
+func TestExponentialCostsClampsPhi(t *testing.T) {
+	f := ExponentialCosts(0.5)
+	if got := f(nil, grid.Point{}, grid.Point{}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("phi<1 should give unit costs, got %v", got)
+	}
+}
+
+func TestRandomGeometric(t *testing.T) {
+	g := RandomGeometric(500, 0.08, 12, 7)
+	if g.N() != 500 {
+		t.Fatal("wrong n")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDegree() > 12 {
+		t.Fatalf("degree cap violated: %d", g.MaxDegree())
+	}
+	if g.M() == 0 {
+		t.Fatal("no edges at all — radius too small for test")
+	}
+	// Determinism.
+	h := RandomGeometric(500, 0.08, 12, 7)
+	if h.M() != g.M() {
+		t.Fatal("not deterministic")
+	}
+}

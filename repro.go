@@ -1,0 +1,66 @@
+// Package repro is the public facade of the reproduction of
+//
+//	David Steurer, "Tight Bounds on the Min-Max Boundary Decomposition
+//	Cost of Weighted Graphs", SPAA 2006 (arXiv:cs/0606001).
+//
+// It partitions a graph with vertex weights and edge costs into k strictly
+// weight-balanced parts minimizing the maximum boundary cost — the min-max
+// boundary decomposition problem. The guarantee (Theorem 4):
+//
+//   - every part's weight is within (1 − 1/k)·‖w‖∞ of the average ‖w‖₁/k
+//     (Definition 1 — as balanced as greedy bin packing), and
+//   - the maximum boundary cost is O_p(σ_p·(k^{−1/p}·‖c‖_p + Δ_c)), where
+//     σ_p is the graph's p-splittability (Definition 3).
+//
+// Quick start:
+//
+//	gr := grid.MustBox(64, 64)                      // a 2-D grid instance
+//	res, err := repro.PartitionGrid(gr, 16)         // exact §6 oracle
+//	// res.Coloring[v] ∈ [0,16), res.Stats.MaxBoundary, …
+//
+// or, for a general mesh-like graph:
+//
+//	res, err := repro.Partition(g, 16)              // BFS+FM oracle
+//
+// The full pipeline and every substrate live under internal/: see
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of the paper's bounds.
+package repro
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/grid"
+	"repro/internal/splitter"
+)
+
+// Options re-exports the pipeline configuration.
+type Options = core.Options
+
+// Result re-exports the pipeline output.
+type Result = core.Result
+
+// Partition computes a strictly balanced k-coloring of g with small
+// maximum boundary cost, using the default FM-refined BFS splitting oracle
+// (suitable for bounded-degree mesh-like graphs).
+func Partition(g *graph.Graph, k int) (Result, error) {
+	return core.Decompose(g, Options{K: k})
+}
+
+// PartitionWithOptions runs the pipeline with explicit options.
+func PartitionWithOptions(g *graph.Graph, opt Options) (Result, error) {
+	return core.Decompose(g, opt)
+}
+
+// PartitionGrid partitions a d-dimensional grid graph using the paper's
+// exact GridSplit splitting oracle (Section 6, Theorem 19) with the
+// canonical exponent p = d/(d−1).
+func PartitionGrid(gr *grid.Grid, k int) (Result, error) {
+	p := gr.P()
+	if math.IsInf(p, 1) {
+		p = 2
+	}
+	return core.Decompose(gr.G, Options{K: k, P: p, Splitter: splitter.NewGrid(gr)})
+}
