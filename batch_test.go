@@ -1,0 +1,65 @@
+package repro
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/splitter"
+	"repro/internal/workload"
+)
+
+func TestPartitionBatchMatchesIndividualRuns(t *testing.T) {
+	gs := make([]*graph.Graph, 6)
+	for i := range gs {
+		gs[i] = workload.ClimateMesh(16, 16, 3, int64(i+1))
+	}
+	opt := Options{K: 8, Parallelism: 4}
+	batch, err := PartitionBatch(gs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(gs) {
+		t.Fatalf("got %d results for %d instances", len(batch), len(gs))
+	}
+	for i, g := range gs {
+		solo, err := PartitionWithOptions(g, Options{K: 8, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(batch[i].Coloring, solo.Coloring) {
+			t.Fatalf("instance %d: batch coloring differs from standalone run", i)
+		}
+		if !reflect.DeepEqual(batch[i].Stats, solo.Stats) {
+			t.Fatalf("instance %d: batch stats differ from standalone run", i)
+		}
+		if !batch[i].Stats.StrictlyBalanced {
+			t.Fatalf("instance %d: batch result not strictly balanced", i)
+		}
+	}
+}
+
+func TestPartitionBatchErrors(t *testing.T) {
+	gs := []*graph.Graph{workload.ClimateMesh(8, 8, 2, 1)}
+	if _, err := PartitionBatch(gs, Options{K: 0}); err == nil {
+		t.Fatal("expected K error to propagate from batch instances")
+	} else if !strings.Contains(err.Error(), "instance 0") {
+		t.Fatalf("error %q does not identify the failing instance", err)
+	}
+	if _, err := PartitionBatch(gs, Options{K: 2, Splitter: splitter.NewBFS(gs[0])}); err == nil {
+		t.Fatal("expected rejection of a shared Splitter in batch mode")
+	}
+	if rs, err := PartitionBatch(nil, Options{K: 4}); err != nil || len(rs) != 0 {
+		t.Fatalf("empty batch: got %d results, err %v", len(rs), err)
+	}
+	// Negative parallelism follows the Options contract: sequential, not
+	// GOMAXPROCS fan-out, and still produces the standard result.
+	rs, err := PartitionBatch(gs, Options{K: 2, Parallelism: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rs[0].Stats.StrictlyBalanced {
+		t.Fatal("sequential batch result not strictly balanced")
+	}
+}

@@ -7,10 +7,14 @@ package repro
 // kernels: GridSplit (Theorem 19) and the Theorem 4 pipeline.
 
 import (
+	"runtime"
+	"slices"
 	"testing"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/bench"
+	"repro/internal/graph"
 	"repro/internal/grid"
 	"repro/internal/splitter"
 	"repro/internal/workload"
@@ -80,6 +84,88 @@ func BenchmarkDecomposeClimateMeshK16(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---- parallel engine ----
+
+// benchSeqVsPar times the sequential (Parallelism 1) and parallel
+// (Parallelism GOMAXPROCS) variants of the same decomposition inside one
+// sub-benchmark and reports their ratio as the "speedup" metric, after
+// verifying that both produce byte-identical colorings (the engine's
+// determinism contract). ns/op covers one seq+par pair.
+func benchSeqVsPar(b *testing.B, run func(par int) []Result) {
+	b.Helper()
+	par := runtime.GOMAXPROCS(0)
+	seqRes := run(1)
+	parRes := run(par)
+	if len(seqRes) != len(parRes) {
+		b.Fatal("result count differs between parallelism levels")
+	}
+	for i := range seqRes {
+		if !slices.Equal(seqRes[i].Coloring, parRes[i].Coloring) {
+			b.Fatalf("instance %d: colorings differ between Parallelism 1 and %d", i, par)
+		}
+	}
+	var seqT, parT time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		run(1)
+		seqT += time.Since(t0)
+		t0 = time.Now()
+		run(par)
+		parT += time.Since(t0)
+	}
+	b.StopTimer()
+	if parT > 0 {
+		b.ReportMetric(seqT.Seconds()/parT.Seconds(), "speedup")
+	}
+}
+
+// BenchmarkDecomposeParallel reports the sequential-vs-parallel speedup of
+// the decomposition engine on the two instance families of the paper: exact
+// grid instances (Section 6 oracle) and climate meshes (BFS+FM oracle),
+// plus the PartitionBatch fan-out over many independent instances. The
+// grid case meets the 256×256, k = 16 scale of the acceptance bar; the
+// "speedup" metric is expected ≥ 1.5 on a multi-core runner and ≈ 1 on a
+// single hardware thread.
+func BenchmarkDecomposeParallel(b *testing.B) {
+	b.Run("Grid256x256K16", func(b *testing.B) {
+		gr := grid.MustBox(256, 256)
+		workload.ApplyFields(gr, workload.LognormalWeights(0.5), nil, 1)
+		benchSeqVsPar(b, func(par int) []Result {
+			res, err := PartitionWithOptions(gr.G, Options{
+				K: 16, P: gr.P(), Splitter: splitter.NewGrid(gr), Parallelism: par,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return []Result{res}
+		})
+	})
+	b.Run("ClimateMesh96x96K16", func(b *testing.B) {
+		mesh := workload.ClimateMesh(96, 96, 4, 1)
+		benchSeqVsPar(b, func(par int) []Result {
+			res, err := PartitionWithOptions(mesh, Options{K: 16, Parallelism: par})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return []Result{res}
+		})
+	})
+	b.Run("Batch16xClimateMesh48K16", func(b *testing.B) {
+		gs := make([]*graph.Graph, 16)
+		for i := range gs {
+			gs[i] = workload.ClimateMesh(48, 48, 4, int64(i+1))
+		}
+		benchSeqVsPar(b, func(par int) []Result {
+			rs, err := PartitionBatch(gs, Options{K: 16, Parallelism: par})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return rs
+		})
+	})
 }
 
 func BenchmarkGreedyBaseline(b *testing.B) {

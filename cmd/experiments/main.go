@@ -1,24 +1,83 @@
 // Command experiments regenerates every table of the experiment suite
-// (DESIGN.md §3, E1–E11), the reproduction of the paper's bounds.
+// (DESIGN.md §3, E1–E12), the reproduction of the paper's bounds, and
+// hosts the batch-throughput harness for the parallel engine.
 //
 // Usage:
 //
 //	experiments [-quick] [-only E4]
+//	experiments -batch 32 [-batchsize 48] [-k 16] [-par 0]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"slices"
 	"strings"
+	"time"
 
+	"repro"
 	"repro/internal/bench"
+	"repro/internal/graph"
+	"repro/internal/workload"
 )
+
+// runBatch exercises repro.PartitionBatch on n fixed-seed climate meshes,
+// once sequentially and once on the full pool, and prints the throughput
+// comparison. This is the command-line face of the "serve heavy traffic"
+// direction: many independent instances fanned across cores.
+func runBatch(n, side, k, par int) error {
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	gs := make([]*graph.Graph, n)
+	for i := range gs {
+		gs[i] = workload.ClimateMesh(side, side, 4, int64(i+1))
+	}
+
+	run := func(p int) ([]repro.Result, time.Duration, error) {
+		start := time.Now()
+		rs, err := repro.PartitionBatch(gs, repro.Options{K: k, Parallelism: p})
+		return rs, time.Since(start), err
+	}
+	seqRes, seqDur, err := run(1)
+	if err != nil {
+		return err
+	}
+	parRes, parDur, err := run(par)
+	if err != nil {
+		return err
+	}
+	for i := range seqRes {
+		if !slices.Equal(seqRes[i].Coloring, parRes[i].Coloring) {
+			return fmt.Errorf("instance %d: parallel coloring differs from sequential", i)
+		}
+	}
+
+	fmt.Printf("batch: %d × ClimateMesh(%d×%d) k=%d\n", n, side, side, k)
+	fmt.Printf("  par=1:  %10v  (%.2f inst/s)\n", seqDur.Round(time.Millisecond), float64(n)/seqDur.Seconds())
+	fmt.Printf("  par=%-2d: %10v  (%.2f inst/s)\n", par, parDur.Round(time.Millisecond), float64(n)/parDur.Seconds())
+	fmt.Printf("  speedup: %.2fx   colorings: identical\n", seqDur.Seconds()/parDur.Seconds())
+	return nil
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "run at reduced instance sizes")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E4)")
+	batch := flag.Int("batch", 0, "instead of the experiment suite, run a batch of this many climate-mesh instances through PartitionBatch")
+	batchSize := flag.Int("batchsize", 48, "side length of each batch instance")
+	kFlag := flag.Int("k", 16, "number of parts for -batch")
+	par := flag.Int("par", 0, "worker-pool bound for -batch (0 = GOMAXPROCS)")
 	flag.Parse()
+
+	if *batch > 0 {
+		if err := runBatch(*batch, *batchSize, *kFlag, *par); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cfg := bench.Config{Quick: *quick}
 	want := map[string]bool{}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"time"
 
 	"repro/internal/graph"
@@ -20,8 +21,19 @@ type Options struct {
 	P float64
 
 	// Splitter is the splitting-set oracle. Defaults to an FM-refined BFS
-	// prefix splitter on the input graph.
+	// prefix splitter on the input graph. Custom implementations must be
+	// safe for concurrent use (see splitter.Splitter) whenever
+	// Parallelism ≠ 1.
 	Splitter splitter.Splitter
+
+	// Parallelism bounds the worker pool used by the pipeline's
+	// divide-and-conquer stages (and by PartitionBatch at the facade).
+	// 0 defaults to runtime.GOMAXPROCS(0); 1 runs fully sequentially,
+	// reproducing the single-threaded behavior bit-for-bit; values < 0 are
+	// treated as 1. The coloring is deterministic for a given graph and
+	// options regardless of this setting — parallelism only changes where
+	// the work runs, never which work runs.
+	Parallelism int
 
 	// Measures are additional vertex measures to balance alongside the
 	// vertex weights (the multi-balanced extension noted in Section 7).
@@ -84,6 +96,9 @@ func Decompose(g *graph.Graph, opt Options) (Result, error) {
 	}
 	k := opt.K
 	var diag Diagnostics
+	diag.Parallelism = c.par
+	// The counter is shared by every pool worker that consults the oracle,
+	// hence atomic (countingSplitter documents the contract).
 	c.sp = countingSplitter{inner: c.sp, calls: &diag.SplitterCalls}
 	start := time.Now()
 
@@ -148,12 +163,24 @@ func newCtx(g *graph.Graph, opt Options) (*ctx, error) {
 	if sp == nil {
 		sp = splitter.NewRefined(g, splitter.NewBFS(g))
 	}
-	return &ctx{
-		g:  g,
-		sp: sp,
-		p:  p,
-		pi: measure.SplittingCost(g, p, 1),
-	}, nil
+	par := opt.Parallelism
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par < 1 {
+		par = 1
+	}
+	c := &ctx{
+		g:   g,
+		sp:  sp,
+		p:   p,
+		pi:  measure.SplittingCost(g, p, 1),
+		par: par,
+	}
+	if par > 1 {
+		c.sem = make(chan struct{}, par-1)
+	}
+	return c, nil
 }
 
 // TheoremBound returns the Theorem 5 upper-bound shape

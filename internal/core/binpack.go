@@ -22,10 +22,16 @@ type chunk struct {
 // cutDownClasses removes chunks from every class whose adjusted weight
 // (class weight + offset[i]) exceeds limit, collecting them in a buffer.
 // offsets may be nil. Classes are modified in place; returns the buffer.
+//
+// The per-class cut-down loops are independent (each touches only
+// classes[i] and its own buffer slot), so they fan out across the ctx
+// worker pool. The returned buffer concatenates the per-class buffers in
+// class order — exactly the sequential emission order — so the downstream
+// greedy assignment sees the same input regardless of Parallelism.
 func (c *ctx) cutDownClasses(classes [][]int32, w []float64, offsets []float64, limit, maxw float64) []chunk {
-	var buffer []chunk
 	tol := 1e-9 * (limit + maxw + 1)
-	for i := range classes {
+	buffers := make([][]chunk, len(classes))
+	c.parRange(len(classes), func(i int) {
 		cw := sumOver(w, classes[i])
 		off := 0.0
 		if offsets != nil {
@@ -42,11 +48,15 @@ func (c *ctx) cutDownClasses(classes [][]int32, w []float64, offsets []float64, 
 			xw := sumOver(w, X)
 			classes[i] = subtract(classes[i], X)
 			cw -= xw
-			buffer = append(buffer, chunk{X, xw})
+			buffers[i] = append(buffers[i], chunk{X, xw})
 			if xw <= 0 && len(classes[i]) == 0 {
 				break
 			}
 		}
+	})
+	var buffer []chunk
+	for _, b := range buffers {
+		buffer = append(buffer, b...)
 	}
 	return buffer
 }

@@ -1,17 +1,99 @@
 package core
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"repro/internal/graph"
 	"repro/internal/splitter"
 )
 
 // ctx bundles the graph, the splitting-set oracle and the Hölder exponent
-// that all pipeline stages share.
+// that all pipeline stages share, plus the bounded worker pool that the
+// parallel stages draw from.
+//
+// Concurrency contract: every field is written only before the first pool
+// worker is spawned (newCtx, plus Decompose's countingSplitter wrap of sp)
+// and read-only afterwards (sem carries tokens, never data), so ctx methods
+// may run from multiple pool workers at once as long as each worker only
+// writes state it owns. The splitting oracle sp must be safe for concurrent use
+// (see splitter.Splitter); all in-tree implementations are stateless.
 type ctx struct {
 	g  *graph.Graph
 	sp splitter.Splitter
 	p  float64
 	pi []float64 // splitting-cost measure π of Definition 10 (σ_p = 1)
+
+	par int           // resolved Options.Parallelism (≥ 1)
+	sem chan struct{} // spare-worker tokens; nil when par == 1
+}
+
+// parallelCutoff is the minimum subproblem size (vertices) for which
+// spawning a pool worker pays off. Every oracle call allocates Θ(N) masks,
+// so even small splits dwarf the ~µs goroutine overhead; the cutoff only
+// guards the leaf-level recursion on near-empty sets.
+const parallelCutoff = 64
+
+// acquire reserves a spare-worker token for a subproblem of n vertices.
+// It never blocks: it returns false when parallelism is disabled, the pool
+// is saturated, or the subproblem is below the cutoff — callers then run
+// inline, which keeps the pool deadlock-free by construction (a worker
+// waiting for its children always has them running somewhere).
+func (c *ctx) acquire(n int) bool {
+	if c.sem == nil || n < parallelCutoff {
+		return false
+	}
+	select {
+	case c.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// release returns a token taken by acquire.
+func (c *ctx) release() { <-c.sem }
+
+// parRange runs f(i) for every i in [0, n), fanning the indices across
+// however many pool workers are currently free (plus the calling
+// goroutine). f must only write state owned by index i; the iteration
+// order is unspecified but every index runs exactly once, so any
+// per-index output is deterministic. Falls back to a plain loop when the
+// pool is unavailable.
+func (c *ctx) parRange(n int, f func(i int)) {
+	if c.sem == nil || n < 2 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next int64
+	work := func() {
+		for {
+			i := int(atomic.AddInt64(&next, 1)) - 1
+			if i >= n {
+				return
+			}
+			f(i)
+		}
+	}
+	var wg sync.WaitGroup
+	for spawned := 0; spawned < n-1; spawned++ {
+		select {
+		case c.sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer c.release()
+				work()
+			}()
+			continue
+		default:
+		}
+		break
+	}
+	work()
+	wg.Wait()
 }
 
 // sumOver returns Σ_{v∈U} m[v].

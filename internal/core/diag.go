@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/splitter"
@@ -11,8 +12,14 @@ import (
 // running time is O(t(|G|)·log k) where t is the splitting-oracle cost;
 // SplitterCalls makes that oracle complexity observable.
 type Diagnostics struct {
-	// SplitterCalls counts invocations of the splitting-set oracle.
-	SplitterCalls int
+	// SplitterCalls counts invocations of the splitting-set oracle. The
+	// count is exact and independent of Parallelism: concurrent stages
+	// perform the same oracle calls as the sequential run, only interleaved.
+	SplitterCalls int64
+
+	// Parallelism is the resolved worker-pool bound the run used
+	// (Options.Parallelism after defaulting; 1 means fully sequential).
+	Parallelism int
 
 	// Durations of the three pipeline stages plus the polish pass.
 	MultiBalance time.Duration // Proposition 7 (or Lemma 6 under ablation)
@@ -24,19 +31,22 @@ type Diagnostics struct {
 
 // String renders a one-line summary.
 func (d Diagnostics) String() string {
-	return fmt.Sprintf("splits=%d prop7=%v prop11=%v binpack=%v polish=%v total=%v",
-		d.SplitterCalls, d.MultiBalance.Round(time.Microsecond),
+	return fmt.Sprintf("splits=%d par=%d prop7=%v prop11=%v binpack=%v polish=%v total=%v",
+		d.SplitterCalls, d.Parallelism, d.MultiBalance.Round(time.Microsecond),
 		d.AlmostStrict.Round(time.Microsecond), d.StrictPack.Round(time.Microsecond),
 		d.Polish.Round(time.Microsecond), d.Total.Round(time.Microsecond))
 }
 
-// countingSplitter decorates a Splitter with a call counter.
+// countingSplitter decorates a Splitter with a call counter. The counter is
+// incremented atomically because the decorated oracle is consulted from
+// every pool worker concurrently; the final value is read only after all
+// workers have joined (Decompose returns), so no torn read is possible.
 type countingSplitter struct {
 	inner splitter.Splitter
-	calls *int
+	calls *int64
 }
 
 func (cs countingSplitter) Split(W []int32, w []float64, target float64) []int32 {
-	*cs.calls++
+	atomic.AddInt64(cs.calls, 1)
 	return cs.inner.Split(W, w, target)
 }

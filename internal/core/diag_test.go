@@ -33,7 +33,7 @@ func TestDiagnosticsOracleComplexity(t *testing.T) {
 	// Theorem 4: oracle calls grow near-linearly with k (each color class
 	// is split O(1) times per stage, plus O(log k) rebalance depth).
 	gr, g := gridGraph(t, 24, 24)
-	calls := func(k int) int {
+	calls := func(k int) int64 {
 		res, err := Decompose(g, Options{K: k, Splitter: splitter.NewGrid(gr)})
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,134 @@
+package core
+
+// Regression tests for the parallel decomposition engine: the coloring and
+// stats must be bit-for-bit independent of Options.Parallelism, and the
+// shared diagnostics counter must be sound under -race (CI runs this
+// package with the race detector enabled).
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/splitter"
+	"repro/internal/workload"
+)
+
+func TestDecomposeDeterministicAcrossParallelism(t *testing.T) {
+	gr, gg := gridGraph(t, 24, 24)
+	mesh := workload.ClimateMesh(24, 24, 4, 1)
+
+	cases := []struct {
+		name string
+		opt  Options
+	}{
+		{"ClimateMesh24x24K16", Options{K: 16}},
+		{"Grid24x24K16", Options{K: 16, Splitter: splitter.NewGrid(gr)}},
+		{"ClimateMeshMultiMeasure", Options{K: 8, Measures: [][]float64{unitMeasure(mesh.N())}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := mesh
+			if tc.opt.Splitter != nil {
+				g = gg
+			}
+			opt1 := tc.opt
+			opt1.Parallelism = 1
+			base, err := Decompose(g, opt1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, par := range []int{2, 8} {
+				optN := tc.opt
+				optN.Parallelism = par
+				got, err := Decompose(g, optN)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(base.Coloring, got.Coloring) {
+					t.Fatalf("parallelism %d: coloring differs from sequential run", par)
+				}
+				if !reflect.DeepEqual(base.Stats, got.Stats) {
+					t.Fatalf("parallelism %d: stats differ: %+v vs %+v", par, base.Stats, got.Stats)
+				}
+				if base.UsedFallback != got.UsedFallback {
+					t.Fatalf("parallelism %d: fallback flag differs", par)
+				}
+				// The parallel run performs the same oracle calls as the
+				// sequential one, only interleaved (and the atomic counter
+				// must not drop increments).
+				if base.Diag.SplitterCalls != got.Diag.SplitterCalls {
+					t.Fatalf("parallelism %d: splitter calls %d != sequential %d",
+						par, got.Diag.SplitterCalls, base.Diag.SplitterCalls)
+				}
+			}
+		})
+	}
+}
+
+// TestSplitterCallsRaceFree drives the parallel path hard enough that the
+// race detector sees concurrent oracle calls: an over-subscribed pool on a
+// single instance, plus several whole Decompose runs in flight at once.
+// It fails under -race if the SplitterCalls counter (or any other shared
+// pipeline state) is written without synchronization.
+func TestSplitterCallsRaceFree(t *testing.T) {
+	mesh := workload.ClimateMesh(20, 20, 4, 2)
+	opt := Options{K: 12, Parallelism: 8}
+	want, err := Decompose(mesh, Options{K: 12, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := Decompose(mesh, opt)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if res.Diag.SplitterCalls != want.Diag.SplitterCalls {
+				t.Errorf("splitter calls %d != sequential %d", res.Diag.SplitterCalls, want.Diag.SplitterCalls)
+			}
+			if !reflect.DeepEqual(res.Coloring, want.Coloring) {
+				t.Error("parallel coloring differs from sequential")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestParallelismResolution pins the Options.Parallelism defaulting rules.
+func TestParallelismResolution(t *testing.T) {
+	mesh := workload.ClimateMesh(8, 8, 2, 3)
+	for _, tc := range []struct {
+		in      int
+		wantMin int
+	}{
+		{0, 1},  // defaults to GOMAXPROCS ≥ 1
+		{-3, 1}, // negatives clamp to sequential
+		{1, 1},
+		{4, 4},
+	} {
+		res, err := Decompose(mesh, Options{K: 4, Parallelism: tc.in})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Diag.Parallelism < tc.wantMin {
+			t.Fatalf("Parallelism %d resolved to %d, want ≥ %d", tc.in, res.Diag.Parallelism, tc.wantMin)
+		}
+		if tc.in > 1 && res.Diag.Parallelism != tc.in {
+			t.Fatalf("Parallelism %d resolved to %d", tc.in, res.Diag.Parallelism)
+		}
+	}
+}
+
+// unitMeasure returns the all-ones measure of length n.
+func unitMeasure(n int) []float64 {
+	m := make([]float64, n)
+	for i := range m {
+		m[i] = 1
+	}
+	return m
+}

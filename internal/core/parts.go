@@ -63,15 +63,26 @@ func (c *ctx) extractLowImpact(U []int32, psi []float64, target float64, measure
 		mTotals[j] = sumOver(m, U)
 	}
 	bTotal := c.boundaryOf(U)
-	best := 0
-	bestScore := c.impact(parts[0], measures, mTotals, bTotal)
+	// Skip runt last parts far below the target weight when possible (the
+	// cheap predicate runs first so skipped parts are never scored), then
+	// score the candidates on the pool — impact is a pure function of each
+	// part, and the boundary scan is the expensive piece — and take the
+	// argmin in part order, the same winner as the sequential scan.
+	candidates := []int{0}
 	for i := 1; i < len(parts); i++ {
-		// Skip runt last parts far below the target weight when possible.
 		if sumOver(psi, parts[i]) < target/2 && len(parts) > 2 {
 			continue
 		}
-		if s := c.impact(parts[i], measures, mTotals, bTotal); s < bestScore {
-			best, bestScore = i, s
+		candidates = append(candidates, i)
+	}
+	scores := make([]float64, len(candidates))
+	c.parRange(len(candidates), func(j int) {
+		scores[j] = c.impact(parts[candidates[j]], measures, mTotals, bTotal)
+	})
+	best, bestScore := candidates[0], scores[0]
+	for j := 1; j < len(candidates); j++ {
+		if scores[j] < bestScore {
+			best, bestScore = candidates[j], scores[j]
 		}
 	}
 	return parts[best]
@@ -111,7 +122,18 @@ func (c *ctx) extractHighImpact(U []int32, psi []float64, target float64, measur
 		m := m
 		pick(func(X []int32) float64 { return sumOver(m, X) })
 	}
-	pick(func(X []int32) float64 { return c.boundaryOf(X) })
+	// Boundary costs are the expensive scores; precompute them on the pool.
+	bparts := make([]float64, len(parts))
+	c.parRange(len(parts), func(i int) { bparts[i] = c.boundaryOf(parts[i]) })
+	bestB, bestScore := -1, -1.0
+	for i := range parts {
+		if bparts[i] > bestScore {
+			bestB, bestScore = i, bparts[i]
+		}
+	}
+	if bestB >= 0 {
+		chosen[bestB] = true
+	}
 
 	var xbar []int32
 	for i := range parts {

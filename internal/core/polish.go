@@ -116,6 +116,12 @@ func (ps *polishState) round() bool {
 	}
 
 	improved := false
+	// Receiver-selection scratch, reused across border vertices: perClass
+	// accumulates adjacency per neighboring class, touchedCls records which
+	// entries to reset (only a vertex's few neighbor classes, not all k).
+	perClass := make([]float64, k)
+	inTouched := make([]bool, k)
+	touchedCls := make([]int32, 0, 8)
 	for donor := int32(0); donor < int32(k); donor++ {
 		if ps.cb[donor] < 0.75*maxB {
 			continue
@@ -124,21 +130,33 @@ func (ps *polishState) round() bool {
 			if ps.out[v] != donor {
 				continue // moved earlier this round
 			}
-			// Receiver: the neighboring class with the largest adjacency.
-			perClass := map[int32]float64{}
+			// Receiver: the neighboring class with the largest adjacency,
+			// ties broken toward the lowest class id. (A map here would
+			// break determinism: with unit costs ties are common, and map
+			// iteration order would pick different receivers run to run.)
 			for _, e := range g.IncidentEdges(v) {
 				o := g.Other(e, v)
-				if ps.out[o] != donor {
-					perClass[ps.out[o]] += g.Cost[e]
+				if cls := ps.out[o]; cls != donor {
+					if !inTouched[cls] {
+						inTouched[cls] = true
+						touchedCls = append(touchedCls, cls)
+					}
+					perClass[cls] += g.Cost[e]
 				}
 			}
 			var best int32 = -1
 			bestCost := 0.0
-			for cls, cost := range perClass {
-				if cost > bestCost {
-					best, bestCost = cls, cost
+			for _, cls := range touchedCls {
+				c := perClass[cls]
+				if c > bestCost || (c == bestCost && best >= 0 && cls < best) {
+					best, bestCost = cls, c
 				}
 			}
+			for _, cls := range touchedCls {
+				perClass[cls] = 0
+				inTouched[cls] = false
+			}
+			touchedCls = touchedCls[:0]
 			if best < 0 {
 				continue
 			}

@@ -9,6 +9,12 @@ package core
 // Φ⁽ʳ⁾ using the splitting oracle, 2-color both halves recursively for the
 // remaining measures, then orient the halves so the sides' Φ⁽ʳ⁾ loads
 // interleave (assumption (5) in the proof).
+//
+// The two recursive branches operate on disjoint vertex sets and share only
+// read-only state (the graph, the measures, the oracle), so they run
+// concurrently on the ctx worker pool when a token is free. Each branch's
+// result lands in a fixed slot (p1 ← U1, p2 ← U2), so the coloring is
+// identical to the sequential one regardless of scheduling.
 
 // twoColor partitions W into two parts balanced w.r.t. all measures in ms
 // (ms[0] strongest). Returns the two parts; their union is W.
@@ -24,8 +30,20 @@ func (c *ctx) twoColor(W []int32, ms [][]float64) [2][]int32 {
 	if r == 1 {
 		return [2][]int32{U1, U2}
 	}
-	p1 := c.twoColor(U1, ms[:r-1])
-	p2 := c.twoColor(U2, ms[:r-1])
+	var p1, p2 [2][]int32
+	if c.acquire(len(U2)) {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			defer c.release()
+			p2 = c.twoColor(U2, ms[:r-1])
+		}()
+		p1 = c.twoColor(U1, ms[:r-1])
+		<-done
+	} else {
+		p1 = c.twoColor(U1, ms[:r-1])
+		p2 = c.twoColor(U2, ms[:r-1])
+	}
 	// Orient so that side b receives at most half of U_b's Φ⁽ʳ⁾ from χ_b:
 	// side 0 light in U1, side 1 light in U2.
 	if sumOver(last, p1[0]) > sumOver(last, U1)/2 {

@@ -9,6 +9,11 @@ import (
 // decrease boundary cost while preserving the Definition 3 weight window.
 // Refinement never invalidates the oracle contract — it only improves the
 // constant in front of ‖c|W‖_p in practice.
+//
+// Refined is safe for concurrent Split calls (the Splitter concurrency
+// contract): the masks and gain bookkeeping live on the call stack, the
+// struct fields are read-only after construction, and the inner splitter
+// must itself honor the contract (all in-tree ones do).
 type Refined struct {
 	G     *graph.Graph
 	Inner Splitter

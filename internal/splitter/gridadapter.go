@@ -8,6 +8,10 @@ import (
 // Splitter. It realizes σ_p(G, c) = O_d(log^{1/d}(φ+1)) with p = d/(d−1)
 // on d-dimensional grid graphs — the paper's exact splitting-set routine
 // for arbitrary edge costs.
+//
+// GridAdapter is safe for concurrent Split calls (the Splitter concurrency
+// contract): Grid.SplitSubset only reads the grid's geometry and costs and
+// allocates its recursion state per call.
 type GridAdapter struct {
 	Grid *grid.Grid
 }

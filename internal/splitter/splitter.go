@@ -28,6 +28,15 @@ import (
 // Split must return U ⊆ W with |w(U) − target| ≤ ‖w|W‖∞/2 after clamping
 // target into [0, w(W)], choosing U with small boundary cost inside G[W].
 // w is indexed by global vertex id; entries outside W are ignored.
+//
+// Concurrency: the core pipeline consults the oracle from multiple worker
+// goroutines at once whenever core.Options.Parallelism ≠ 1, so Split must
+// be safe for concurrent calls (with disjoint or overlapping W) as long as
+// the bound graph is not mutated. Every in-tree implementation —
+// OrderedPrefix, Refined, and GridAdapter here, plus the Lemma 37 adapter
+// in internal/separator — is stateless between calls (all scratch state is
+// allocated per call) and satisfies this. A stateful implementation must
+// either synchronize internally or be constructed per goroutine.
 type Splitter interface {
 	Split(W []int32, w []float64, target float64) []int32
 }

@@ -28,7 +28,11 @@
 package repro
 
 import (
+	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -63,4 +67,65 @@ func PartitionGrid(gr *grid.Grid, k int) (Result, error) {
 		p = 2
 	}
 	return core.Decompose(gr.G, Options{K: k, P: p, Splitter: splitter.NewGrid(gr)})
+}
+
+// PartitionBatch decomposes a slice of independent instances, fanning them
+// across a worker pool of opt.Parallelism goroutines (0 defaults to
+// runtime.GOMAXPROCS(0)) — the serving front-end for workloads that
+// partition many graphs at once. Each instance runs the full pipeline with
+// the given options but with intra-instance Parallelism pinned to 1:
+// instance-level fan-out already saturates the pool, and a sequential inner
+// run makes every result byte-identical to a standalone
+// PartitionWithOptions call with Parallelism 1.
+//
+// results[i] corresponds to gs[i]. If any instance fails, the first
+// (lowest-index) error is returned alongside the results computed so far;
+// entries whose instances failed are zero Results.
+//
+// opt.Splitter must be nil for batches: a splitter is bound to one graph,
+// so each instance builds its own default oracle. Pass a non-nil splitter
+// only via single-instance PartitionWithOptions.
+func PartitionBatch(gs []*graph.Graph, opt Options) ([]Result, error) {
+	if opt.Splitter != nil {
+		return nil, fmt.Errorf("repro: PartitionBatch requires a nil Splitter (oracles are bound to a single graph)")
+	}
+	// Same resolution rules as Options.Parallelism: 0 defaults to the
+	// machine width, negatives mean sequential.
+	workers := opt.Parallelism
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(gs) {
+		workers = len(gs)
+	}
+	inner := opt
+	inner.Parallelism = 1
+
+	results := make([]Result, len(gs))
+	errs := make([]error, len(gs))
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(gs) {
+					return
+				}
+				results[i], errs[i] = core.Decompose(gs[i], inner)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("repro: instance %d: %w", i, err)
+		}
+	}
+	return results, nil
 }
