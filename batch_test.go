@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -61,5 +62,36 @@ func TestPartitionBatchErrors(t *testing.T) {
 	}
 	if !rs[0].Stats.StrictlyBalanced {
 		t.Fatal("sequential batch result not strictly balanced")
+	}
+}
+
+func TestPartitionBatchAggregatesErrors(t *testing.T) {
+	// Invalid P fails every instance; the aggregate must carry one indexed
+	// slot per instance so callers can tell exactly which runs failed.
+	gs := []*graph.Graph{
+		workload.ClimateMesh(8, 8, 2, 1),
+		workload.ClimateMesh(8, 8, 2, 2),
+	}
+	_, err := PartitionBatch(gs, Options{K: 2, P: 0.5})
+	if err == nil {
+		t.Fatal("expected batch failure for invalid P")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %T is not a *BatchError", err)
+	}
+	if len(be.Errs) != len(gs) {
+		t.Fatalf("BatchError has %d slots, want %d", len(be.Errs), len(gs))
+	}
+	for i, e := range be.Errs {
+		if e == nil {
+			t.Fatalf("instance %d: expected an error", i)
+		}
+	}
+	if got := len(be.Unwrap()); got != 2 {
+		t.Fatalf("Unwrap returned %d errors, want 2", got)
+	}
+	if !strings.Contains(be.Error(), "2 of 2") || !strings.Contains(be.Error(), "instance 0") {
+		t.Fatalf("summary %q lacks count or first index", be.Error())
 	}
 }

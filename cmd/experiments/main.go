@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	experiments [-quick] [-only E4]
-//	experiments -batch 32 [-batchsize 48] [-k 16] [-par 0]
+//	experiments [-quick] [-only E4] [-json]
+//	experiments -batch 32 [-batchsize 48] [-k 16] [-par 0] [-json]
+//
+// With -json the output is machine-readable: the experiment suite emits a
+// JSON array of tables, the batch harness a single throughput record —
+// the format the BENCH_*.json perf trajectory ingests.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,11 +28,24 @@ import (
 	"repro/internal/workload"
 )
 
+// batchReport is the machine-readable summary of one -batch run.
+type batchReport struct {
+	Instances   int     `json:"instances"`
+	Side        int     `json:"side"`
+	K           int     `json:"k"`
+	Parallelism int     `json:"parallelism"`
+	SeqSeconds  float64 `json:"seq_seconds"`
+	ParSeconds  float64 `json:"par_seconds"`
+	SeqInstPerS float64 `json:"seq_inst_per_s"`
+	ParInstPerS float64 `json:"par_inst_per_s"`
+	Speedup     float64 `json:"speedup"`
+}
+
 // runBatch exercises repro.PartitionBatch on n fixed-seed climate meshes,
-// once sequentially and once on the full pool, and prints the throughput
+// once sequentially and once on the full pool, and returns the throughput
 // comparison. This is the command-line face of the "serve heavy traffic"
 // direction: many independent instances fanned across cores.
-func runBatch(n, side, k, par int) error {
+func runBatch(n, side, k, par int) (batchReport, error) {
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
@@ -43,23 +61,35 @@ func runBatch(n, side, k, par int) error {
 	}
 	seqRes, seqDur, err := run(1)
 	if err != nil {
-		return err
+		return batchReport{}, err
 	}
 	parRes, parDur, err := run(par)
 	if err != nil {
-		return err
+		return batchReport{}, err
 	}
 	for i := range seqRes {
 		if !slices.Equal(seqRes[i].Coloring, parRes[i].Coloring) {
-			return fmt.Errorf("instance %d: parallel coloring differs from sequential", i)
+			return batchReport{}, fmt.Errorf("instance %d: parallel coloring differs from sequential", i)
 		}
 	}
+	return batchReport{
+		Instances:   n,
+		Side:        side,
+		K:           k,
+		Parallelism: par,
+		SeqSeconds:  seqDur.Seconds(),
+		ParSeconds:  parDur.Seconds(),
+		SeqInstPerS: float64(n) / seqDur.Seconds(),
+		ParInstPerS: float64(n) / parDur.Seconds(),
+		Speedup:     seqDur.Seconds() / parDur.Seconds(),
+	}, nil
+}
 
-	fmt.Printf("batch: %d × ClimateMesh(%d×%d) k=%d\n", n, side, side, k)
-	fmt.Printf("  par=1:  %10v  (%.2f inst/s)\n", seqDur.Round(time.Millisecond), float64(n)/seqDur.Seconds())
-	fmt.Printf("  par=%-2d: %10v  (%.2f inst/s)\n", par, parDur.Round(time.Millisecond), float64(n)/parDur.Seconds())
-	fmt.Printf("  speedup: %.2fx   colorings: identical\n", seqDur.Seconds()/parDur.Seconds())
-	return nil
+func (r batchReport) print() {
+	fmt.Printf("batch: %d × ClimateMesh(%d×%d) k=%d\n", r.Instances, r.Side, r.Side, r.K)
+	fmt.Printf("  par=1:  %10.3fs  (%.2f inst/s)\n", r.SeqSeconds, r.SeqInstPerS)
+	fmt.Printf("  par=%-2d: %10.3fs  (%.2f inst/s)\n", r.Parallelism, r.ParSeconds, r.ParInstPerS)
+	fmt.Printf("  speedup: %.2fx   colorings: identical\n", r.Speedup)
 }
 
 func main() {
@@ -69,12 +99,28 @@ func main() {
 	batchSize := flag.Int("batchsize", 48, "side length of each batch instance")
 	kFlag := flag.Int("k", 16, "number of parts for -batch")
 	par := flag.Int("par", 0, "worker-pool bound for -batch (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	flag.Parse()
 
+	emit := func(v any) {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: encoding JSON: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	if *batch > 0 {
-		if err := runBatch(*batch, *batchSize, *kFlag, *par); err != nil {
+		report, err := runBatch(*batch, *batchSize, *kFlag, *par)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
+		}
+		if *jsonOut {
+			emit(report)
+		} else {
+			report.print()
 		}
 		return
 	}
@@ -105,17 +151,25 @@ func main() {
 		{"E11", bench.E11SeparatorEquiv},
 		{"E12", bench.E12MultiBalanced},
 	}
+	var tables []bench.Table
 	ran := 0
 	for _, e := range suite {
 		if len(want) > 0 && !want[e.id] {
 			continue
 		}
 		tbl := e.fn(cfg)
-		tbl.Fprint(os.Stdout)
+		if *jsonOut {
+			tables = append(tables, tbl)
+		} else {
+			tbl.Fprint(os.Stdout)
+		}
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "experiments: no experiment matches -only=%q\n", *only)
 		os.Exit(2)
+	}
+	if *jsonOut {
+		emit(tables)
 	}
 }

@@ -1,0 +1,85 @@
+// Command reprosrv serves min-max boundary decompositions over HTTP/JSON —
+// the serving front end of the reproduction (DESIGN.md §6). It wraps the
+// internal/service subsystem: an LRU result cache keyed by canonical
+// graph+options hashes, singleflight coalescing of concurrent identical
+// queries, a batch scheduler that drains independent requests onto
+// repro.PartitionBatch, and an incremental /v1/repartition endpoint for
+// weight-drift workloads.
+//
+// Usage:
+//
+//	reprosrv [-addr :8080] [-cache 256] [-graphs 64] [-max-batch 32]
+//	         [-batch-window 2ms] [-queue 256] [-par 0]
+//
+// Endpoints:
+//
+//	POST /v1/graphs       upload a graph (textual format of internal/graph/io)
+//	POST /v1/partition    {"graph_id": "...", "k": 16}
+//	POST /v1/repartition  {"graph_id": "...", "k": 16, "scale": [{"v":0,"w":2}]}
+//	GET  /v1/stats        cache/coalescing/scheduler counters
+//	GET  /v1/healthz      liveness
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cache := flag.Int("cache", 256, "result-cache capacity (entries)")
+	graphs := flag.Int("graphs", 64, "uploaded-graph store capacity")
+	maxBatch := flag.Int("max-batch", 32, "max jobs per scheduler drain")
+	window := flag.Duration("batch-window", 2*time.Millisecond, "scheduler gather window")
+	queue := flag.Int("queue", 256, "admission-queue depth (overflow is 503)")
+	par := flag.Int("par", 0, "pipeline worker-pool bound (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		CacheSize:      *cache,
+		GraphStoreSize: *graphs,
+		MaxBatch:       *maxBatch,
+		BatchWindow:    *window,
+		QueueDepth:     *queue,
+		Parallelism:    *par,
+	})
+	defer srv.Close()
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, drain in-flight
+	// requests, then stop the batch scheduler (deferred Close).
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		done <- hs.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("reprosrv listening on %s", *addr)
+	if err := hs.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "reprosrv: %v\n", err)
+		os.Exit(1)
+	}
+	if err := <-done; err != nil {
+		fmt.Fprintf(os.Stderr, "reprosrv: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,111 @@
+// Example service demonstrates the partition-serving subsystem end to
+// end, entirely in-process: it starts the HTTP server on a loopback port,
+// uploads a climate mesh, partitions it, repeats the request to show the
+// cache hit, then pushes a day/night weight drift through the incremental
+// /v1/repartition endpoint and prints the migration volume.
+//
+// Run with: go run ./examples/service
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+func main() {
+	srv := service.New(service.Config{})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serving on", base)
+
+	// Upload a 64×64 climate mesh (the paper's motivating workload).
+	const rows, cols, k = 64, 64, 16
+	g := workload.ClimateMesh(rows, cols, 4, 7)
+	resp, err := http.Post(base+"/v1/graphs", "text/plain", bytes.NewReader(graph.Marshal(g)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var up service.UploadResponse
+	decode(resp, &up)
+	fmt.Printf("uploaded %s (n=%d, m=%d)\n", up.GraphID, up.N, up.M)
+
+	// Partition it, twice: the second call is a cache hit.
+	req := service.PartitionRequest{GraphID: up.GraphID, K: k}
+	for i := 1; i <= 2; i++ {
+		start := time.Now()
+		var pr service.PartitionResponse
+		postJSON(base+"/v1/partition", req, &pr)
+		fmt.Printf("partition #%d: cached=%-5t maxBoundary=%.1f strict=%t oracleCalls=%d (%v)\n",
+			i, pr.Cached, pr.Stats.MaxBoundary, pr.Stats.StrictlyBalanced,
+			pr.Diag.SplitterCalls, time.Since(start).Round(time.Millisecond))
+	}
+
+	// Night falls on the eastern half: scale its weights down, the western
+	// half up, and ask for an incremental repartition.
+	scale := make([]service.WeightUpdate, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			f := 0.6
+			if c < cols/2 {
+				f = 1.8
+			}
+			scale = append(scale, service.WeightUpdate{V: int32(r*cols + c), W: f})
+		}
+	}
+	var rep service.RepartitionResponse
+	postJSON(base+"/v1/repartition", service.RepartitionRequest{
+		GraphID: up.GraphID, K: k, Scale: scale,
+	}, &rep)
+	fmt.Printf("repartition: coldStart=%t strict=%t maxBoundary=%.1f oracleCalls=%d\n",
+		rep.ColdStart, rep.Stats.StrictlyBalanced, rep.Stats.MaxBoundary, rep.Diag.SplitterCalls)
+	fmt.Printf("  migration: %d vertices, %.1f%% of total weight moved\n",
+		rep.Migration.Vertices, 100*rep.Migration.Fraction)
+
+	// Server-side counters.
+	sresp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var st service.StatsResponse
+	decode(sresp, &st)
+	fmt.Printf("stats: pipelineRuns=%d cacheHits=%d coalesced=%d batches=%d\n",
+		st.PipelineRuns, st.CacheHits, st.Coalesced, st.BatchesDrained)
+}
+
+func postJSON(url string, req, out any) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, out)
+}
+
+func decode(resp *http.Response, out any) {
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("HTTP %d from %s", resp.StatusCode, resp.Request.URL)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

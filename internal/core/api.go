@@ -150,6 +150,87 @@ func Decompose(g *graph.Graph, opt Options) (Result, error) {
 	return res, nil
 }
 
+// Refine resumes the pipeline on an existing complete coloring of g — the
+// incremental entry behind the serving layer's repartition path. The prior
+// coloring (typically computed for a nearby weight field, e.g. before a
+// day/night drift) replaces the Proposition 7 divide-and-conquer as the
+// starting point:
+//
+//   - if the prior coloring is still strictly balanced under g's current
+//     weights, only the polish pass runs — no oracle calls at all;
+//   - otherwise Proposition 11's direct rebalancing moves surplus-sized
+//     splitting-set pieces from overweight to underweight classes, and
+//     Proposition 12 restores strictness, exactly as in Decompose.
+//
+// Every stage moves only as much weight as the imbalance demands, so
+// vertices keep their prior class wherever the Definition 1 window allows:
+// the migration volume between prior and the result tracks the size of the
+// weight drift, not the size of the graph. Diagnostics count only the
+// resumed stages' oracle calls, making the saving over a fresh Decompose
+// observable via SplitterCalls.
+func Refine(g *graph.Graph, opt Options, prior []int32) (Result, error) {
+	if opt.K < 1 {
+		return Result{}, fmt.Errorf("core: K must be ≥ 1, got %d", opt.K)
+	}
+	if len(opt.Measures) > 0 {
+		// The resumed stages rebalance vertex weight only; silently
+		// dropping a multi-balance request would return a coloring without
+		// the property the caller asked for.
+		return Result{}, fmt.Errorf("core: Refine does not support Measures (the resumed stages balance weight only); run Decompose")
+	}
+	if len(prior) != g.N() {
+		return Result{}, fmt.Errorf("core: coloring length %d != N %d", len(prior), g.N())
+	}
+	if err := graph.CheckColoring(prior, opt.K); err != nil {
+		return Result{}, err
+	}
+	if g.N() == 0 {
+		return Result{Coloring: []int32{}, Stats: graph.ColoringStats{K: opt.K}}, nil
+	}
+	c, err := newCtx(g, opt)
+	if err != nil {
+		return Result{}, err
+	}
+	k := opt.K
+	var diag Diagnostics
+	diag.Parallelism = c.par
+	c.sp = countingSplitter{inner: c.sp, calls: &diag.SplitterCalls}
+	start := time.Now()
+
+	chi := append([]int32(nil), prior...)
+	strict := graph.IsStrictlyBalanced(g, chi, k)
+	if !strict {
+		if !opt.SkipShrink {
+			chi = c.almostStrict(chi, k, opt.PaperShrink)
+		}
+		diag.AlmostStrict = time.Since(start)
+		mark := time.Now()
+		chi = c.binPack2(chi, k)
+		diag.StrictPack = time.Since(mark)
+		strict = graph.IsStrictlyBalanced(g, chi, k)
+	}
+
+	mark := time.Now()
+	if !opt.SkipPolish && strict {
+		chi = c.polish(chi, k, 3)
+	}
+	diag.Polish = time.Since(mark)
+	diag.Total = time.Since(start)
+
+	res := Result{Coloring: chi, Diag: diag}
+	res.Stats = graph.Stats(g, chi, k)
+	if !res.Stats.StrictlyBalanced {
+		chi = c.chunkedGreedy(chi, k)
+		res.Coloring = chi
+		res.Stats = graph.Stats(g, chi, k)
+		res.UsedFallback = true
+	}
+	if err := graph.CheckColoring(chi, k); err != nil {
+		return Result{}, fmt.Errorf("core: internal error: %w", err)
+	}
+	return res, nil
+}
+
 // newCtx validates options and builds the shared pipeline context.
 func newCtx(g *graph.Graph, opt Options) (*ctx, error) {
 	p := opt.P

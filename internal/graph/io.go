@@ -2,6 +2,7 @@ package graph
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"strconv"
@@ -33,6 +34,50 @@ func Write(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
+// Marshal serializes g in the textual format into memory — the form wire
+// layers and tests exchange. The output is canonical: the edge list is
+// sorted, so two graphs with equal content marshal to identical bytes
+// regardless of construction order.
+func Marshal(g *Graph) []byte {
+	var buf bytes.Buffer
+	// Write only fails on writer errors; a bytes.Buffer cannot produce one.
+	_ = Write(&buf, g)
+	return buf.Bytes()
+}
+
+// Unmarshal parses a graph in the textual format from memory. Unlike the
+// streaming Read, it knows the payload size, so it rejects headers whose
+// claimed n and m could not possibly fit the payload *before* any
+// O(n + m) allocation happens — the guard that makes it safe on
+// untrusted wire input (a 16-byte body must not allocate gigabytes).
+func Unmarshal(data []byte) (*Graph, error) {
+	if n, m, ok := peekHeader(data); ok {
+		// Minimal well-formed lines: a weight is ≥ 2 bytes ("0\n"), an
+		// edge ≥ 6 ("0 1 0\n"); +8 forgives a missing final newline.
+		if 2*n+6*m > int64(len(data))+8 {
+			return nil, fmt.Errorf("graph: header claims %d vertices and %d edges, impossible for a %d-byte payload", n, m, len(data))
+		}
+	}
+	return Read(bytes.NewReader(data))
+}
+
+// peekHeader extracts the (n, m) header without consuming the payload.
+func peekHeader(data []byte) (n, m int64, ok bool) {
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if _, err := fmt.Sscanf(line, "%d %d", &n, &m); err != nil {
+			return 0, 0, false
+		}
+		return n, m, true
+	}
+	return 0, 0, false
+}
+
 // Read parses a graph in the textual format.
 func Read(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
@@ -62,6 +107,11 @@ func Read(r io.Reader) (*Graph, error) {
 	if n < 0 || m < 0 {
 		return nil, fmt.Errorf("graph: negative sizes in header %q", header)
 	}
+	// Vertex and edge ids are int32 throughout the substrate.
+	const maxIDs = 1 << 31
+	if n >= maxIDs || m >= maxIDs {
+		return nil, fmt.Errorf("graph: sizes in header %q exceed the int32 id space", header)
+	}
 	b := NewBuilder(n)
 	for v := 0; v < n; v++ {
 		line, err := next()
@@ -88,6 +138,11 @@ func Read(r io.Reader) (*Graph, error) {
 		c, err3 := strconv.ParseFloat(fields[2], 64)
 		if err1 != nil || err2 != nil || err3 != nil {
 			return nil, fmt.Errorf("graph: bad edge line %q", line)
+		}
+		// Range-check before the int32 cast: an id beyond n must be an
+		// error, not a silent wrap into some valid vertex.
+		if u < 0 || u >= n || v < 0 || v >= n {
+			return nil, fmt.Errorf("graph: edge line %q references a vertex outside [0, %d)", line, n)
 		}
 		b.AddEdge(int32(u), int32(v), c)
 	}

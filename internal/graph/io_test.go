@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	b := NewBuilder(5)
+	b.SetWeight(0, 2.5)
+	b.SetWeight(4, 0.125)
+	b.AddEdge(3, 1, 7)
+	b.AddEdge(0, 1, 1.5)
+	b.AddEdge(2, 4, 3)
+	g := b.MustBuild()
+
+	data := Marshal(g)
+	h, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.N() != g.N() || h.M() != g.M() {
+		t.Fatalf("round trip changed sizes: (%d,%d) → (%d,%d)", g.N(), g.M(), h.N(), h.M())
+	}
+	for v := range g.Weight {
+		if g.Weight[v] != h.Weight[v] {
+			t.Fatalf("weight of %d changed: %v → %v", v, g.Weight[v], h.Weight[v])
+		}
+	}
+	gu, gv, gc := g.SortedEdgeList()
+	hu, hv, hc := h.SortedEdgeList()
+	for i := range gu {
+		if gu[i] != hu[i] || gv[i] != hv[i] || gc[i] != hc[i] {
+			t.Fatalf("edge %d changed: (%d,%d,%v) → (%d,%d,%v)",
+				i, gu[i], gv[i], gc[i], hu[i], hv[i], hc[i])
+		}
+	}
+}
+
+func TestMarshalIsCanonical(t *testing.T) {
+	// Same content, different construction order ⇒ identical bytes (the
+	// serving layer's content identity depends on this).
+	b1 := NewBuilder(4)
+	b1.AddEdge(0, 1, 1)
+	b1.AddEdge(2, 3, 2)
+	b2 := NewBuilder(4)
+	b2.AddEdge(2, 3, 2)
+	b2.AddEdge(0, 1, 1)
+	if !bytes.Equal(Marshal(b1.MustBuild()), Marshal(b2.MustBuild())) {
+		t.Fatal("construction order leaked into the serialization")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"not a graph",
+		"2 1\n1\n1\n0 0 1\n", // self-loop
+		"1 1\n1\n0 5 1\n",    // endpoint out of range
+		"2 1\n1\n1\n",        // truncated edge list
+	} {
+		if _, err := Unmarshal([]byte(bad)); err == nil {
+			t.Fatalf("input %q accepted", bad)
+		}
+	}
+}
+
+func TestUnmarshalRejectsAllocationBombs(t *testing.T) {
+	// A tiny payload claiming gigantic sizes must fail on the header
+	// check, before any O(n) allocation — these would OOM otherwise.
+	for _, bad := range []string{
+		"9999999999 0\n",
+		"0 9999999999\n",
+		"2147483648 0\n", // beyond the int32 id space
+		"1048576 1048576\n1\n",
+	} {
+		if _, err := Unmarshal([]byte(bad)); err == nil {
+			t.Fatalf("allocation bomb %q accepted", bad)
+		}
+	}
+}
+
+func TestReadRejectsWrappingIDs(t *testing.T) {
+	// 2^32 and 2^32+1 wrap to 0 and 1 under a bare int32 cast; accepting
+	// them would silently build a different graph than the client sent.
+	bad := "5 1\n1\n1\n1\n1\n1\n4294967296 4294967297 1\n"
+	if _, err := Unmarshal([]byte(bad)); err == nil {
+		t.Fatal("edge with wrapping vertex ids accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a small mutex-guarded LRU keyed by string. The zero value is not
+// usable; construct with newLRU. Values are opaque to the eviction policy.
+type lru[V any] struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+func newLRU[V any](capacity int) *lru[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lru[V]{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached value and promotes it to most-recent.
+func (c *lru[V]) get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(lruEntry[V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// peek returns the cached value and promotes it, without touching the
+// hit/miss counters — for internal probes (e.g. the repartition prior
+// lookup) that are not client-visible cache requests, so /v1/stats keeps
+// reflecting served traffic only.
+func (c *lru[V]) peek(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(lruEntry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// put inserts or refreshes key, evicting the least-recent entry on
+// overflow.
+func (c *lru[V]) put(key string, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value = lruEntry[V]{key, val}
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(lruEntry[V]{key, val})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(lruEntry[V]).key)
+		c.evictions++
+	}
+}
+
+// len returns the current entry count.
+func (c *lru[V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// counters returns (hits, misses, evictions).
+func (c *lru[V]) counters() (int64, int64, int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}

@@ -1,0 +1,62 @@
+package service
+
+import (
+	"sync"
+
+	"repro"
+)
+
+// flightGroup coalesces concurrent identical requests: the first caller of
+// a key becomes the leader and executes fn; every caller that arrives
+// while the leader is in flight blocks and shares the leader's result
+// instead of re-running the pipeline (the classic singleflight shape,
+// implemented locally — the container has no external deps).
+//
+// Invariant: for any key, at most one fn runs at a time; a request is
+// either a cache hit, a coalesced wait, or the single pipeline run.
+type flightGroup struct {
+	mu        sync.Mutex
+	calls     map[string]*flightCall
+	coalesced int64
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  repro.Result
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// do executes fn under key, coalescing concurrent duplicates. The third
+// return reports whether this caller shared another caller's execution.
+func (g *flightGroup) do(key string, fn func() (repro.Result, error)) (repro.Result, error, bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.coalesced++
+		g.mu.Unlock()
+		<-c.done
+		return c.res, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.res, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.res, c.err, false
+}
+
+// coalescedCount returns how many calls were served by another caller's
+// execution.
+func (g *flightGroup) coalescedCount() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.coalesced
+}

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro"
+	"repro/internal/graph"
+)
+
+// GraphHash returns the canonical content fingerprint of g, the cache
+// identity of an instance. Two graphs hash equal iff they have the same
+// vertex count, the same weights, and the same sorted (u, v, cost) edge
+// list — construction order never matters. Weights participate in the
+// hash, so a reweighted instance is a distinct cache identity: repartition
+// chains (day → dusk → night) each get their own cached result.
+func GraphHash(g *graph.Graph) string {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	f64 := func(f float64) { u64(math.Float64bits(f)) }
+	u64(uint64(g.N()))
+	u64(uint64(g.M()))
+	for _, w := range g.Weight {
+		f64(w)
+	}
+	us, vs, cs := g.SortedEdgeList()
+	for i := range us {
+		u64(uint64(uint32(us[i])))
+		u64(uint64(uint32(vs[i])))
+		f64(cs[i])
+	}
+	return fmt.Sprintf("g-%x", h.Sum(nil)[:16])
+}
+
+// OptionsKey canonicalizes the result-relevant pipeline options. The
+// coloring is a deterministic function of (graph, these options), so
+// GraphHash(g) + OptionsKey(opt) fully identifies a result.
+//
+// Parallelism is deliberately excluded: per the core.Options contract it
+// changes where the work runs, never which coloring comes out, so runs at
+// different parallelism share one cache entry. Splitter and Measures have
+// no wire representation and must be zero (the handlers never set them).
+func OptionsKey(opt repro.Options) string {
+	p := opt.P
+	if p == 0 {
+		p = 2
+	}
+	return fmt.Sprintf("k%d;p%g;bb%t;sh%t;ps%t;po%t",
+		opt.K, p, opt.SkipBoundaryBalance, opt.SkipShrink, opt.PaperShrink, opt.SkipPolish)
+}
+
+// requestKey is the full cache/coalescing key of a partition request.
+func requestKey(graphID string, opt repro.Options) string {
+	return graphID + "|" + OptionsKey(opt)
+}
+
+// deltaDigest fingerprints a repartition request's weight delta — the
+// memo key that lets repeated identical deltas skip the instance-sized
+// clone-and-rehash. The digest is over the delta only, so its cost is
+// proportional to what the client actually sent. Sections are tagged so
+// e.g. a Set cannot collide with a Scale of the same values.
+func deltaDigest(req *RepartitionRequest) string {
+	h := sha256.New()
+	var buf [8]byte
+	u64 := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	f64 := func(f float64) { u64(math.Float64bits(f)) }
+	section := func(tag byte, n int) {
+		h.Write([]byte{tag})
+		u64(uint64(n))
+	}
+	section('W', len(req.Weights))
+	for _, wt := range req.Weights {
+		f64(wt)
+	}
+	section('S', len(req.Set))
+	for _, u := range req.Set {
+		u64(uint64(uint32(u.V)))
+		f64(u.W)
+	}
+	section('C', len(req.Scale))
+	for _, u := range req.Scale {
+		u64(uint64(uint32(u.V)))
+		f64(u.W)
+	}
+	return fmt.Sprintf("d-%x", h.Sum(nil)[:16])
+}

@@ -1,0 +1,58 @@
+package service
+
+import (
+	"testing"
+
+	"repro"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+func TestGraphHashContentIdentity(t *testing.T) {
+	a := workload.ClimateMesh(12, 12, 3, 7)
+	b := workload.ClimateMesh(12, 12, 3, 7)
+	if GraphHash(a) != GraphHash(b) {
+		t.Fatal("identical instances hash differently")
+	}
+	c := workload.ClimateMesh(12, 12, 3, 8)
+	if GraphHash(a) == GraphHash(c) {
+		t.Fatal("different seeds hash equal")
+	}
+
+	// Construction order must not matter: same edges added in reverse.
+	b1 := graph.NewBuilder(4)
+	b1.AddEdge(0, 1, 1.5)
+	b1.AddEdge(2, 3, 2.5)
+	b2 := graph.NewBuilder(4)
+	b2.AddEdge(2, 3, 2.5)
+	b2.AddEdge(0, 1, 1.5)
+	if GraphHash(b1.MustBuild()) != GraphHash(b2.MustBuild()) {
+		t.Fatal("edge insertion order changed the hash")
+	}
+}
+
+func TestGraphHashSeesWeights(t *testing.T) {
+	g := workload.ClimateMesh(8, 8, 2, 1)
+	h := g.Clone()
+	h.Weight[17] *= 2
+	if GraphHash(g) == GraphHash(h) {
+		t.Fatal("weight change invisible to the hash — repartition chains would collide")
+	}
+}
+
+func TestOptionsKeyExcludesParallelism(t *testing.T) {
+	a := repro.Options{K: 16, Parallelism: 1}
+	b := repro.Options{K: 16, Parallelism: 8}
+	if OptionsKey(a) != OptionsKey(b) {
+		t.Fatal("parallelism leaked into the cache key")
+	}
+	if OptionsKey(repro.Options{K: 16}) == OptionsKey(repro.Options{K: 8}) {
+		t.Fatal("k missing from the cache key")
+	}
+	if OptionsKey(repro.Options{K: 4}) != OptionsKey(repro.Options{K: 4, P: 2}) {
+		t.Fatal("default P and explicit P=2 should canonicalize equal")
+	}
+	if OptionsKey(repro.Options{K: 4}) == OptionsKey(repro.Options{K: 4, SkipPolish: true}) {
+		t.Fatal("SkipPolish missing from the cache key")
+	}
+}

@@ -1,0 +1,508 @@
+// Package service is the partition-serving subsystem: an HTTP/JSON front
+// end over the repro pipeline, built for the repeated-query workloads the
+// paper motivates (scientific meshes whose vertex weights drift with the
+// day/night cycle, re-decomposed continuously for load balancing).
+//
+// Architecture (DESIGN.md §6):
+//
+//   - POST /v1/graphs     — upload an instance (textual graph format);
+//     the canonical content hash becomes its id.
+//   - POST /v1/partition  — decompose an instance. Results are cached in
+//     an LRU keyed by graph-hash × options; concurrent identical misses
+//     are coalesced into one pipeline run; distinct misses are
+//     admission-queued and drained batch-wise onto repro.PartitionBatch.
+//   - POST /v1/repartition — incremental path: a vertex-weight delta
+//     against a cached instance resumes the pipeline from the prior
+//     coloring (repro.Repartition) and reports the migration volume.
+//   - GET /v1/stats, /v1/healthz — observability.
+//
+// Serving invariants:
+//
+//  1. Cache identity is content: a result key is the graph's canonical
+//     hash plus the result-relevant options (Parallelism excluded — the
+//     pipeline is deterministic, so it cannot change a result).
+//  2. Per key, at most one pipeline run is ever in flight (coalescing),
+//     and a completed run is reused until evicted (LRU).
+//  3. Overload sheds at admission: a full queue is 503, never an
+//     unbounded backlog.
+//  4. A cache entry holds *a* certified strictly balanced coloring for
+//     its key: the incremental path populates entries with warm-started
+//     (prior-dependent) results so drift chains stay cache hits. The
+//     balance and boundary guarantees are identical either way, but
+//     byte-level reproducibility across evictions or restarts is not
+//     promised for keys first produced by /v1/repartition.
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/graph"
+)
+
+// Config tunes a Server. Zero values select the documented defaults.
+type Config struct {
+	// CacheSize is the result-cache capacity in entries (default 256).
+	CacheSize int
+	// GraphStoreSize is the uploaded-instance capacity (default 64).
+	GraphStoreSize int
+	// MaxBatch bounds how many queued jobs one scheduler drain hands to
+	// PartitionBatch (default 32).
+	MaxBatch int
+	// BatchWindow is how long the scheduler gathers companions for an
+	// admitted job before executing (default 2ms; negative means drain
+	// whatever is already queued without waiting).
+	BatchWindow time.Duration
+	// QueueDepth is the admission-queue capacity (default 256).
+	QueueDepth int
+	// Parallelism is the worker-pool bound for pipeline execution
+	// (0 = GOMAXPROCS, per the core.Options contract).
+	Parallelism int
+	// RepartitionConcurrency bounds how many incremental repartition
+	// pipelines may execute at once (they run in the handler, not behind
+	// the batch queue). Default: GOMAXPROCS.
+	RepartitionConcurrency int
+	// MaxGraphBytes caps upload and inline graph payloads (default 64 MiB).
+	MaxGraphBytes int64
+	// MaxK rejects absurd part counts at the wire (default 65536).
+	MaxK int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.GraphStoreSize == 0 {
+		c.GraphStoreSize = 64
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 32
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	if c.RepartitionConcurrency == 0 {
+		c.RepartitionConcurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxGraphBytes == 0 {
+		c.MaxGraphBytes = 64 << 20
+	}
+	if c.MaxK == 0 {
+		c.MaxK = 1 << 16
+	}
+	return c
+}
+
+// Server serves decompositions over HTTP. Construct with New, expose via
+// Handler, and Close when done (stops the batch scheduler).
+type Server struct {
+	cfg    Config
+	mux    *http.ServeMux
+	graphs *lru[*graph.Graph]
+	cache  *lru[repro.Result]
+	flight *flightGroup
+	sched  *scheduler
+
+	// repartSem bounds concurrent repartition pipeline executions — the
+	// incremental path runs in the handler (it resumes from a specific
+	// prior, so it cannot ride the batch scheduler), and invariant 3
+	// (shed at admission) must hold for it too.
+	repartSem chan struct{}
+
+	// deltaMemo maps baseGraphID + delta digest → derived graph id, so a
+	// repeated identical repartition can reach the result cache without
+	// cloning and re-hashing the whole graph (the delta digest is
+	// proportional to the delta, not the instance).
+	deltaMemo *lru[string]
+
+	pipelineRuns int64
+}
+
+// New builds a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		graphs:    newLRU[*graph.Graph](cfg.GraphStoreSize),
+		cache:     newLRU[repro.Result](cfg.CacheSize),
+		flight:    newFlightGroup(),
+		sched:     newScheduler(cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow, cfg.Parallelism),
+		repartSem: make(chan struct{}, cfg.RepartitionConcurrency),
+		deltaMemo: newLRU[string](cfg.CacheSize),
+	}
+	s.mux.HandleFunc("POST /v1/graphs", s.handleUpload)
+	s.mux.HandleFunc("POST /v1/partition", s.handlePartition)
+	s.mux.HandleFunc("POST /v1/repartition", s.handleRepartition)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops the batch scheduler; in-flight requests finish, queued ones
+// fail with 503.
+func (s *Server) Close() { s.sched.close() }
+
+// httpError is an error with a dedicated HTTP status.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+}
+
+// writeJSON emits v with status 200.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError maps an error to its HTTP status and a JSON error body.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		status = he.status
+	case errors.Is(err, errQueueFull), errors.Is(err, errShuttingDown):
+		status = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// storeGraph registers g under its content hash and returns the id.
+func (s *Server) storeGraph(g *graph.Graph) string {
+	id := GraphHash(g)
+	s.graphs.put(id, g)
+	return id
+}
+
+// checkFinite rejects instances with infinite weights or costs.
+// graph.Validate already rejects NaN and negatives, but +Inf passes it —
+// and an Inf anywhere makes the response stats unencodable as JSON.
+func checkFinite(g *graph.Graph) error {
+	for v, wt := range g.Weight {
+		if math.IsInf(wt, 0) {
+			return badRequest("vertex %d has non-finite weight %v", v, wt)
+		}
+	}
+	for e, c := range g.Cost {
+		if math.IsInf(c, 0) {
+			return badRequest("edge %d has non-finite cost %v", e, c)
+		}
+	}
+	return nil
+}
+
+// handleUpload ingests a textual-format graph body.
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxGraphBytes+1))
+	if err != nil {
+		writeError(w, badRequest("reading body: %v", err))
+		return
+	}
+	if int64(len(body)) > s.cfg.MaxGraphBytes {
+		writeError(w, &httpError{http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("graph payload exceeds %d bytes", s.cfg.MaxGraphBytes)})
+		return
+	}
+	g, err := graph.Unmarshal(body)
+	if err != nil {
+		writeError(w, badRequest("parsing graph: %v", err))
+		return
+	}
+	if err := checkFinite(g); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, UploadResponse{GraphID: s.storeGraph(g), N: g.N(), M: g.M()})
+}
+
+// resolveGraph returns the instance a request names, storing inline
+// payloads on first sight.
+func (s *Server) resolveGraph(graphID, inline string) (*graph.Graph, string, error) {
+	switch {
+	case graphID != "" && inline != "":
+		return nil, "", badRequest("graph_id and graph are mutually exclusive")
+	case inline != "":
+		if int64(len(inline)) > s.cfg.MaxGraphBytes {
+			return nil, "", &httpError{http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("graph payload exceeds %d bytes", s.cfg.MaxGraphBytes)}
+		}
+		g, err := graph.Unmarshal([]byte(inline))
+		if err != nil {
+			return nil, "", badRequest("parsing inline graph: %v", err)
+		}
+		if err := checkFinite(g); err != nil {
+			return nil, "", err
+		}
+		return g, s.storeGraph(g), nil
+	case graphID != "":
+		g, ok := s.graphs.get(graphID)
+		if !ok {
+			return nil, "", &httpError{http.StatusNotFound,
+				fmt.Sprintf("unknown graph_id %q (uploads are LRU-evicted; re-upload)", graphID)}
+		}
+		return g, graphID, nil
+	default:
+		return nil, "", badRequest("one of graph_id or graph is required")
+	}
+}
+
+// requestOptions validates and canonicalizes the wire-level options.
+func (s *Server) requestOptions(k int, p float64) (repro.Options, error) {
+	if k < 1 || k > s.cfg.MaxK {
+		return repro.Options{}, badRequest("k must be in [1, %d], got %d", s.cfg.MaxK, k)
+	}
+	if p != 0 && (p <= 1 || math.IsNaN(p) || math.IsInf(p, 0)) {
+		return repro.Options{}, badRequest("p must be > 1 (or 0 for the default), got %v", p)
+	}
+	return repro.Options{K: k, P: p}, nil
+}
+
+// partition serves one (graph, options) query through the cache →
+// coalesce → batch-schedule path. It returns the result plus how it was
+// obtained.
+func (s *Server) partition(g *graph.Graph, id string, opt repro.Options, noCache bool) (repro.Result, bool, bool, error) {
+	key := requestKey(id, opt)
+	if !noCache {
+		if res, ok := s.cache.get(key); ok {
+			return res, true, false, nil
+		}
+	}
+	res, err, coalesced := s.flight.do(key, func() (repro.Result, error) {
+		j := &job{g: g, opt: opt, done: make(chan struct{})}
+		if err := s.sched.submit(j); err != nil {
+			return repro.Result{}, err
+		}
+		<-j.done
+		if j.err != nil {
+			return repro.Result{}, j.err
+		}
+		atomic.AddInt64(&s.pipelineRuns, 1)
+		s.cache.put(key, j.res)
+		return j.res, nil
+	})
+	return res, false, coalesced, err
+}
+
+// maxJSONBody bounds JSON request bodies: an inline graph roughly doubles
+// under JSON string escaping, plus slack for the surrounding fields.
+func (s *Server) maxJSONBody() int64 { return 2*s.cfg.MaxGraphBytes + 1<<20 }
+
+// handlePartition serves POST /v1/partition.
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	var req PartitionRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxJSONBody())).Decode(&req); err != nil {
+		writeError(w, badRequest("decoding request: %v", err))
+		return
+	}
+	g, id, err := s.resolveGraph(req.GraphID, req.Graph)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	opt, err := s.requestOptions(req.K, req.P)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	res, cached, coalesced, err := s.partition(g, id, opt, req.NoCache)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	resp := PartitionResponse{
+		GraphID:      id,
+		K:            req.K,
+		Cached:       cached,
+		Coalesced:    coalesced,
+		UsedFallback: res.UsedFallback,
+		Stats:        statsWire(res.Stats),
+		Diag:         diagWire(res),
+	}
+	if req.IncludeColoring {
+		resp.Coloring = res.Coloring
+	}
+	writeJSON(w, resp)
+}
+
+// applyDelta materializes the reweighted instance of a repartition
+// request: a clone of base with the delta folded into its weights.
+func applyDelta(base *graph.Graph, req *RepartitionRequest) (*graph.Graph, error) {
+	h := base.Clone()
+	if req.Weights != nil {
+		if len(req.Weights) != h.N() {
+			return nil, badRequest("weights length %d != n %d", len(req.Weights), h.N())
+		}
+		copy(h.Weight, req.Weights)
+	}
+	for _, u := range req.Set {
+		if u.V < 0 || int(u.V) >= h.N() {
+			return nil, badRequest("set: vertex %d out of range [0, %d)", u.V, h.N())
+		}
+		h.Weight[u.V] = u.W
+	}
+	for _, u := range req.Scale {
+		if u.V < 0 || int(u.V) >= h.N() {
+			return nil, badRequest("scale: vertex %d out of range [0, %d)", u.V, h.N())
+		}
+		h.Weight[u.V] *= u.W
+	}
+	for v, wt := range h.Weight {
+		if wt < 0 || math.IsNaN(wt) || math.IsInf(wt, 0) {
+			return nil, badRequest("vertex %d has invalid weight %v after delta", v, wt)
+		}
+	}
+	return h, nil
+}
+
+// handleRepartition serves POST /v1/repartition: the incremental path.
+func (s *Server) handleRepartition(w http.ResponseWriter, r *http.Request) {
+	var req RepartitionRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxJSONBody())).Decode(&req); err != nil {
+		writeError(w, badRequest("decoding request: %v", err))
+		return
+	}
+	if req.GraphID == "" {
+		writeError(w, badRequest("graph_id is required"))
+		return
+	}
+	opt, err := s.requestOptions(req.K, req.P)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	// Resolve the derived instance. Fast path: an identical delta against
+	// the same base was seen before, so the memo names the derived graph
+	// without cloning or re-hashing anything instance-sized.
+	var next *graph.Graph
+	var nextID string
+	memoKey := req.GraphID + "|" + deltaDigest(&req)
+	if id, ok := s.deltaMemo.peek(memoKey); ok {
+		if g2, ok := s.graphs.peek(id); ok {
+			next, nextID = g2, id
+		}
+	}
+	if next == nil {
+		base, ok := s.graphs.get(req.GraphID)
+		if !ok {
+			writeError(w, &httpError{http.StatusNotFound,
+				fmt.Sprintf("unknown graph_id %q (uploads are LRU-evicted; re-upload)", req.GraphID)})
+			return
+		}
+		next, err = applyDelta(base, &req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		nextID = s.storeGraph(next)
+		s.deltaMemo.put(memoKey, nextID)
+	}
+
+	prior, havePrior := s.cache.peek(requestKey(req.GraphID, opt))
+	coldStart := !havePrior
+	key := requestKey(nextID, opt)
+	res, cached := s.cache.get(key)
+	if !cached {
+		var err error
+		res, err, _ = s.flight.do(key, func() (repro.Result, error) {
+			// Shed at admission, like the partition path's queue: bound
+			// how many incremental pipelines run at once.
+			select {
+			case s.repartSem <- struct{}{}:
+				defer func() { <-s.repartSem }()
+			default:
+				return repro.Result{}, errQueueFull
+			}
+			var (
+				out repro.Result
+				err error
+			)
+			if havePrior {
+				out, err = repro.Repartition(next, withParallelism(opt, s.cfg.Parallelism), prior.Coloring)
+			} else {
+				// No prior to resume from: fall back to the full pipeline.
+				out, err = repro.PartitionWithOptions(next, withParallelism(opt, s.cfg.Parallelism))
+			}
+			if err != nil {
+				return repro.Result{}, err
+			}
+			atomic.AddInt64(&s.pipelineRuns, 1)
+			s.cache.put(key, out)
+			return out, nil
+		})
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+	}
+
+	var mig repro.Migration
+	if havePrior {
+		mig = repro.MigrationOf(next, prior.Coloring, res.Coloring)
+	}
+	resp := RepartitionResponse{
+		GraphID:      nextID,
+		PriorGraphID: req.GraphID,
+		K:            req.K,
+		Cached:       cached,
+		ColdStart:    coldStart,
+		Migration:    MigrationWire{Vertices: mig.Vertices, Weight: mig.Weight, Fraction: mig.Fraction},
+		UsedFallback: res.UsedFallback,
+		Stats:        statsWire(res.Stats),
+		Diag:         diagWire(res),
+	}
+	if req.IncludeColoring {
+		resp.Coloring = res.Coloring
+	}
+	writeJSON(w, resp)
+}
+
+// withParallelism returns opt with the scheduler's parallelism bound.
+func withParallelism(opt repro.Options, par int) repro.Options {
+	opt.Parallelism = par
+	return opt
+}
+
+// handleStats serves GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	hits, misses, evictions := s.cache.counters()
+	writeJSON(w, StatsResponse{
+		CacheHits:      hits,
+		CacheMisses:    misses,
+		CacheEvictions: evictions,
+		CacheEntries:   s.cache.len(),
+		GraphsStored:   s.graphs.len(),
+		Coalesced:      s.flight.coalescedCount(),
+		PipelineRuns:   atomic.LoadInt64(&s.pipelineRuns),
+		BatchesDrained: atomic.LoadInt64(&s.sched.batches),
+		JobsExecuted:   atomic.LoadInt64(&s.sched.jobsExecuted),
+	})
+}
+
+// handleHealthz serves GET /v1/healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]bool{"ok": true})
+}

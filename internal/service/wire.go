@@ -1,0 +1,196 @@
+package service
+
+import (
+	"repro"
+	"repro/internal/graph"
+)
+
+// This file defines the compact JSON wire schema of the serving API.
+// Graph payloads ride the textual format of internal/graph/io (see
+// graph.Marshal); everything else is plain JSON.
+
+// UploadResponse answers POST /v1/graphs.
+type UploadResponse struct {
+	// GraphID is the canonical content hash of the uploaded instance; it
+	// names the graph in partition and repartition requests, and identical
+	// uploads map to the same id.
+	GraphID string `json:"graph_id"`
+	N       int    `json:"n"`
+	M       int    `json:"m"`
+}
+
+// PartitionRequest is the body of POST /v1/partition. Exactly one of
+// GraphID and Graph must be set.
+type PartitionRequest struct {
+	// GraphID references a previously uploaded or derived instance.
+	GraphID string `json:"graph_id,omitempty"`
+	// Graph inlines the instance in the textual format of internal/graph/io.
+	Graph string `json:"graph,omitempty"`
+
+	// K is the number of parts; must be ≥ 1.
+	K int `json:"k"`
+	// P is the Hölder exponent (0 defaults to 2).
+	P float64 `json:"p,omitempty"`
+
+	// IncludeColoring adds the full per-vertex coloring to the response
+	// (omitted by default: stats are usually what dashboards want, and the
+	// coloring is N integers).
+	IncludeColoring bool `json:"include_coloring,omitempty"`
+	// NoCache bypasses the result cache (diagnostics; the run is still
+	// coalesced and cached for later requests).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// PartitionResponse answers POST /v1/partition.
+type PartitionResponse struct {
+	GraphID string `json:"graph_id"`
+	K       int    `json:"k"`
+
+	// Cached reports that the response was served from the result cache
+	// without touching the pipeline.
+	Cached bool `json:"cached"`
+	// Coalesced reports that this request shared a concurrent identical
+	// request's pipeline run.
+	Coalesced bool `json:"coalesced,omitempty"`
+	// UsedFallback mirrors repro.Result.UsedFallback.
+	UsedFallback bool `json:"used_fallback,omitempty"`
+
+	Coloring []int32   `json:"coloring,omitempty"`
+	Stats    StatsWire `json:"stats"`
+	Diag     DiagWire  `json:"diag"`
+}
+
+// WeightUpdate is one sparse vertex-weight change.
+type WeightUpdate struct {
+	V int32   `json:"v"`
+	W float64 `json:"w"`
+}
+
+// RepartitionRequest is the body of POST /v1/repartition: a weight delta
+// against a cached instance. The delta forms compose in order: Weights
+// (full replacement) first, then Set (absolute per-vertex), then Scale
+// (multiplicative per-vertex — the natural encoding of the climate
+// day/night drift). Edge costs are unchanged; topology never changes.
+type RepartitionRequest struct {
+	// GraphID names the base instance (required).
+	GraphID string `json:"graph_id"`
+
+	K int     `json:"k"`
+	P float64 `json:"p,omitempty"`
+
+	Weights []float64      `json:"weights,omitempty"`
+	Set     []WeightUpdate `json:"set,omitempty"`
+	Scale   []WeightUpdate `json:"scale,omitempty"`
+
+	IncludeColoring bool `json:"include_coloring,omitempty"`
+}
+
+// MigrationWire mirrors repro.Migration.
+type MigrationWire struct {
+	// Vertices is the number of vertices whose class changed versus the
+	// prior coloring.
+	Vertices int `json:"vertices"`
+	// Weight is their total weight under the new weight field.
+	Weight float64 `json:"weight"`
+	// Fraction is Weight over the new total weight.
+	Fraction float64 `json:"fraction"`
+}
+
+// RepartitionResponse answers POST /v1/repartition.
+type RepartitionResponse struct {
+	// GraphID identifies the reweighted instance; it is stored and cached,
+	// so further deltas can chain off it.
+	GraphID string `json:"graph_id"`
+	// PriorGraphID echoes the base instance.
+	PriorGraphID string `json:"prior_graph_id"`
+	K            int    `json:"k"`
+
+	// Cached reports that the reweighted instance's result was already
+	// cached, so no pipeline (full or resumed) ran for this request.
+	Cached bool `json:"cached,omitempty"`
+	// ColdStart reports that no cached coloring existed for the base
+	// instance and options, so a full pipeline run happened instead of the
+	// incremental resume (migration is reported as zero in that case —
+	// there was no prior to migrate from).
+	ColdStart bool `json:"cold_start,omitempty"`
+
+	Migration    MigrationWire `json:"migration"`
+	UsedFallback bool          `json:"used_fallback,omitempty"`
+	Coloring     []int32       `json:"coloring,omitempty"`
+	Stats        StatsWire     `json:"stats"`
+	Diag         DiagWire      `json:"diag"`
+}
+
+// StatsWire mirrors graph.ColoringStats (Definition 1 vocabulary).
+type StatsWire struct {
+	K                  int       `json:"k"`
+	AvgWeight          float64   `json:"avg_weight"`
+	MaxWeight          float64   `json:"max_weight"`
+	MinWeight          float64   `json:"min_weight"`
+	MaxBoundary        float64   `json:"max_boundary"`
+	AvgBoundary        float64   `json:"avg_boundary"`
+	MaxWeightDeviation float64   `json:"max_weight_deviation"`
+	StrictBound        float64   `json:"strict_bound"`
+	StrictlyBalanced   bool      `json:"strictly_balanced"`
+	ClassWeight        []float64 `json:"class_weight"`
+	ClassBoundary      []float64 `json:"class_boundary"`
+}
+
+// DiagWire mirrors core.Diagnostics; durations are nanoseconds.
+type DiagWire struct {
+	SplitterCalls  int64 `json:"splitter_calls"`
+	Parallelism    int   `json:"parallelism"`
+	MultiBalanceNS int64 `json:"multi_balance_ns"`
+	AlmostStrictNS int64 `json:"almost_strict_ns"`
+	StrictPackNS   int64 `json:"strict_pack_ns"`
+	PolishNS       int64 `json:"polish_ns"`
+	TotalNS        int64 `json:"total_ns"`
+}
+
+// StatsResponse answers GET /v1/stats — the serving-side observability
+// counters the acceptance tests assert on.
+type StatsResponse struct {
+	CacheHits      int64 `json:"cache_hits"`
+	CacheMisses    int64 `json:"cache_misses"`
+	CacheEvictions int64 `json:"cache_evictions"`
+	CacheEntries   int   `json:"cache_entries"`
+	GraphsStored   int   `json:"graphs_stored"`
+	Coalesced      int64 `json:"coalesced"`
+	// PipelineRuns counts completed pipeline executions (full or resumed);
+	// cache hits and coalesced waits do not increment it.
+	PipelineRuns int64 `json:"pipeline_runs"`
+	// BatchesDrained counts PartitionBatch executions by the scheduler.
+	BatchesDrained int64 `json:"batches_drained"`
+	JobsExecuted   int64 `json:"jobs_executed"`
+}
+
+// statsWire converts coloring statistics to the wire form.
+func statsWire(st graph.ColoringStats) StatsWire {
+	return StatsWire{
+		K:                  st.K,
+		AvgWeight:          st.AvgWeight,
+		MaxWeight:          st.MaxWeight,
+		MinWeight:          st.MinWeight,
+		MaxBoundary:        st.MaxBoundary,
+		AvgBoundary:        st.AvgBoundary,
+		MaxWeightDeviation: st.MaxWeightDeviation,
+		StrictBound:        st.StrictBound,
+		StrictlyBalanced:   st.StrictlyBalanced,
+		ClassWeight:        st.ClassWeight,
+		ClassBoundary:      st.ClassBoundary,
+	}
+}
+
+// diagWire converts pipeline diagnostics to the wire form.
+func diagWire(res repro.Result) DiagWire {
+	d := res.Diag
+	return DiagWire{
+		SplitterCalls:  d.SplitterCalls,
+		Parallelism:    d.Parallelism,
+		MultiBalanceNS: d.MultiBalance.Nanoseconds(),
+		AlmostStrictNS: d.AlmostStrict.Nanoseconds(),
+		StrictPackNS:   d.StrictPack.Nanoseconds(),
+		PolishNS:       d.Polish.Nanoseconds(),
+		TotalNS:        d.Total.Nanoseconds(),
+	}
+}

@@ -1,9 +1,11 @@
 package workload
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
+	"repro/internal/graph"
 	"repro/internal/grid"
 )
 
@@ -89,6 +91,96 @@ func TestExponentialCostsClampsPhi(t *testing.T) {
 	if got := f(nil, grid.Point{}, grid.Point{}); math.Abs(got-1) > 1e-12 {
 		t.Fatalf("phi<1 should give unit costs, got %v", got)
 	}
+}
+
+func TestClimateMeshByteIdentical(t *testing.T) {
+	// Same seed ⇒ byte-identical serialized instance — the property the
+	// serving layer's content-hash cache identity rests on.
+	for _, seed := range []int64{1, 7, 42} {
+		a := graph.Marshal(ClimateMesh(24, 32, 4, seed))
+		b := graph.Marshal(ClimateMesh(24, 32, 4, seed))
+		if !bytes.Equal(a, b) {
+			t.Fatalf("seed %d: two generations serialize differently", seed)
+		}
+	}
+	if bytes.Equal(graph.Marshal(ClimateMesh(24, 32, 4, 1)), graph.Marshal(ClimateMesh(24, 32, 4, 2))) {
+		t.Fatal("different seeds produced identical instances")
+	}
+}
+
+func TestRandomGeometricByteIdentical(t *testing.T) {
+	for _, seed := range []int64{3, 9} {
+		a := graph.Marshal(RandomGeometric(300, 0.08, 10, seed))
+		b := graph.Marshal(RandomGeometric(300, 0.08, 10, seed))
+		if !bytes.Equal(a, b) {
+			t.Fatalf("seed %d: two generations serialize differently", seed)
+		}
+	}
+	if bytes.Equal(graph.Marshal(RandomGeometric(300, 0.08, 10, 3)),
+		graph.Marshal(RandomGeometric(300, 0.08, 10, 4))) {
+		t.Fatal("different seeds produced identical instances")
+	}
+}
+
+func TestApplyFieldsDeterministic(t *testing.T) {
+	render := func() []byte {
+		gr := grid.MustBox(12, 12)
+		ApplyFields(gr, LognormalWeights(0.7), ExponentialCosts(16), 11)
+		return graph.Marshal(gr.G)
+	}
+	if !bytes.Equal(render(), render()) {
+		t.Fatal("ApplyFields not deterministic for a fixed seed")
+	}
+}
+
+func TestClimateMeshWellBehavedBounds(t *testing.T) {
+	// The generator's contract: bounded degree (≤ 8), strictly positive
+	// weights and costs, and bounded fluctuation — the "well-behaved"
+	// regime the paper's bounds assume.
+	for _, seed := range []int64{1, 5, 23} {
+		g := ClimateMesh(20, 28, 4, seed)
+		if d := g.MaxDegree(); d > 8 {
+			t.Fatalf("seed %d: max degree %d > 8", seed, d)
+		}
+		for v, w := range g.Weight {
+			if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+				t.Fatalf("seed %d: vertex %d has weight %v", seed, v, w)
+			}
+		}
+		for e, c := range g.Cost {
+			if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+				t.Fatalf("seed %d: edge %d has cost %v", seed, e, c)
+			}
+		}
+		// Day/night banding times a lognormal accuracy factor: wide but not
+		// unbounded. The deterministic band contributes ≤ ~12.5×; the
+		// σ=0.5 lognormal tail stays within e^{±5σ} at these sizes, so the
+		// combined weight spread is comfortably below 10⁴.
+		if spread := g.MaxWeight() / minWeight(g); spread > 1e4 {
+			t.Fatalf("seed %d: weight spread %v implausibly large", seed, spread)
+		}
+		// Edge costs are harmonic means of endpoint weights with bounded
+		// jitter, so the cost fluctuation is bounded by the weight spread
+		// times the jitter range.
+		if phi := g.Fluctuation(); phi > 1e5 {
+			t.Fatalf("seed %d: cost fluctuation %v implausibly large", seed, phi)
+		}
+		// Local fluctuation (Appendix A.3) stays bounded: an edge's cost is
+		// comparable to its endpoints' cost degrees on a degree-≤8 mesh.
+		if lf := g.LocalFluctuation(); lf > 1e6 {
+			t.Fatalf("seed %d: local fluctuation %v implausibly large", seed, lf)
+		}
+	}
+}
+
+func minWeight(g *graph.Graph) float64 {
+	m := math.Inf(1)
+	for _, w := range g.Weight {
+		if w < m {
+			m = w
+		}
+	}
+	return m
 }
 
 func TestRandomGeometric(t *testing.T) {

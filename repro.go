@@ -78,9 +78,10 @@ func PartitionGrid(gr *grid.Grid, k int) (Result, error) {
 // run makes every result byte-identical to a standalone
 // PartitionWithOptions call with Parallelism 1.
 //
-// results[i] corresponds to gs[i]. If any instance fails, the first
-// (lowest-index) error is returned alongside the results computed so far;
-// entries whose instances failed are zero Results.
+// results[i] corresponds to gs[i]. If any instance fails, the returned
+// error is a *BatchError aggregating every per-instance failure by index;
+// entries whose instances failed are zero Results and the rest are valid,
+// so callers can salvage partial batches.
 //
 // opt.Splitter must be nil for batches: a splitter is bound to one graph,
 // so each instance builds its own default oracle. Pass a non-nil splitter
@@ -122,10 +123,93 @@ func PartitionBatch(gs []*graph.Graph, opt Options) ([]Result, error) {
 		}()
 	}
 	wg.Wait()
-	for i, err := range errs {
+	for _, err := range errs {
 		if err != nil {
-			return results, fmt.Errorf("repro: instance %d: %w", i, err)
+			return results, &BatchError{Errs: errs}
 		}
 	}
 	return results, nil
+}
+
+// BatchError aggregates the per-instance failures of a PartitionBatch run.
+// Errs is indexed like the input slice: Errs[i] is nil exactly when
+// instance i succeeded. errors.Is and errors.As traverse every non-nil
+// entry via Unwrap.
+type BatchError struct {
+	Errs []error
+}
+
+// Error summarizes the failure count and the first failing instance.
+func (e *BatchError) Error() string {
+	n, first := 0, -1
+	for i, err := range e.Errs {
+		if err != nil {
+			n++
+			if first < 0 {
+				first = i
+			}
+		}
+	}
+	if n == 0 {
+		return "repro: batch error with no failures"
+	}
+	return fmt.Sprintf("repro: %d of %d batch instances failed; first: instance %d: %v",
+		n, len(e.Errs), first, e.Errs[first])
+}
+
+// Unwrap returns the non-nil per-instance errors for errors.Is/As.
+func (e *BatchError) Unwrap() []error {
+	out := make([]error, 0, len(e.Errs))
+	for _, err := range e.Errs {
+		if err != nil {
+			out = append(out, err)
+		}
+	}
+	return out
+}
+
+// Repartition resumes the pipeline from a prior coloring of a (possibly
+// reweighted) graph — the incremental serving path. When vertex weights
+// drift between queries (the paper's climate motivation: per-region cost
+// changes "tremendously depending on day-time"), re-running only the
+// rebalance → bin-pack → polish stages from the previous coloring is much
+// cheaper than a fresh Decompose, skips the splitting-oracle recursion
+// entirely when the prior coloring is still strictly balanced, and keeps
+// vertices in their prior class wherever the balance window allows — so
+// the migration volume (see MigrationOf) tracks the size of the drift.
+// The result carries the same strict-balance guarantee as Partition.
+func Repartition(g *graph.Graph, opt Options, prior []int32) (Result, error) {
+	return core.Refine(g, opt, prior)
+}
+
+// Migration quantifies how many vertices changed class between two
+// colorings — the data-movement cost a serving system pays to adopt a new
+// decomposition.
+type Migration struct {
+	// Vertices counts vertices whose class differs.
+	Vertices int
+	// Weight is the total weight of those vertices.
+	Weight float64
+	// Fraction is Weight over the graph's total weight (0 for empty graphs).
+	Fraction float64
+}
+
+// MigrationOf compares two complete colorings of g. It panics if the
+// colorings' lengths differ from g.N().
+func MigrationOf(g *graph.Graph, prior, next []int32) Migration {
+	if len(prior) != g.N() || len(next) != g.N() {
+		panic(fmt.Sprintf("repro: MigrationOf length mismatch (%d, %d, N=%d)",
+			len(prior), len(next), g.N()))
+	}
+	var m Migration
+	for v := range prior {
+		if prior[v] != next[v] {
+			m.Vertices++
+			m.Weight += g.Weight[v]
+		}
+	}
+	if tw := g.TotalWeight(); tw > 0 {
+		m.Fraction = m.Weight / tw
+	}
+	return m
 }
