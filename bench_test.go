@@ -168,6 +168,54 @@ func BenchmarkDecomposeParallel(b *testing.B) {
 	})
 }
 
+// ---- incremental path ----
+
+// BenchmarkRepartitionDrift reports the incremental path's advantage: one
+// day/night weight drift on a 96×96 climate mesh absorbed by Repartition
+// (warm start from the pre-drift coloring) versus a from-scratch
+// Partition on the same drifted instance. ns/op covers one warm+scratch
+// pair; the "speedup" metric is scratch time over warm time.
+// (Service-level load benchmarks live in service_bench_test.go, driven by
+// internal/loadgen.)
+func BenchmarkRepartitionDrift(b *testing.B) {
+	mesh := workload.ClimateMesh(96, 96, 4, 1)
+	prior, err := Partition(mesh, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	drifted := mesh.Clone()
+	for v := range drifted.Weight {
+		f := 0.6
+		if (v%96)*2 < 96 {
+			f = 1.8
+		}
+		drifted.Weight[v] *= f
+	}
+	var warmT, scratchT time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		warm, err := Repartition(drifted, Options{K: 16}, prior.Coloring)
+		warmT += time.Since(t0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t0 = time.Now()
+		scratch, err := PartitionWithOptions(drifted, Options{K: 16})
+		scratchT += time.Since(t0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !warm.Stats.StrictlyBalanced || !scratch.Stats.StrictlyBalanced {
+			b.Fatal("drift benchmark produced a non-strict coloring")
+		}
+	}
+	b.StopTimer()
+	if warmT > 0 {
+		b.ReportMetric(scratchT.Seconds()/warmT.Seconds(), "speedup")
+	}
+}
+
 func BenchmarkGreedyBaseline(b *testing.B) {
 	mesh := workload.ClimateMesh(32, 32, 4, 1)
 	b.ResetTimer()

@@ -92,6 +92,32 @@ func (r batchReport) print() {
 	fmt.Printf("  speedup: %.2fx   colorings: identical\n", r.Speedup)
 }
 
+// exp is one registered experiment.
+type exp struct {
+	id string
+	fn func(bench.Config) bench.Table
+}
+
+// suite is the experiment registry in execution order. The -json output
+// of this suite and of the batch harness is a machine-readable contract
+// (BENCH_*.json ingests it); its shape is pinned by the golden-file test.
+func suite() []exp {
+	return []exp{
+		{"E1", bench.E1MaxBoundaryVsK},
+		{"E2", bench.E2StrictBalance},
+		{"E3", bench.E3Tightness},
+		{"E4", bench.E4GridSeparator},
+		{"E5", bench.E5NoTradeoff},
+		{"E6", bench.E6GreedyBaseline},
+		{"E7", bench.E7AvgVsMax},
+		{"E8", bench.E8Makespan},
+		{"E9", bench.E9Scaling},
+		{"E10", bench.E10Ablations},
+		{"E11", bench.E11SeparatorEquiv},
+		{"E12", bench.E12MultiBalanced},
+	}
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "run at reduced instance sizes")
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E4)")
@@ -133,27 +159,9 @@ func main() {
 		}
 	}
 
-	type exp struct {
-		id string
-		fn func(bench.Config) bench.Table
-	}
-	suite := []exp{
-		{"E1", bench.E1MaxBoundaryVsK},
-		{"E2", bench.E2StrictBalance},
-		{"E3", bench.E3Tightness},
-		{"E4", bench.E4GridSeparator},
-		{"E5", bench.E5NoTradeoff},
-		{"E6", bench.E6GreedyBaseline},
-		{"E7", bench.E7AvgVsMax},
-		{"E8", bench.E8Makespan},
-		{"E9", bench.E9Scaling},
-		{"E10", bench.E10Ablations},
-		{"E11", bench.E11SeparatorEquiv},
-		{"E12", bench.E12MultiBalanced},
-	}
 	var tables []bench.Table
 	ran := 0
-	for _, e := range suite {
+	for _, e := range suite() {
 		if len(want) > 0 && !want[e.id] {
 			continue
 		}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// The -json output of cmd/experiments is a machine-readable contract:
+// downstream tooling (the BENCH_*.json perf trajectory) parses it by key.
+// This golden-file test pins the *shape* — the JSON key structure of the
+// suite tables and the batch report — while letting values float (they
+// are measurements). Regenerate deliberately with:
+//
+//	go test ./cmd/experiments -run TestJSONShapeGolden -update
+
+var update = flag.Bool("update", false, "rewrite the golden shape file")
+
+// shapeOf normalizes a decoded JSON value to its shape: objects keep
+// their keys (recursively), arrays collapse to at most one element, and
+// scalars collapse to zero values of their type.
+func shapeOf(v any) any {
+	switch x := v.(type) {
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, e := range x {
+			out[k] = shapeOf(e)
+		}
+		return out
+	case []any:
+		if len(x) == 0 {
+			return []any{}
+		}
+		return []any{shapeOf(x[0])}
+	case string:
+		return ""
+	case float64:
+		return 0.0
+	case bool:
+		return false
+	default:
+		return nil
+	}
+}
+
+// shapeJSON round-trips v through JSON and renders its normalized shape
+// with sorted keys (encoding/json sorts map keys, so the output is
+// stable).
+func shapeJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded any
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	out, err := json.MarshalIndent(shapeOf(decoded), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+// TestJSONShapeGolden pins the -json key structure: one real suite table
+// (E2 at quick size — the cheapest experiment with populated rows and a
+// verdict) standing in for the []bench.Table array, plus the batch
+// harness record (shape only, so the zero value suffices — no need to
+// run a real batch in a unit test).
+func TestJSONShapeGolden(t *testing.T) {
+	tbl := bench.E2StrictBalance(bench.Config{Quick: true})
+	if tbl.ID != "E2" || len(tbl.Rows) == 0 || len(tbl.Header) == 0 {
+		t.Fatalf("E2 produced a degenerate table: %+v", tbl)
+	}
+	got := map[string]json.RawMessage{
+		"suite_tables": shapeJSON(t, []bench.Table{tbl}),
+		"batch_report": shapeJSON(t, batchReport{}),
+	}
+	var keys []string
+	for k := range got {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var combined []byte
+	for _, k := range keys {
+		combined = append(combined, []byte(k+":\n")...)
+		combined = append(combined, got[k]...)
+	}
+
+	golden := filepath.Join("testdata", "json_shape.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, combined, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if string(want) != string(combined) {
+		t.Fatalf("-json output shape drifted from the golden contract.\n"+
+			"If the change is deliberate, regenerate with -update and call it out in review.\n"+
+			"got:\n%s\nwant:\n%s", combined, want)
+	}
+}
+
+// The suite registry must keep ids unique and in E-number order — -only
+// filtering and downstream table lookups rely on both.
+func TestSuiteRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range suite() {
+		if seen[e.id] {
+			t.Fatalf("duplicate experiment id %s", e.id)
+		}
+		seen[e.id] = true
+		if e.fn == nil {
+			t.Fatalf("experiment %s has no function", e.id)
+		}
+	}
+	if len(seen) != 12 {
+		t.Fatalf("suite has %d experiments, want 12", len(seen))
+	}
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/loadgen"
+)
+
+// The CLI acceptance flow: `loadgen -quick` (scaled down) completes with
+// exit 0, prints the summary, and writes a parseable report with zero
+// violations and the required trajectory fields.
+func TestRunQuickWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_service.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-quick", "-requests", "40", "-out", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "violations   none") {
+		t.Fatalf("summary did not report a clean run:\n%s", stdout.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report loadgen.Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.Schema != loadgen.ReportSchema {
+		t.Fatalf("schema %q, want %q", report.Schema, loadgen.ReportSchema)
+	}
+	if report.Certification.Violations != 0 {
+		t.Fatalf("violations in report: %v", report.Certification.ViolationSamples)
+	}
+	if report.ThroughputRPS <= 0 || report.LatencyMS.Count == 0 {
+		t.Fatalf("report missing measurements: %+v", report)
+	}
+}
+
+// Same seed ⇒ same trace digest across full CLI runs (the determinism
+// acceptance criterion, end to end).
+func TestRunDeterministicDigest(t *testing.T) {
+	digest := func(seed string) string {
+		t.Helper()
+		out := filepath.Join(t.TempDir(), "report.json")
+		var stdout, stderr bytes.Buffer
+		if code := run([]string{"-quick", "-requests", "24", "-seed", seed, "-out", out}, &stdout, &stderr); code != 0 {
+			t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+		}
+		var report loadgen.Report
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(data, &report); err != nil {
+			t.Fatal(err)
+		}
+		return report.TraceDigest
+	}
+	if digest("5") != digest("5") {
+		t.Fatal("same seed produced different trace digests")
+	}
+	if digest("5") == digest("6") {
+		t.Fatal("different seeds produced the same trace digest")
+	}
+}
+
+func TestRunRejectsUnknownProfile(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-profile", "nope"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "unknown profile") {
+		t.Fatalf("stderr: %s", stderr.String())
+	}
+}

@@ -22,6 +22,12 @@ type Verification struct {
 	WithinBound bool
 	Factor      float64
 
+	// Stats is the audit's own recomputation of the coloring statistics
+	// (zero if the coloring was incomplete) — exposed so callers that need
+	// stats beyond the audit (e.g. the loadgen certificate checks) don't
+	// pay a second O(n + m) pass.
+	Stats graph.ColoringStats
+
 	Errors []string
 }
 
@@ -52,6 +58,7 @@ func Verify(g *graph.Graph, opt Options, res Result, factor float64) Verificatio
 	out.Complete = true
 
 	st := graph.Stats(g, res.Coloring, k)
+	out.Stats = st
 	out.StrictBalance = st.StrictlyBalanced
 	if !st.StrictlyBalanced {
 		out.Errors = append(out.Errors,

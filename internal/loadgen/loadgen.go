@@ -1,0 +1,385 @@
+// Package loadgen is the deterministic load-generation and certification
+// harness for the partition-serving subsystem (DESIGN.md §7).
+//
+// A Profile describes a reproducible traffic experiment: a pool of
+// climate-mesh instances (optionally the G̃ disjoint-copies construction of
+// Lemma 40, which makes every served coloring lower-bound certifiable), a
+// deterministic request trace mixing upload / partition / repartition /
+// burst operations, and a dispatch mode — open loop (Poisson arrivals) or
+// closed loop (N looping clients). The same seed always yields the same
+// trace (same operations, same instances, same drift steps, same arrival
+// offsets); only wall-clock measurements vary between runs.
+//
+// Every successful response passes through an always-on Certifier that
+// re-derives the served guarantees from the coloring instead of trusting
+// the wire: completeness, Definition 1 strict balance, boundary
+// consistency, the server-side content-hash identity of drifted instances,
+// and — on copies instances — the executable Lemma 40 counting argument of
+// internal/lower. A run with certifier violations is a failed run.
+package loadgen
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/lower"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// Mode selects how the measured body of the trace is dispatched.
+type Mode string
+
+const (
+	// ModeOpen fires requests at their precomputed Poisson arrival offsets
+	// regardless of completions (open loop: overload sheds, never queues in
+	// the harness).
+	ModeOpen Mode = "open"
+	// ModeClosed runs a fixed number of clients, each issuing the next
+	// trace operation as soon as its previous one completes.
+	ModeClosed Mode = "closed"
+)
+
+// Kind is one traffic operation type.
+type Kind string
+
+const (
+	// KindUpload re-uploads an instance body (idempotent by content hash).
+	KindUpload Kind = "upload"
+	// KindPartition is a single partition query.
+	KindPartition Kind = "partition"
+	// KindRepartition pushes one drift step of an instance through the
+	// incremental path.
+	KindRepartition Kind = "repartition"
+	// KindBurst fires several distinct partition queries concurrently —
+	// the batch scheduler's coalescing-and-draining exercise.
+	KindBurst Kind = "burst"
+)
+
+// Mix is the relative operation weighting of the measured trace body.
+type Mix struct {
+	Upload      int `json:"upload"`
+	Partition   int `json:"partition"`
+	Repartition int `json:"repartition"`
+	Burst       int `json:"burst"`
+}
+
+// Profile is a complete, reproducible load experiment description.
+type Profile struct {
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+	Mode Mode   `json:"mode"`
+
+	// Requests is the number of measured-body operations (the setup
+	// prologue — one upload plus one warming partition per instance — is
+	// not counted and runs sequentially before timing starts).
+	Requests int `json:"requests"`
+	// RatePerSec is the open-loop Poisson arrival rate.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Clients is the closed-loop concurrency.
+	Clients int `json:"clients,omitempty"`
+
+	Mix Mix `json:"mix"`
+
+	// Instances is the pool size; each instance is a seeded ClimateMesh.
+	Instances int `json:"instances"`
+	MeshRows  int `json:"mesh_rows"`
+	MeshCols  int `json:"mesh_cols"`
+	// TildeCopies ≥ 2 builds every instance as G̃: that many disjoint
+	// copies of its base mesh (lower.Copies), enabling the Lemma 40
+	// certificate on every served coloring.
+	TildeCopies int     `json:"tilde_copies,omitempty"`
+	CostSpread  float64 `json:"cost_spread"`
+
+	// K is the part count of the certified serving flow (uploads are
+	// warmed and repartitions are issued at this k). Partition operations
+	// alternate deterministically between K and AltK when AltK > 0, to
+	// diversify cache keys.
+	K    int `json:"k"`
+	AltK int `json:"alt_k,omitempty"`
+
+	// NoCacheFraction marks roughly this fraction of partition operations
+	// no_cache (cache-bypass): each becomes real pipeline work instead of
+	// a hit, the knob that lets open-loop profiles outrun the admission
+	// queue and exercise shedding.
+	NoCacheFraction float64 `json:"no_cache_fraction,omitempty"`
+
+	// DriftSteps is how many distinct day/night drift positions each
+	// instance cycles through; repartition operations walk them in order.
+	DriftSteps int `json:"drift_steps"`
+	// BurstWidth is how many concurrent partitions one burst issues.
+	BurstWidth int `json:"burst_width"`
+
+	// ScratchEvery compares every Nth repartition response against a
+	// from-scratch pipeline run on the same drifted instance (0 disables).
+	ScratchEvery int `json:"scratch_every,omitempty"`
+	// ScratchTol is the polish tolerance for that comparison: the served
+	// max boundary may exceed the from-scratch one by at most this factor.
+	ScratchTol float64 `json:"scratch_tol,omitempty"`
+	// BoundFactor is the advisory Theorem 4 multiplier passed to
+	// repro.Verify (quality signal only, never a violation).
+	BoundFactor float64 `json:"bound_factor"`
+
+	// Service configures the in-process server cmd/loadgen builds when no
+	// live target is given. Zero values select the service defaults.
+	Service service.Config `json:"-"`
+}
+
+// Quick is the canonical fast profile: the acceptance run of
+// `loadgen -quick` and the CI perf-trajectory profile behind
+// BENCH_service.json. Small enough to finish in a couple of seconds,
+// rich enough to exercise every endpoint, the cache, the coalescer, the
+// batch scheduler, and the certificate machinery.
+func Quick() Profile {
+	return Profile{
+		Name:         "quick",
+		Seed:         1,
+		Mode:         ModeClosed,
+		Requests:     160,
+		Clients:      4,
+		Mix:          Mix{Upload: 1, Partition: 6, Repartition: 4, Burst: 1},
+		Instances:    6,
+		MeshRows:     12,
+		MeshCols:     12,
+		TildeCopies:  2,
+		CostSpread:   3,
+		K:            8,
+		AltK:         4,
+		DriftSteps:   4,
+		BurstWidth:   4,
+		ScratchEvery: 4,
+		// The 96×96 acceptance mesh pins 1.25 (cmd/reprosrv); these 12×12
+		// instances have far fewer boundary edges, so the relative
+		// polish-stage variance is larger — 1.6 holds with margin across
+		// seed sweeps while still catching a broken incremental path.
+		ScratchTol:  1.6,
+		BoundFactor: 20,
+		// RepartitionConcurrency is raised above the client count so the
+		// quick profile never sheds on a single-core runner (shed behavior
+		// is Surge's job).
+		Service: service.Config{BatchWindow: -1, GraphStoreSize: 256, RepartitionConcurrency: 8},
+	}
+}
+
+// Soak is the sustained closed-loop profile: larger instances, more
+// clients, long drift chains.
+func Soak() Profile {
+	p := Quick()
+	p.Name = "soak"
+	p.Requests = 1500
+	p.Clients = 8
+	p.Instances = 8
+	p.MeshRows, p.MeshCols = 20, 20
+	p.K, p.AltK = 16, 8
+	p.DriftSteps = 8
+	p.ScratchEvery = 25
+	return p
+}
+
+// Surge is the open-loop overload profile: Poisson arrivals faster than
+// the pipeline can absorb, against a deliberately tiny admission queue
+// and repartition semaphore, so shedding behavior (503 at admission,
+// never an unbounded backlog) is observable in the report. Bigger meshes
+// and a drained cache (NoCacheFraction-free misses via many distinct
+// drift keys) keep real pipeline work in flight.
+func Surge() Profile {
+	p := Quick()
+	p.Name = "surge"
+	p.Mode = ModeOpen
+	p.Requests = 400
+	p.RatePerSec = 4000
+	p.Clients = 0
+	p.MeshRows, p.MeshCols = 16, 16
+	p.DriftSteps = 12
+	p.Mix = Mix{Upload: 1, Partition: 4, Repartition: 8, Burst: 2}
+	p.NoCacheFraction = 0.75
+	p.ScratchEvery = 40
+	// Surge drifts swing through a full phase cycle (12 steps against a
+	// step-0 prior), the widest warm-start gap of the profiles; 1.8
+	// matches the bound the library-level drift property test pins.
+	p.ScratchTol = 1.8
+	p.Service = service.Config{BatchWindow: -1, GraphStoreSize: 512, QueueDepth: 4, RepartitionConcurrency: 1, MaxBatch: 2}
+	return p
+}
+
+// Profiles maps the named built-in profiles.
+func Profiles() map[string]func() Profile {
+	return map[string]func() Profile{
+		"quick": Quick,
+		"soak":  Soak,
+		"surge": Surge,
+	}
+}
+
+// validate rejects profiles the trace generator cannot honor.
+func (p Profile) validate() error {
+	switch {
+	case p.Requests < 1:
+		return fmt.Errorf("loadgen: Requests must be ≥ 1, got %d", p.Requests)
+	case p.Instances < 1:
+		return fmt.Errorf("loadgen: Instances must be ≥ 1, got %d", p.Instances)
+	case p.MeshRows < 2 || p.MeshCols < 2:
+		return fmt.Errorf("loadgen: mesh must be at least 2×2, got %d×%d", p.MeshRows, p.MeshCols)
+	case p.K < 2:
+		return fmt.Errorf("loadgen: K must be ≥ 2, got %d", p.K)
+	case p.DriftSteps < 1 && p.Mix.Repartition > 0:
+		return fmt.Errorf("loadgen: repartition operations need DriftSteps ≥ 1")
+	case p.Mode == ModeOpen && p.RatePerSec <= 0:
+		return fmt.Errorf("loadgen: open-loop mode needs RatePerSec > 0")
+	case p.Mode == ModeClosed && p.Clients < 1:
+		return fmt.Errorf("loadgen: closed-loop mode needs Clients ≥ 1")
+	case p.Mode != ModeOpen && p.Mode != ModeClosed:
+		return fmt.Errorf("loadgen: unknown mode %q", p.Mode)
+	case p.Mix.Upload+p.Mix.Partition+p.Mix.Repartition+p.Mix.Burst <= 0:
+		return fmt.Errorf("loadgen: the operation mix is empty")
+	case p.Mix.Burst > 0 && p.BurstWidth < 1:
+		return fmt.Errorf("loadgen: burst operations need BurstWidth ≥ 1")
+	}
+	return nil
+}
+
+// instance is one materialized pool entry: the step-0 graph (possibly a
+// G̃ copies construction) plus every drifted variant, with their content
+// hashes precomputed so the harness can verify server-derived identities.
+type instance struct {
+	baseN  int // vertices per copy
+	copies int
+	steps  []*graph.Graph // steps[0] is the uploaded original
+	ids    []string       // ids[j] = service.GraphHash(steps[j])
+	upload []byte         // marshaled steps[0] body
+}
+
+// driftFactor is the deterministic day/night modulation of drift step j:
+// an illumination band over the longitude (column) axis whose phase
+// advances with the step index. Strictly positive, so weights stay valid.
+func driftFactor(col, cols, step, steps int) float64 {
+	phase := 2 * math.Pi * (float64(col)/float64(cols) + float64(step)/float64(steps+1))
+	return 0.75 + 0.5*math.Sin(phase)
+}
+
+// buildInstances materializes the instance pool: every graph the trace can
+// name, at every drift step, with precomputed canonical identities.
+func buildInstances(p Profile) []*instance {
+	out := make([]*instance, p.Instances)
+	for i := range out {
+		base := workload.ClimateMesh(p.MeshRows, p.MeshCols, p.CostSpread, p.Seed+7919*int64(i)+1)
+		g, copies := base, 1
+		if p.TildeCopies >= 2 {
+			g, copies = lower.Copies(base, p.TildeCopies), p.TildeCopies
+		}
+		in := &instance{
+			baseN:  base.N(),
+			copies: copies,
+			steps:  make([]*graph.Graph, p.DriftSteps+1),
+			ids:    make([]string, p.DriftSteps+1),
+		}
+		in.steps[0] = g
+		for j := 1; j <= p.DriftSteps; j++ {
+			h := g.Clone()
+			for v := range h.Weight {
+				col := (v % in.baseN) % p.MeshCols
+				h.Weight[v] = g.Weight[v] * driftFactor(col, p.MeshCols, j, p.DriftSteps)
+			}
+			in.steps[j] = h
+		}
+		for j, sg := range in.steps {
+			in.ids[j] = service.GraphHash(sg)
+		}
+		in.upload = graph.Marshal(g)
+		out[i] = in
+	}
+	return out
+}
+
+// Request is one trace operation. The trace is pure data: everything a
+// dispatcher needs to issue the operation, precomputed deterministically.
+type Request struct {
+	Index int  `json:"index"`
+	Kind  Kind `json:"kind"`
+	// Inst is the instance-pool index this operation targets.
+	Inst int `json:"inst"`
+	// Step is the drift step of a repartition (1-based).
+	Step int `json:"step,omitempty"`
+	K    int `json:"k"`
+	// ArrivalNS is the open-loop arrival offset from the start of the
+	// measured body (zero in closed-loop traces).
+	ArrivalNS int64 `json:"arrival_ns,omitempty"`
+	// Burst lists the instance indices of a burst's concurrent partitions.
+	Burst []int `json:"burst,omitempty"`
+	// NoCache bypasses the result cache for a partition operation.
+	NoCache bool `json:"no_cache,omitempty"`
+	// Scratch marks a repartition for post-run comparison against a
+	// from-scratch pipeline run on the same drifted instance.
+	Scratch bool `json:"scratch,omitempty"`
+}
+
+// buildTrace generates the deterministic measured body. All randomness
+// flows from the profile seed through one generator in one fixed order, so
+// the trace is a pure function of the profile.
+func buildTrace(p Profile, insts []*instance) []Request {
+	rng := rand.New(rand.NewSource(p.Seed ^ 0x5eed10ad))
+	total := p.Mix.Upload + p.Mix.Partition + p.Mix.Repartition + p.Mix.Burst
+	driftAt := make([]int, len(insts)) // next drift step per instance
+	repartitions := 0
+	var arrival float64
+
+	trace := make([]Request, p.Requests)
+	for i := range trace {
+		r := Request{Index: i, K: p.K}
+		if p.Mode == ModeOpen {
+			// Poisson arrivals: exponential inter-arrival times.
+			arrival += rng.ExpFloat64() / p.RatePerSec
+			r.ArrivalNS = int64(arrival * 1e9)
+		}
+		pick := rng.Intn(total)
+		switch {
+		case pick < p.Mix.Upload:
+			r.Kind = KindUpload
+			r.Inst = rng.Intn(len(insts))
+		case pick < p.Mix.Upload+p.Mix.Partition:
+			r.Kind = KindPartition
+			r.Inst = rng.Intn(len(insts))
+			if p.AltK > 0 && rng.Intn(3) == 0 {
+				r.K = p.AltK
+			}
+			if p.NoCacheFraction > 0 && rng.Float64() < p.NoCacheFraction {
+				r.NoCache = true
+			}
+		case pick < p.Mix.Upload+p.Mix.Partition+p.Mix.Repartition:
+			r.Kind = KindRepartition
+			r.Inst = rng.Intn(len(insts))
+			r.Step = driftAt[r.Inst]%p.DriftSteps + 1
+			driftAt[r.Inst]++
+			repartitions++
+			if p.ScratchEvery > 0 && repartitions%p.ScratchEvery == 0 {
+				r.Scratch = true
+			}
+		default:
+			r.Kind = KindBurst
+			r.Inst = rng.Intn(len(insts))
+			r.Burst = make([]int, p.BurstWidth)
+			for b := range r.Burst {
+				r.Burst[b] = rng.Intn(len(insts))
+			}
+		}
+		trace[i] = r
+	}
+	return trace
+}
+
+// TraceDigest fingerprints a trace: the determinism witness recorded in
+// the report ("same seed ⇒ same request trace" is checkable as "same seed
+// ⇒ same digest").
+func TraceDigest(trace []Request) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	for i := range trace {
+		// Request marshaling cannot fail: all fields are plain data.
+		_ = enc.Encode(&trace[i])
+	}
+	return fmt.Sprintf("t-%x", h.Sum(nil)[:16])
+}

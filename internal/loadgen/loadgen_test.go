@@ -1,0 +1,281 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"repro/internal/service"
+)
+
+// testProfile is a scaled-down quick profile that keeps unit-test runtime
+// small while still touching every operation kind.
+func testProfile() Profile {
+	p := Quick()
+	p.Requests = 48
+	p.Instances = 3
+	p.MeshRows, p.MeshCols = 8, 8
+	p.Clients = 3
+	p.DriftSteps = 3
+	p.ScratchEvery = 6
+	return p
+}
+
+func mustHarness(t *testing.T, p Profile) *Harness {
+	t.Helper()
+	h, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// runInProcess executes the harness against a fresh in-process server.
+func runInProcess(t *testing.T, h *Harness) *Report {
+	t.Helper()
+	srv := service.New(h.Profile().Service)
+	t.Cleanup(srv.Close)
+	report, err := h.Run(NewHandlerTarget(srv.Handler()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return report
+}
+
+// The acceptance property: same seed ⇒ same request trace, different seed
+// ⇒ different trace.
+func TestTraceDeterministic(t *testing.T) {
+	p := testProfile()
+	a := mustHarness(t, p)
+	b := mustHarness(t, p)
+	if !reflect.DeepEqual(a.Trace(), b.Trace()) {
+		t.Fatal("same profile produced different traces")
+	}
+	if TraceDigest(a.Trace()) != TraceDigest(b.Trace()) {
+		t.Fatal("same trace, different digest")
+	}
+	p.Seed = 99
+	c := mustHarness(t, p)
+	if TraceDigest(a.Trace()) == TraceDigest(c.Trace()) {
+		t.Fatal("different seeds produced the same trace digest")
+	}
+	// Instance identities are part of the determinism contract too: the
+	// precomputed content hashes must agree between builds.
+	for i := range a.insts {
+		if !reflect.DeepEqual(a.insts[i].ids, b.insts[i].ids) {
+			t.Fatalf("instance %d ids differ between identical builds", i)
+		}
+	}
+}
+
+// Every generated drift-step graph must keep valid weights (the drift
+// factor is strictly positive) and a distinct content identity.
+func TestInstanceDriftSteps(t *testing.T) {
+	h := mustHarness(t, testProfile())
+	for i, in := range h.insts {
+		seen := map[string]bool{}
+		for j, g := range in.steps {
+			if seen[in.ids[j]] {
+				t.Fatalf("instance %d: step %d repeats an earlier content hash", i, j)
+			}
+			seen[in.ids[j]] = true
+			for v, w := range g.Weight {
+				if w <= 0 {
+					t.Fatalf("instance %d step %d vertex %d: non-positive weight %g", i, j, v, w)
+				}
+			}
+		}
+	}
+}
+
+func TestClosedLoopEndToEnd(t *testing.T) {
+	h := mustHarness(t, testProfile())
+	r := runInProcess(t, h)
+	if r.Certification.Violations != 0 {
+		t.Fatalf("certifier violations: %v", r.Certification.ViolationSamples)
+	}
+	if r.Requests.Failed != 0 {
+		t.Fatalf("%d failed requests", r.Requests.Failed)
+	}
+	if r.Requests.Total < h.Profile().Requests {
+		t.Fatalf("measured %d requests for %d trace operations", r.Requests.Total, h.Profile().Requests)
+	}
+	if r.ThroughputRPS <= 0 || r.LatencyMS.Count == 0 || r.LatencyMS.P99MS < r.LatencyMS.P50MS {
+		t.Fatalf("degenerate throughput/latency summary: %+v %+v", r.ThroughputRPS, r.LatencyMS)
+	}
+	if r.Certification.Checked == 0 || r.Certification.Certificates == 0 {
+		t.Fatalf("certifier idle: %+v", r.Certification)
+	}
+	if r.Certification.MaxCertificateGap < 1 {
+		t.Fatalf("certificate gap %g < 1 — the witness exceeded the served boundary",
+			r.Certification.MaxCertificateGap)
+	}
+	if r.Migration.Repartitions == 0 || r.Migration.TotalVertices == 0 {
+		t.Fatalf("no incremental traffic measured: %+v", r.Migration)
+	}
+	if r.Cache.Hits == 0 {
+		t.Fatal("a mixed trace with repeats produced no cache hits")
+	}
+	if r.TraceDigest != TraceDigest(h.Trace()) {
+		t.Fatal("report digest does not match the trace")
+	}
+}
+
+func TestOpenLoopEndToEnd(t *testing.T) {
+	p := testProfile()
+	p.Mode = ModeOpen
+	p.RatePerSec = 2000 // finish fast; arrivals still strictly ordered
+	p.Clients = 0
+	p.Requests = 32
+	h := mustHarness(t, p)
+	var last int64 = -1
+	for _, r := range h.Trace() {
+		if r.ArrivalNS < last {
+			t.Fatalf("arrival offsets not monotone: %d after %d", r.ArrivalNS, last)
+		}
+		last = r.ArrivalNS
+	}
+	r := runInProcess(t, h)
+	if r.Certification.Violations != 0 {
+		t.Fatalf("certifier violations: %v", r.Certification.ViolationSamples)
+	}
+	if r.Requests.Failed != 0 {
+		t.Fatalf("%d failed requests", r.Requests.Failed)
+	}
+}
+
+// The live-HTTP target must behave identically to the in-process one.
+func TestHTTPTargetEndToEnd(t *testing.T) {
+	p := testProfile()
+	p.Requests = 24
+	h := mustHarness(t, p)
+	srv := service.New(p.Service)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	r, err := h.Run(NewHTTPTarget(ts.URL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Certification.Violations != 0 {
+		t.Fatalf("certifier violations over HTTP: %v", r.Certification.ViolationSamples)
+	}
+	if r.Requests.Failed != 0 {
+		t.Fatalf("%d failed requests over HTTP", r.Requests.Failed)
+	}
+}
+
+// The certifier must reject tampered responses — each hard invariant is
+// exercised by corrupting one aspect of an otherwise valid response.
+func TestCertifierDetectsTampering(t *testing.T) {
+	h := mustHarness(t, testProfile())
+	in := h.insts[0]
+	k := h.Profile().K
+	srv := service.New(h.Profile().Service)
+	t.Cleanup(srv.Close)
+	tgt := NewHandlerTarget(srv.Handler())
+	if err := h.setup(tgt); err != nil {
+		t.Fatal(err)
+	}
+	var good service.PartitionResponse
+	status, err := postJSON(tgt, "/v1/partition",
+		service.PartitionRequest{GraphID: in.ids[0], K: k, IncludeColoring: true}, &good)
+	if err != nil || status != 200 {
+		t.Fatalf("status %d err %v", status, err)
+	}
+	base := h.cert.summary().Violations
+
+	tamper := func(name string, mutate func(r *service.PartitionResponse)) {
+		t.Helper()
+		bad := good
+		bad.Coloring = append([]int32(nil), good.Coloring...)
+		mutate(&bad)
+		before := h.cert.summary().Violations
+		h.cert.certifyPartition(in, 0, k, &bad)
+		if after := h.cert.summary().Violations; after == before {
+			t.Fatalf("%s: tampering not detected", name)
+		}
+	}
+	tamper("identity", func(r *service.PartitionResponse) { r.GraphID = "g-deadbeef" })
+	tamper("balance", func(r *service.PartitionResponse) {
+		for v := range r.Coloring {
+			r.Coloring[v] = 0 // everything in one class: wildly unbalanced
+		}
+	})
+	tamper("misreported boundary", func(r *service.PartitionResponse) {
+		r.Stats.MaxBoundary /= 3 // server understates its own cost
+	})
+	tamper("incomplete coloring", func(r *service.PartitionResponse) {
+		r.Coloring[0] = int32(k) // out of range
+	})
+	if h.cert.summary().Violations != base+4 {
+		t.Fatalf("expected exactly 4 new violations, got %d", h.cert.summary().Violations-base)
+	}
+	// The untampered response stays clean.
+	before := h.cert.summary().Violations
+	h.cert.certifyPartition(in, 0, k, &good)
+	if h.cert.summary().Violations != before {
+		t.Fatal("valid response flagged after tampering tests")
+	}
+}
+
+// The report's top-level JSON keys are the BENCH_service.json contract:
+// renaming or dropping one is a breaking change to the perf trajectory.
+func TestReportJSONContract(t *testing.T) {
+	p := testProfile()
+	p.Requests = 16
+	h := mustHarness(t, p)
+	r := runInProcess(t, h)
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"schema", "profile", "trace_digest", "wall_seconds",
+		"requests", "throughput_rps", "latency_ms", "latency_by_kind_ms",
+		"cache", "shed_rate", "migration", "certification", "server",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("report lost required key %q", key)
+		}
+	}
+	cert, ok := m["certification"].(map[string]any)
+	if !ok {
+		t.Fatal("certification section is not an object")
+	}
+	if _, ok := cert["max_certificate_gap"]; !ok {
+		t.Error("certification lost max_certificate_gap")
+	}
+	if m["schema"] != ReportSchema {
+		t.Fatalf("schema %v, want %q", m["schema"], ReportSchema)
+	}
+}
+
+// Profile validation must reject unrunnable configurations instead of
+// producing empty traces.
+func TestProfileValidation(t *testing.T) {
+	bad := []func(*Profile){
+		func(p *Profile) { p.Requests = 0 },
+		func(p *Profile) { p.Instances = 0 },
+		func(p *Profile) { p.K = 1 },
+		func(p *Profile) { p.Mode = "half-open" },
+		func(p *Profile) { p.Mode = ModeOpen; p.RatePerSec = 0 },
+		func(p *Profile) { p.Clients = 0 },
+		func(p *Profile) { p.Mix = Mix{} },
+		func(p *Profile) { p.Mix = Mix{Burst: 1}; p.BurstWidth = 0 },
+	}
+	for i, mutate := range bad {
+		p := testProfile()
+		mutate(&p)
+		if _, err := New(p); err == nil {
+			t.Errorf("case %d: invalid profile accepted", i)
+		}
+	}
+}

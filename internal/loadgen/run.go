@@ -1,0 +1,335 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Harness binds a validated profile to its materialized instance pool and
+// deterministic trace. Build once with New, then Run against any Target —
+// the trace does not change between runs.
+type Harness struct {
+	prof  Profile
+	insts []*instance
+	trace []Request
+	cert  *Certifier
+}
+
+// New validates the profile and precomputes the instance pool and trace.
+func New(p Profile) (*Harness, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	insts := buildInstances(p)
+	return &Harness{
+		prof:  p,
+		insts: insts,
+		trace: buildTrace(p, insts),
+		cert:  NewCertifier(p.BoundFactor),
+	}, nil
+}
+
+// Trace returns the deterministic measured body.
+func (h *Harness) Trace() []Request { return h.trace }
+
+// Profile returns the profile the harness was built from.
+func (h *Harness) Profile() Profile { return h.prof }
+
+// scratchItem queues one sampled repartition for the post-run
+// from-scratch comparison.
+type scratchItem struct {
+	inst, step, k int
+	served        float64
+}
+
+// recorder aggregates per-request observations from every dispatcher
+// goroutine.
+type recorder struct {
+	mu        sync.Mutex
+	durations map[Kind][]float64 // milliseconds, successful requests
+	ok        int
+	shed      int
+	failed    int
+	byKind    map[Kind]int
+	cached    int64
+	coalesced int64
+
+	repartitions int
+	coldStarts   int
+	migVertices  int64
+	migFracSum   float64
+	migFracMax   float64
+
+	scratch []scratchItem
+}
+
+func newRecorder() *recorder {
+	return &recorder{
+		durations: make(map[Kind][]float64),
+		byKind:    make(map[Kind]int),
+	}
+}
+
+// observe records one completed request.
+func (r *recorder) observe(kind Kind, dur time.Duration, status int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.byKind[kind]++
+	switch {
+	case status == http.StatusOK:
+		r.ok++
+		r.durations[kind] = append(r.durations[kind], float64(dur.Nanoseconds())/1e6)
+	case status == http.StatusServiceUnavailable:
+		r.shed++
+	default:
+		r.failed++
+	}
+}
+
+// Run executes the profile against the target: sequential setup (upload +
+// prior-warming partition per instance), the timed measured body in the
+// profile's dispatch mode, then the post-run from-scratch comparisons.
+// Run errors are harness/transport failures; service-level problems
+// surface as certifier violations in the report instead. Each Run starts
+// a fresh certifier, so a report covers exactly one run — reusing the
+// harness against several targets never blames one for another's
+// violations.
+func (h *Harness) Run(t Target) (*Report, error) {
+	h.cert = NewCertifier(h.prof.BoundFactor)
+	if err := h.setup(t); err != nil {
+		return nil, err
+	}
+	pre, err := fetchStats(t)
+	if err != nil {
+		return nil, err
+	}
+	rec := newRecorder()
+	start := time.Now()
+	switch h.prof.Mode {
+	case ModeClosed:
+		h.runClosed(t, rec)
+	case ModeOpen:
+		h.runOpen(t, rec, start)
+	}
+	wall := time.Since(start)
+	post, err := fetchStats(t)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range rec.scratch {
+		if err := h.cert.certifyScratch(h.insts[s.inst], s.inst, s.step, s.k, s.served, h.prof.ScratchTol); err != nil {
+			return nil, err
+		}
+	}
+	return h.report(rec, pre, post, wall), nil
+}
+
+// setup uploads every instance and warms the k-prior the repartition path
+// resumes from. Runs sequentially and untimed.
+func (h *Harness) setup(t Target) error {
+	for i, in := range h.insts {
+		status, data, err := t.Do(http.MethodPost, "/v1/graphs", "text/plain", in.upload)
+		if err != nil {
+			return fmt.Errorf("loadgen: setup upload inst=%d: %w", i, err)
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("loadgen: setup upload inst=%d: status %d: %s", i, status, data)
+		}
+		var up service.UploadResponse
+		if err := json.Unmarshal(data, &up); err != nil {
+			return fmt.Errorf("loadgen: setup upload inst=%d: %w", i, err)
+		}
+		h.cert.certifyUpload(in, i, &up)
+
+		var resp service.PartitionResponse
+		status, err = postJSON(t, "/v1/partition",
+			service.PartitionRequest{GraphID: in.ids[0], K: h.prof.K, IncludeColoring: true}, &resp)
+		if err != nil {
+			return fmt.Errorf("loadgen: setup partition inst=%d: %w", i, err)
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("loadgen: setup partition inst=%d: status %d", i, status)
+		}
+		h.cert.certifyPartition(in, i, h.prof.K, &resp)
+	}
+	return nil
+}
+
+// runClosed drains the trace with Clients looping workers.
+func (h *Harness) runClosed(t Target, rec *recorder) {
+	var idx int64
+	var wg sync.WaitGroup
+	for c := 0; c < h.prof.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := atomic.AddInt64(&idx, 1) - 1
+				if i >= int64(len(h.trace)) {
+					return
+				}
+				h.execute(t, &h.trace[i], 0, rec)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// runOpen fires each request at its precomputed Poisson arrival offset,
+// independent of completions. Dispatch lag behind the schedule (sleep
+// overshoot, goroutine scheduling on a loaded box) is charged to the
+// request's latency, so overload widens the percentiles instead of being
+// hidden by coordinated omission.
+func (h *Harness) runOpen(t Target, rec *recorder, start time.Time) {
+	var wg sync.WaitGroup
+	for i := range h.trace {
+		r := &h.trace[i]
+		scheduled := time.Duration(r.ArrivalNS)
+		if d := scheduled - time.Since(start); d > 0 {
+			time.Sleep(d)
+		}
+		lag := time.Since(start) - scheduled
+		if lag < 0 {
+			lag = 0
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.execute(t, r, lag, rec)
+		}()
+	}
+	wg.Wait()
+}
+
+// execute dispatches one trace operation; lag is the open-loop dispatch
+// delay already accrued against the schedule, added to every recorded
+// latency of the operation.
+func (h *Harness) execute(t Target, r *Request, lag time.Duration, rec *recorder) {
+	switch r.Kind {
+	case KindUpload:
+		h.uploadOnce(t, r.Inst, lag, rec)
+	case KindPartition:
+		h.partitionOnce(t, KindPartition, r.Inst, r.K, r.NoCache, lag, rec)
+	case KindBurst:
+		var wg sync.WaitGroup
+		for _, inst := range r.Burst {
+			wg.Add(1)
+			go func(inst int) {
+				defer wg.Done()
+				h.partitionOnce(t, KindBurst, inst, r.K, false, lag, rec)
+			}(inst)
+		}
+		wg.Wait()
+	case KindRepartition:
+		h.repartitionOnce(t, r, lag, rec)
+	}
+}
+
+// uploadOnce re-uploads an instance (idempotent: same content hash).
+func (h *Harness) uploadOnce(t Target, inst int, lag time.Duration, rec *recorder) {
+	in := h.insts[inst]
+	start := time.Now()
+	status, data, err := t.Do(http.MethodPost, "/v1/graphs", "text/plain", in.upload)
+	dur := time.Since(start) + lag
+	if err != nil {
+		rec.observe(KindUpload, dur, 0)
+		h.cert.violate("upload inst=%d: transport error: %v", inst, err)
+		return
+	}
+	rec.observe(KindUpload, dur, status)
+	if status != http.StatusOK {
+		h.cert.violate("upload inst=%d: unexpected status %d", inst, status)
+		return
+	}
+	var up service.UploadResponse
+	if err := json.Unmarshal(data, &up); err != nil {
+		h.cert.violate("upload inst=%d: undecodable response: %v", inst, err)
+		return
+	}
+	h.cert.certifyUpload(in, inst, &up)
+}
+
+// partitionOnce issues one partition query and certifies a 200 response.
+// 503 is recorded as shed (open-loop overload is expected behavior, not a
+// violation); any other non-200 is a violation.
+func (h *Harness) partitionOnce(t Target, kind Kind, inst, k int, noCache bool, lag time.Duration, rec *recorder) {
+	in := h.insts[inst]
+	var resp service.PartitionResponse
+	start := time.Now()
+	status, err := postJSON(t, "/v1/partition",
+		service.PartitionRequest{GraphID: in.ids[0], K: k, NoCache: noCache, IncludeColoring: true}, &resp)
+	dur := time.Since(start) + lag
+	if err != nil {
+		rec.observe(kind, dur, 0)
+		h.cert.violate("partition inst=%d k=%d: transport error: %v", inst, k, err)
+		return
+	}
+	rec.observe(kind, dur, status)
+	switch status {
+	case http.StatusOK:
+		rec.mu.Lock()
+		if resp.Cached {
+			rec.cached++
+		}
+		if resp.Coalesced {
+			rec.coalesced++
+		}
+		rec.mu.Unlock()
+		h.cert.certifyPartition(in, inst, k, &resp)
+	case http.StatusServiceUnavailable:
+	default:
+		h.cert.violate("partition inst=%d k=%d: unexpected status %d", inst, k, status)
+	}
+}
+
+// repartitionOnce pushes one drift step through the incremental path.
+func (h *Harness) repartitionOnce(t Target, r *Request, lag time.Duration, rec *recorder) {
+	in := h.insts[r.Inst]
+	var resp service.RepartitionResponse
+	start := time.Now()
+	status, err := postJSON(t, "/v1/repartition", service.RepartitionRequest{
+		GraphID:         in.ids[0],
+		K:               r.K,
+		Weights:         in.steps[r.Step].Weight,
+		IncludeColoring: true,
+	}, &resp)
+	dur := time.Since(start) + lag
+	if err != nil {
+		rec.observe(KindRepartition, dur, 0)
+		h.cert.violate("repartition inst=%d step=%d: transport error: %v", r.Inst, r.Step, err)
+		return
+	}
+	rec.observe(KindRepartition, dur, status)
+	switch status {
+	case http.StatusOK:
+		rec.mu.Lock()
+		rec.repartitions++
+		if resp.Cached {
+			rec.cached++
+		}
+		if resp.ColdStart {
+			rec.coldStarts++
+		}
+		rec.migVertices += int64(resp.Migration.Vertices)
+		rec.migFracSum += resp.Migration.Fraction
+		if resp.Migration.Fraction > rec.migFracMax {
+			rec.migFracMax = resp.Migration.Fraction
+		}
+		if r.Scratch {
+			rec.scratch = append(rec.scratch, scratchItem{
+				inst: r.Inst, step: r.Step, k: r.K, served: resp.Stats.MaxBoundary,
+			})
+		}
+		rec.mu.Unlock()
+		h.cert.certifyRepartition(in, r.Inst, r.Step, r.K, &resp)
+	case http.StatusServiceUnavailable:
+	default:
+		h.cert.violate("repartition inst=%d step=%d: unexpected status %d", r.Inst, r.Step, status)
+	}
+}

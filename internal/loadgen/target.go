@@ -1,0 +1,105 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+
+	"repro/internal/service"
+)
+
+// Target is where the harness sends traffic: either the service handler
+// invoked in-process (no sockets, the default) or a live HTTP base URL.
+// Both paths exercise the same wire layer byte for byte.
+type Target interface {
+	// Do issues one request and returns the status code and response body.
+	Do(method, path, contentType string, body []byte) (int, []byte, error)
+}
+
+// handlerTarget drives an http.Handler directly.
+type handlerTarget struct {
+	h http.Handler
+}
+
+// NewHandlerTarget wraps an in-process handler (e.g. service.New(cfg)
+// .Handler()) as a Target.
+func NewHandlerTarget(h http.Handler) Target { return handlerTarget{h: h} }
+
+func (t handlerTarget) Do(method, path, contentType string, body []byte) (int, []byte, error) {
+	req := httptest.NewRequest(method, path, bytes.NewReader(body))
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes(), nil
+}
+
+// httpTarget drives a live server over the network.
+type httpTarget struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTPTarget wraps a live base URL (e.g. "http://127.0.0.1:8080") as a
+// Target.
+func NewHTTPTarget(base string) Target {
+	return httpTarget{base: base, client: &http.Client{}}
+}
+
+func (t httpTarget) Do(method, path, contentType string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequest(method, t.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.StatusCode, data, nil
+}
+
+// postJSON marshals req, posts it, and decodes a 200 response into out.
+func postJSON(t Target, path string, req, out any) (int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, fmt.Errorf("loadgen: marshaling %s request: %w", path, err)
+	}
+	status, data, err := t.Do(http.MethodPost, path, "application/json", body)
+	if err != nil {
+		return 0, err
+	}
+	if status == http.StatusOK && out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return status, fmt.Errorf("loadgen: decoding %s response: %w", path, err)
+		}
+	}
+	return status, nil
+}
+
+// fetchStats reads the serving counters through the target's wire.
+func fetchStats(t Target) (service.StatsResponse, error) {
+	status, data, err := t.Do(http.MethodGet, "/v1/stats", "", nil)
+	if err != nil {
+		return service.StatsResponse{}, err
+	}
+	if status != http.StatusOK {
+		return service.StatsResponse{}, fmt.Errorf("loadgen: /v1/stats returned %d", status)
+	}
+	var st service.StatsResponse
+	if err := json.Unmarshal(data, &st); err != nil {
+		return service.StatsResponse{}, fmt.Errorf("loadgen: decoding stats: %w", err)
+	}
+	return st, nil
+}

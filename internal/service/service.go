@@ -74,6 +74,11 @@ type Config struct {
 	MaxGraphBytes int64
 	// MaxK rejects absurd part counts at the wire (default 65536).
 	MaxK int
+	// Clock is the time source for the request accounting in /v1/stats
+	// (default time.Now). Harnesses inject a deterministic clock here so
+	// server-side busy-time accounting is reproducible; it never influences
+	// scheduling, only observability.
+	Clock func() time.Time
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +106,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxK == 0 {
 		c.MaxK = 1 << 16
 	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
 	return c
 }
 
@@ -127,6 +135,13 @@ type Server struct {
 	deltaMemo *lru[string]
 
 	pipelineRuns int64
+
+	// Request accounting (atomic; exported via Stats): every request that
+	// reaches a handler, how many were shed with 503, and the summed
+	// handler occupancy measured with cfg.Clock.
+	requestsServed int64
+	requestsShed   int64
+	busyNS         int64
 }
 
 // New builds a Server with the given configuration.
@@ -142,12 +157,40 @@ func New(cfg Config) *Server {
 		repartSem: make(chan struct{}, cfg.RepartitionConcurrency),
 		deltaMemo: newLRU[string](cfg.CacheSize),
 	}
-	s.mux.HandleFunc("POST /v1/graphs", s.handleUpload)
-	s.mux.HandleFunc("POST /v1/partition", s.handlePartition)
-	s.mux.HandleFunc("POST /v1/repartition", s.handleRepartition)
+	s.mux.HandleFunc("POST /v1/graphs", s.instrument(s.handleUpload))
+	s.mux.HandleFunc("POST /v1/partition", s.instrument(s.handlePartition))
+	s.mux.HandleFunc("POST /v1/repartition", s.instrument(s.handleRepartition))
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return s
+}
+
+// statusRecorder captures the response status for the shed counter.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a work handler with the request accounting: request
+// count, 503 (shed) count, and handler occupancy measured with the
+// configured clock. Stats and healthz probes are left unwrapped so the
+// counters reflect decomposition traffic only.
+func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := s.cfg.Clock()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		atomic.AddInt64(&s.requestsServed, 1)
+		if rec.status == http.StatusServiceUnavailable {
+			atomic.AddInt64(&s.requestsShed, 1)
+		}
+		atomic.AddInt64(&s.busyNS, s.cfg.Clock().Sub(start).Nanoseconds())
+	}
 }
 
 // Handler returns the HTTP handler tree.
@@ -486,10 +529,12 @@ func withParallelism(opt repro.Options, par int) repro.Options {
 	return opt
 }
 
-// handleStats serves GET /v1/stats.
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+// Stats returns the serving counters — the same snapshot /v1/stats
+// serializes, exported so in-process harnesses (internal/loadgen) can read
+// them without an HTTP round trip.
+func (s *Server) Stats() StatsResponse {
 	hits, misses, evictions := s.cache.counters()
-	writeJSON(w, StatsResponse{
+	return StatsResponse{
 		CacheHits:      hits,
 		CacheMisses:    misses,
 		CacheEvictions: evictions,
@@ -499,7 +544,15 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		PipelineRuns:   atomic.LoadInt64(&s.pipelineRuns),
 		BatchesDrained: atomic.LoadInt64(&s.sched.batches),
 		JobsExecuted:   atomic.LoadInt64(&s.sched.jobsExecuted),
-	})
+		RequestsServed: atomic.LoadInt64(&s.requestsServed),
+		RequestsShed:   atomic.LoadInt64(&s.requestsShed),
+		BusyNS:         atomic.LoadInt64(&s.busyNS),
+	}
+}
+
+// handleStats serves GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.Stats())
 }
 
 // handleHealthz serves GET /v1/healthz.

@@ -7,7 +7,9 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/workload"
@@ -396,5 +398,65 @@ func TestStatsShape(t *testing.T) {
 	}
 	if st.GraphsStored != 1 {
 		t.Fatalf("graphs stored = %d, want 1", st.GraphsStored)
+	}
+}
+
+// The request-accounting hooks: an injected deterministic clock must
+// drive the busy-time counter, and served/shed counts must cover exactly
+// the work endpoints (stats and healthz stay unobserved).
+func TestStatsRequestAccounting(t *testing.T) {
+	var now atomic.Int64 // fake nanosecond clock, advanced per call
+	clock := func() time.Time {
+		return time.Unix(0, now.Add(1_000_000)) // +1ms per observation
+	}
+	s, ts := newTestServer(t, Config{Clock: clock, BatchWindow: -1})
+	g := workload.ClimateMesh(6, 6, 2, 4)
+	up := uploadGraph(t, ts.URL, g)
+	postJSON(t, ts.URL+"/v1/partition", PartitionRequest{GraphID: up.GraphID, K: 3}, &PartitionResponse{})
+	_ = serverStats(t, ts.URL) // must not count itself
+
+	st := s.Stats()
+	if st.RequestsServed != 2 {
+		t.Fatalf("requests served = %d, want 2 (upload + partition)", st.RequestsServed)
+	}
+	if st.RequestsShed != 0 {
+		t.Fatalf("requests shed = %d, want 0", st.RequestsShed)
+	}
+	// Each instrumented request reads the clock twice, so with the +1ms
+	// fake the busy time is deterministic: exactly 1ms per request.
+	if st.BusyNS != 2*int64(time.Millisecond) {
+		t.Fatalf("busy ns = %d, want %d (deterministic clock)", st.BusyNS, 2*time.Millisecond)
+	}
+	// The wire mirrors the programmatic snapshot.
+	wire := serverStats(t, ts.URL)
+	if wire.RequestsServed < st.RequestsServed || wire.BusyNS < st.BusyNS {
+		t.Fatalf("wire stats %+v behind programmatic stats %+v", wire, st)
+	}
+}
+
+// A shed request (503 at admission) must show up in the shed counter.
+func TestStatsShedAccounting(t *testing.T) {
+	s, ts := newTestServer(t, Config{QueueDepth: 1, MaxBatch: 1, BatchWindow: 50 * time.Millisecond})
+	gs := []*graph.Graph{
+		workload.ClimateMesh(10, 10, 2, 1),
+		workload.ClimateMesh(10, 10, 2, 2),
+		workload.ClimateMesh(10, 10, 2, 3),
+	}
+	var wg sync.WaitGroup
+	var shed atomic.Int64
+	for i, g := range gs {
+		wg.Add(1)
+		go func(i int, g *graph.Graph) {
+			defer wg.Done()
+			code := postJSON(t, ts.URL+"/v1/partition",
+				PartitionRequest{Graph: string(graph.Marshal(g)), K: 2, NoCache: true}, nil)
+			if code == http.StatusServiceUnavailable {
+				shed.Add(1)
+			}
+		}(i, g)
+	}
+	wg.Wait()
+	if got := s.Stats().RequestsShed; got != shed.Load() {
+		t.Fatalf("server counted %d shed requests, clients saw %d", got, shed.Load())
 	}
 }

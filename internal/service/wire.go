@@ -162,6 +162,14 @@ type StatsResponse struct {
 	// BatchesDrained counts PartitionBatch executions by the scheduler.
 	BatchesDrained int64 `json:"batches_drained"`
 	JobsExecuted   int64 `json:"jobs_executed"`
+	// RequestsServed counts requests that reached a work handler (upload,
+	// partition, repartition); stats and healthz probes are excluded.
+	RequestsServed int64 `json:"requests_served"`
+	// RequestsShed counts work requests answered 503 at admission.
+	RequestsShed int64 `json:"requests_shed"`
+	// BusyNS is the summed work-handler occupancy in nanoseconds, measured
+	// with the configured Clock.
+	BusyNS int64 `json:"busy_ns"`
 }
 
 // statsWire converts coloring statistics to the wire form.

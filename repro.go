@@ -46,6 +46,19 @@ type Options = core.Options
 // Result re-exports the pipeline output.
 type Result = core.Result
 
+// Verification re-exports the audit report of a Result.
+type Verification = core.Verification
+
+// Verify audits a Result against the graph and options it was produced
+// under: completeness, Definition 1 strict balance, boundary consistency
+// of the reported stats, and the advisory Theorem 4 bound with the given
+// multiplier. It is the certification entry point for serving harnesses
+// (internal/loadgen) that must not trust a response without re-deriving
+// its guarantees from the coloring.
+func Verify(g *graph.Graph, opt Options, res Result, factor float64) Verification {
+	return core.Verify(g, opt, res, factor)
+}
+
 // Partition computes a strictly balanced k-coloring of g with small
 // maximum boundary cost, using the default FM-refined BFS splitting oracle
 // (suitable for bounded-degree mesh-like graphs).

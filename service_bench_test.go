@@ -1,0 +1,43 @@
+package repro_test
+
+// Service-level load benchmark, driven by the internal/loadgen harness.
+// External test package: loadgen imports repro, so an in-package
+// benchmark (bench_test.go) would be an import cycle.
+
+import (
+	"testing"
+
+	"repro/internal/loadgen"
+	"repro/internal/service"
+)
+
+// BenchmarkServiceLoadgen runs the loadgen quick profile against a fresh
+// in-process server per iteration and reports measured throughput as the
+// "rps" metric. Any certifier violation fails the benchmark — perf
+// numbers from an incorrect server are worthless.
+func BenchmarkServiceLoadgen(b *testing.B) {
+	prof := loadgen.Quick()
+	prof.Requests = 120
+	h, err := loadgen.New(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rps float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv := service.New(prof.Service)
+		report, err := h.Run(loadgen.NewHandlerTarget(srv.Handler()))
+		srv.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.Certification.Violations > 0 {
+			b.Fatalf("certifier violations: %v", report.Certification.ViolationSamples)
+		}
+		rps += report.ThroughputRPS
+	}
+	b.StopTimer()
+	if b.N > 0 {
+		b.ReportMetric(rps/float64(b.N), "rps")
+	}
+}
