@@ -1,5 +1,11 @@
 package repro
 
+// These tests exercise the batch fan-out through the deprecated
+// PartitionBatch wrapper on purpose: they pin that the wrapper still
+// delegates to Engine.Batch with unchanged semantics (indexing, the
+// *BatchError aggregation, the nil-Splitter guard). Cancellation-specific
+// Batch behavior lives in cancel_test.go on the Engine API directly.
+
 import (
 	"errors"
 	"reflect"

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -41,7 +42,7 @@ type batchReport struct {
 	Speedup     float64 `json:"speedup"`
 }
 
-// runBatch exercises repro.PartitionBatch on n fixed-seed climate meshes,
+// runBatch exercises Engine.Batch on n fixed-seed climate meshes,
 // once sequentially and once on the full pool, and returns the throughput
 // comparison. This is the command-line face of the "serve heavy traffic"
 // direction: many independent instances fanned across cores.
@@ -54,9 +55,10 @@ func runBatch(n, side, k, par int) (batchReport, error) {
 		gs[i] = workload.ClimateMesh(side, side, 4, int64(i+1))
 	}
 
+	eng := repro.NewEngine()
 	run := func(p int) ([]repro.Result, time.Duration, error) {
 		start := time.Now()
-		rs, err := repro.PartitionBatch(gs, repro.Options{K: k, Parallelism: p})
+		rs, err := eng.Batch(context.Background(), gs, repro.Options{K: k, Parallelism: p})
 		return rs, time.Since(start), err
 	}
 	seqRes, seqDur, err := run(1)

@@ -18,10 +18,14 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -36,13 +40,22 @@ func main() {
 	verify := flag.Bool("verify", false, "audit the result against every Theorem 4 guarantee")
 	flag.Parse()
 
-	if err := run(*k, *p, *in, *out, *stats, *verify); err != nil {
+	// SIGINT/SIGTERM cancel the pipeline mid-run instead of killing the
+	// process at an arbitrary point.
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	if err := run(ctx, *k, *p, *in, *out, *stats, *verify); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "minmaxpart: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintf(os.Stderr, "minmaxpart: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(k int, p float64, inPath, outPath string, stats, verify bool) error {
+func run(ctx context.Context, k int, p float64, inPath, outPath string, stats, verify bool) error {
 	var r io.Reader = os.Stdin
 	if inPath != "" {
 		f, err := os.Open(inPath)
@@ -58,7 +71,7 @@ func run(k int, p float64, inPath, outPath string, stats, verify bool) error {
 	}
 
 	opt := core.Options{K: k, P: p}
-	res, err := core.Decompose(g, opt)
+	res, err := core.Decompose(ctx, g, opt)
 	if err != nil {
 		return err
 	}

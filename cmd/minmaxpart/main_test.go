@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -30,7 +31,7 @@ func TestRunPartitionsFile(t *testing.T) {
 	gr := grid.MustBox(8, 8)
 	in := writeGraphFile(t, gr.G)
 	out := filepath.Join(t.TempDir(), "coloring.txt")
-	if err := run(4, 2, in, out, true, true); err != nil {
+	if err := run(context.Background(), 4, 2, in, out, true, true); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -59,16 +60,16 @@ func TestRunPartitionsFile(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(2, 2, "/nonexistent/path", "", false, false); err == nil {
+	if err := run(context.Background(), 2, 2, "/nonexistent/path", "", false, false); err == nil {
 		t.Fatal("expected error for missing input")
 	}
 	// Bad K propagates from core.
 	gr := grid.MustBox(3, 3)
 	in := writeGraphFile(t, gr.G)
-	if err := run(0, 2, in, "", false, false); err == nil {
+	if err := run(context.Background(), 0, 2, in, "", false, false); err == nil {
 		t.Fatal("expected error for k=0")
 	}
-	if err := run(2, 0.5, in, "", false, false); err == nil {
+	if err := run(context.Background(), 2, 0.5, in, "", false, false); err == nil {
 		t.Fatal("expected error for p<=1")
 	}
 }

@@ -1,15 +1,18 @@
 // Command reprosrv serves min-max boundary decompositions over HTTP/JSON —
-// the serving front end of the reproduction (DESIGN.md §6). It wraps the
-// internal/service subsystem: an LRU result cache keyed by canonical
+// the serving front end of the reproduction (DESIGN.md §6, §8). It wraps
+// the internal/service subsystem: an LRU result cache keyed by canonical
 // graph+options hashes, singleflight coalescing of concurrent identical
 // queries, a batch scheduler that drains independent requests onto
-// repro.PartitionBatch, and an incremental /v1/repartition endpoint for
-// weight-drift workloads.
+// repro.Engine.Batch, and an incremental /v1/repartition endpoint backed
+// by per-(graph, options) Instance sessions for weight-drift workloads.
+// Request contexts propagate into the pipeline: a disconnected client or
+// an expired deadline cancels its decomposition mid-run (answered 499/504
+// and counted separately from capacity sheds).
 //
 // Usage:
 //
 //	reprosrv [-addr :8080] [-cache 256] [-graphs 64] [-max-batch 32]
-//	         [-batch-window 2ms] [-queue 256] [-par 0]
+//	         [-batch-window 2ms] [-queue 256] [-par 0] [-req-timeout 0]
 //
 // Endpoints:
 //
@@ -43,6 +46,7 @@ func main() {
 	window := flag.Duration("batch-window", 2*time.Millisecond, "scheduler gather window")
 	queue := flag.Int("queue", 256, "admission-queue depth (overflow is 503)")
 	par := flag.Int("par", 0, "pipeline worker-pool bound (0 = GOMAXPROCS)")
+	reqTimeout := flag.Duration("req-timeout", 0, "server-side per-request deadline; expiry cancels the pipeline and answers 504 (0 = unlimited)")
 	flag.Parse()
 
 	srv := service.New(service.Config{
@@ -52,6 +56,7 @@ func main() {
 		BatchWindow:    *window,
 		QueueDepth:     *queue,
 		Parallelism:    *par,
+		RequestTimeout: *reqTimeout,
 	})
 	defer srv.Close()
 

@@ -2,13 +2,17 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/graph"
+	"repro/internal/grid"
 	"repro/internal/service"
 	"repro/internal/workload"
 )
@@ -167,7 +171,7 @@ func TestServeClimatePartitionEndToEnd(t *testing.T) {
 	for _, u := range scale {
 		h.Weight[u.V] *= u.W
 	}
-	scratch, err := repro.PartitionWithOptions(h, repro.Options{K: k})
+	scratch, err := repro.NewEngine().PartitionWithOptions(context.Background(), h, repro.Options{K: k})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,5 +191,170 @@ func TestServeClimatePartitionEndToEnd(t *testing.T) {
 	post("/v1/partition", service.PartitionRequest{GraphID: rep.GraphID, K: k}, &chained)
 	if !chained.Cached {
 		t.Fatal("repartition result was not cached under the new graph id")
+	}
+}
+
+// stageRecorder is the Observer the disconnect acceptance test hangs off
+// the server: it timestamps every stage event so the test can see the
+// pipeline start, and later prove it stopped.
+type stageRecorder struct {
+	repro.NopObserver
+	mu     sync.Mutex
+	enters []repro.Stage
+	leaves []repro.Stage
+	splits int64
+}
+
+func (r *stageRecorder) StageEnter(s repro.Stage) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.enters = append(r.enters, s)
+}
+
+func (r *stageRecorder) StageLeave(s repro.Stage, _ time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.leaves = append(r.leaves, s)
+}
+
+func (r *stageRecorder) OracleCall(total int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.splits = total
+}
+
+func (r *stageRecorder) snapshot() (enters, leaves int, splits int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.enters), len(r.leaves), r.splits
+}
+
+// TestClientDisconnectCancelsPipeline is the cancellation acceptance flow:
+// a client starts an expensive decomposition (256×256 grid, k=16) and
+// disconnects mid-run. The request context must cancel the pipeline at its
+// next checkpoint — observed three ways: the server's cancelled-request
+// counter increments within 100ms of the disconnect, the Observer's stage
+// events stop (with every StageEnter matched by a StageLeave), and no
+// cache entry exists for the abandoned key, so a retry runs fresh.
+func TestClientDisconnectCancelsPipeline(t *testing.T) {
+	obs := &stageRecorder{}
+	srv := service.New(service.Config{Observer: obs})
+	ts := httptest.NewServer(srv.Handler())
+	defer func() {
+		ts.Close()
+		srv.Close()
+	}()
+
+	gr := grid.MustBox(256, 256)
+	r, err := http.Post(ts.URL+"/v1/graphs", "text/plain", bytes.NewReader(graph.Marshal(gr.G)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up service.UploadResponse
+	if err := json.NewDecoder(r.Body).Decode(&up); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+
+	// Fire the partition request on a cancellable context and abandon it
+	// once the Observer shows the pipeline has genuinely started.
+	body, err := json.Marshal(service.PartitionRequest{GraphID: up.GraphID, K: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/partition",
+		bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	clientDone := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		clientDone <- err
+	}()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if enters, _, _ := obs.snapshot(); enters > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pipeline never emitted a StageEnter")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Disconnect. The server must notice, abort the run, and account the
+	// request as cancelled within 100ms — the acceptance bar. Under the
+	// race detector every pipeline scan is ~5–10× slower, so the longest
+	// stretch between cancellation checkpoints (one O(|W|) pass) stretches
+	// with it; the budget scales accordingly there, while the plain build
+	// keeps the strict bar.
+	budget := 100 * time.Millisecond
+	if raceEnabled {
+		budget *= 10
+	}
+	cancel()
+	cut := time.Now()
+	var observed time.Duration
+	for {
+		st := srv.Stats()
+		if st.RequestsCancelled >= 1 {
+			observed = time.Since(cut)
+			break
+		}
+		if time.Since(cut) > 5*time.Second {
+			t.Fatalf("cancelled-request counter never incremented (stats %+v)", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if observed > budget {
+		t.Fatalf("disconnect-to-cancellation latency %v, want < %v", observed, budget)
+	}
+	if err := <-clientDone; err == nil {
+		t.Fatal("abandoned client request unexpectedly succeeded")
+	}
+
+	// The pipeline stopped: stage events freeze (pairs balanced — a
+	// cancelled stage still leaves) and the oracle-call counter goes quiet.
+	entersA, leavesA, splitsA := obs.snapshot()
+	time.Sleep(50 * time.Millisecond)
+	entersB, leavesB, splitsB := obs.snapshot()
+	if entersB != entersA || leavesB != leavesA || splitsB != splitsA {
+		t.Fatalf("pipeline still running after cancellation: events %d/%d→%d/%d splits %d→%d",
+			entersA, leavesA, entersB, leavesB, splitsA, splitsB)
+	}
+	if entersB != leavesB {
+		t.Fatalf("unbalanced stage events after cancel: %d enters, %d leaves", entersB, leavesB)
+	}
+	if entersB >= 4 {
+		t.Fatalf("all %d stages completed — nothing was cancelled", entersB)
+	}
+
+	// A cancelled run never populates the cache: the retry is not a hit
+	// and completes normally.
+	resp, err := http.Post(ts.URL+"/v1/partition", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry after cancelled run: status %d", resp.StatusCode)
+	}
+	var pr service.PartitionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	if pr.Cached {
+		t.Fatal("cancelled run left a cache entry behind")
+	}
+	if !pr.Stats.StrictlyBalanced {
+		t.Fatal("retry after cancellation produced a non-strict coloring")
 	}
 }

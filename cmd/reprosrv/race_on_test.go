@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// raceEnabled widens timing assertions when the race detector's
+// instrumentation (5–10× slowdown) is active.
+const raceEnabled = true

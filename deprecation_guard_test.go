@@ -1,0 +1,67 @@
+package repro
+
+// The deprecated free functions (Partition, PartitionWithOptions,
+// PartitionGrid, PartitionBatch, Repartition) exist only so external
+// callers migrate to the Engine API without breakage. In-repo code has no
+// such excuse: this guard fails the build the moment any package outside
+// this one calls a deprecated wrapper, which keeps the tree honest until
+// the wrappers are deleted. (CI additionally runs staticcheck, which
+// flags deprecated uses with SA1019; this guard is the hermetic fallback
+// that needs no tooling beyond go test.)
+//
+// Only qualified calls (`repro.Partition(` etc.) are scanned: package
+// repro's own tests exercise the wrappers unqualified on purpose — they
+// pin the delegation behavior documented in repro.go.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var deprecatedCall = regexp.MustCompile(
+	`\brepro\.(Partition|PartitionWithOptions|PartitionGrid|PartitionBatch|Repartition)\(`)
+
+func TestNoInRepoCallersOfDeprecatedWrappers(t *testing.T) {
+	var offenders []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name != "." && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			// Comments may reference the wrappers (doc migrations, the
+			// deprecation notices themselves); only code counts.
+			code := line
+			if idx := strings.Index(code, "//"); idx >= 0 {
+				code = code[:idx]
+			}
+			if deprecatedCall.MatchString(code) {
+				offenders = append(offenders, strings.TrimSuffix(path, "\n")+":"+strconv.Itoa(i+1)+": "+strings.TrimSpace(line))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offenders) > 0 {
+		t.Fatalf("in-repo callers of deprecated repro wrappers (migrate to Engine/Instance):\n  %s",
+			strings.Join(offenders, "\n  "))
+	}
+}

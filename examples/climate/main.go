@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,7 +27,7 @@ func main() {
 	mesh := workload.ClimateMesh(48, 48, 4, 7)
 	const k = 16
 
-	ours, err := repro.Partition(mesh, k)
+	ours, err := repro.NewEngine().Partition(context.Background(), mesh, k)
 	if err != nil {
 		log.Fatal(err)
 	}

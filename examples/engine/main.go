@@ -1,0 +1,104 @@
+// Example engine demonstrates the Engine/Instance session API on the
+// paper's drift workload, without any HTTP in between:
+//
+//   - an Engine configured with an Observer that prints live stage
+//     progress and oracle-call counts;
+//   - an Instance owning the session state of one climate mesh (graph,
+//     content hash, current coloring, migration history);
+//   - a day/night drift loop absorbed by deadline-bounded Repartition
+//     calls — each step resumes from the previous coloring, and a step
+//     that misses its deadline is abandoned mid-pipeline, leaving the
+//     session exactly as it was.
+//
+// Run with: go run ./examples/engine
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// progress prints stage transitions and keeps the oracle-call total — the
+// Observer shape a metrics exporter would use. Callbacks may arrive from
+// multiple pipeline workers, hence the atomic.
+type progress struct {
+	repro.NopObserver
+	oracleCalls atomic.Int64
+}
+
+func (p *progress) StageEnter(s repro.Stage) {
+	fmt.Printf("    → %-12s", s)
+}
+
+func (p *progress) StageLeave(s repro.Stage, took time.Duration) {
+	fmt.Printf(" %8s  (oracle calls so far: %d)\n", took.Round(100*time.Microsecond), p.oracleCalls.Load())
+}
+
+func (p *progress) OracleCall(total int64) { p.oracleCalls.Store(total) }
+
+func main() {
+	const rows, cols, k = 64, 64, 16
+	mesh := workload.ClimateMesh(rows, cols, 4, 7)
+
+	obs := &progress{}
+	eng := repro.NewEngine(
+		repro.WithObserver(obs),
+		repro.WithVerification(repro.VerifyResults), // audit every result
+	)
+	inst, err := eng.NewInstance(mesh, repro.Options{K: k})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("instance %s: n=%d m=%d k=%d\n", inst.Hash()[:12], mesh.N(), mesh.M(), k)
+	fmt.Println("  full pipeline:")
+	res, err := inst.Partition(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  max boundary %.1f, strict=%t\n\n", res.Stats.MaxBoundary, res.Stats.StrictlyBalanced)
+
+	// The sun sweeps across the mesh: each step shifts the activity band
+	// and is absorbed by a Repartition bounded to a 250ms deadline — the
+	// latency budget a load balancer would grant a rebalance.
+	fmt.Println("drift loop (deadline 250ms per step):")
+	for step := 1; step <= 4; step++ {
+		phase := float64(step) * math.Pi / 4
+		scale := make([]repro.WeightChange, 0, mesh.N())
+		for c := 0; c < cols; c++ {
+			f := 1 + 0.6*math.Sin(phase+2*math.Pi*float64(c)/float64(cols))
+			for r := 0; r < rows; r++ {
+				scale = append(scale, repro.WeightChange{V: int32(r*cols + c), W: f})
+			}
+		}
+
+		ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+		fmt.Printf("  step %d:\n", step)
+		res, err := inst.Repartition(ctx, repro.Delta{Scale: scale})
+		cancel()
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			// The session is untouched: the previous coloring still stands
+			// and the next step simply drifts further.
+			fmt.Println("    deadline exceeded — step abandoned, session unchanged")
+			continue
+		case err != nil:
+			log.Fatal(err)
+		}
+		mig := res.Stats
+		last := inst.History()[len(inst.History())-1]
+		fmt.Printf("    max boundary %.1f, migrated %d vertices (%.1f%% of weight), hash %s\n",
+			mig.MaxBoundary, last.Vertices, 100*last.Fraction, inst.Hash()[:12])
+	}
+
+	fmt.Printf("\nsession history: %d adopted drifts, %d oracle calls total\n",
+		len(inst.History()), obs.oracleCalls.Load())
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -40,7 +41,7 @@ func main() {
 	}
 
 	const k = 12
-	res, err := repro.PartitionWithOptions(g, repro.Options{
+	res, err := repro.NewEngine().PartitionWithOptions(context.Background(), g, repro.Options{
 		K:        k,
 		Measures: [][]float64{mem, io},
 	})

@@ -1,10 +1,11 @@
 // Quickstart: partition a 2-D grid into 16 strictly balanced parts with
-// small maximum boundary cost, using the public facade.
+// small maximum boundary cost, using the public Engine API.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,8 @@ func main() {
 	workload.ApplyFields(gr, workload.LognormalWeights(0.6), workload.ExponentialCosts(16), 42)
 
 	const k = 16
-	res, err := repro.PartitionGrid(gr, k)
+	eng := repro.NewEngine()
+	res, err := eng.PartitionGrid(context.Background(), gr, k)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,15 +1,20 @@
 // Example service demonstrates the partition-serving subsystem end to
 // end, entirely in-process: it starts the HTTP server on a loopback port,
 // uploads a climate mesh, partitions it, repeats the request to show the
-// cache hit, then pushes a day/night weight drift through the incremental
-// /v1/repartition endpoint and prints the migration volume.
+// cache hit, pushes a day/night drift chain through the incremental
+// /v1/repartition endpoint (each step resumed by the server-side Instance
+// session), and finally cancels a request mid-pipeline to show the
+// client-cancelled accounting (499, requests_cancelled) that the capacity
+// sheds (503) are kept apart from.
 //
 // Run with: go run ./examples/service
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -56,44 +61,67 @@ func main() {
 			pr.Diag.SplitterCalls, time.Since(start).Round(time.Millisecond))
 	}
 
-	// Night falls on the eastern half: scale its weights down, the western
-	// half up, and ask for an incremental repartition.
-	scale := make([]service.WeightUpdate, 0, rows*cols)
-	for r := 0; r < rows; r++ {
-		for c := 0; c < cols; c++ {
-			f := 0.6
-			if c < cols/2 {
-				f = 1.8
+	// A day → dusk → night drift chain. Every step names the same base
+	// instance; the server's per-(graph, options) Instance session resumes
+	// each step from the previous coloring and re-hashes only the weight
+	// field, so the chain stays incremental end to end.
+	for step, night := range []float64{0.25, 0.5, 1.0} {
+		scale := make([]service.WeightUpdate, 0, rows*cols)
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				f := 1 + 0.8*night // west brightens
+				if c >= cols/2 {
+					f = 1 - 0.4*night // east dims
+				}
+				scale = append(scale, service.WeightUpdate{V: int32(r*cols + c), W: f})
 			}
-			scale = append(scale, service.WeightUpdate{V: int32(r*cols + c), W: f})
 		}
+		start := time.Now()
+		var rep service.RepartitionResponse
+		postJSON(base+"/v1/repartition", service.RepartitionRequest{
+			GraphID: up.GraphID, K: k, Scale: scale,
+		}, &rep)
+		fmt.Printf("drift %d: coldStart=%t strict=%t maxBoundary=%.1f oracleCalls=%d migration=%.1f%% (%v)\n",
+			step, rep.ColdStart, rep.Stats.StrictlyBalanced, rep.Stats.MaxBoundary,
+			rep.Diag.SplitterCalls, 100*rep.Migration.Fraction,
+			time.Since(start).Round(time.Millisecond))
 	}
-	var rep service.RepartitionResponse
-	postJSON(base+"/v1/repartition", service.RepartitionRequest{
-		GraphID: up.GraphID, K: k, Scale: scale,
-	}, &rep)
-	fmt.Printf("repartition: coldStart=%t strict=%t maxBoundary=%.1f oracleCalls=%d\n",
-		rep.ColdStart, rep.Stats.StrictlyBalanced, rep.Stats.MaxBoundary, rep.Diag.SplitterCalls)
-	fmt.Printf("  migration: %d vertices, %.1f%% of total weight moved\n",
-		rep.Migration.Vertices, 100*rep.Migration.Fraction)
 
-	// Server-side counters.
+	// A client that gives up: a 1ms deadline on an uncached decomposition.
+	// The server aborts the pipeline at its next checkpoint, answers 499,
+	// and counts the request as cancelled — not shed, not failed.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	hreq, _ := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/partition",
+		bytes.NewReader(mustJSON(service.PartitionRequest{GraphID: up.GraphID, K: 48})))
+	hreq.Header.Set("Content-Type", "application/json")
+	if _, err := http.DefaultClient.Do(hreq); errors.Is(err, context.DeadlineExceeded) {
+		fmt.Println("impatient client: request abandoned after 1ms")
+	}
+	time.Sleep(50 * time.Millisecond) // let the server notice and account
+
+	// Server-side counters: the drift chain ran through one session, and
+	// the abandoned request shows up as cancelled.
 	sresp, err := http.Get(base + "/v1/stats")
 	if err != nil {
 		log.Fatal(err)
 	}
 	var st service.StatsResponse
 	decode(sresp, &st)
-	fmt.Printf("stats: pipelineRuns=%d cacheHits=%d coalesced=%d batches=%d\n",
-		st.PipelineRuns, st.CacheHits, st.Coalesced, st.BatchesDrained)
+	fmt.Printf("stats: pipelineRuns=%d cacheHits=%d sessions=%d cancelled=%d shed=%d\n",
+		st.PipelineRuns, st.CacheHits, st.Sessions, st.RequestsCancelled, st.RequestsShed)
 }
 
-func postJSON(url string, req, out any) {
-	body, err := json.Marshal(req)
+func mustJSON(v any) []byte {
+	b, err := json.Marshal(v)
 	if err != nil {
 		log.Fatal(err)
 	}
-	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	return b
+}
+
+func postJSON(url string, req, out any) {
+	resp, err := http.Post(url, "application/json", bytes.NewReader(mustJSON(req)))
 	if err != nil {
 		log.Fatal(err)
 	}

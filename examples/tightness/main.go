@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,11 +24,12 @@ func main() {
 	const m = 16 // base grid side
 	base := grid.MustBox(m, m)
 
+	eng := repro.NewEngine()
 	fmt.Println("k   copies  certLower  maxBoundary  upper/lower  theoremShape")
 	for _, k := range []int{8, 16, 32, 64} {
 		r := k / 4
 		gt := lower.Copies(base.G, r)
-		res, err := repro.Partition(gt, k)
+		res, err := eng.Partition(context.Background(), gt, k)
 		if err != nil {
 			log.Fatal(err)
 		}

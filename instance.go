@@ -1,0 +1,277 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/grid"
+	"repro/internal/splitter"
+)
+
+// Instance is a long-lived handle for repeated queries against one graph
+// topology — the session shape of the drift workload the paper motivates
+// (a mesh whose vertex weights change "tremendously depending on
+// day-time", re-decomposed continuously). It owns the per-graph state
+// that the stateless free functions recompute on every call:
+//
+//   - the graph and its canonical SHA-256 content hash, with the
+//     topology half of the hash frozen at construction so a weight drift
+//     re-hashes O(N) weights instead of O(M log M) edges;
+//   - the splitting oracle, built once from the engine's factory;
+//   - the current session coloring, which each Repartition resumes from;
+//   - the migration history of the session's drift chain.
+//
+// Methods are safe for concurrent use. Pipeline runs serialize on the
+// handle (each resume wants the freshest adopted coloring), but the state
+// accessors (Hash, Coloring, Graph, History) and cached-read paths never
+// wait behind an in-flight run. Cancellation is transactional:
+// a run that returns an error — ctx.Err() included — leaves the Instance
+// exactly as it was (graph, hash, coloring, history all unchanged).
+//
+// The Instance adopts the caller's graph without copying and never
+// mutates it: weight drifts swap in fresh weight slices over the shared
+// topology. The caller must not mutate the graph after handing it over.
+type Instance struct {
+	eng *Engine
+	opt Options // resolved once: cached splitter, observer, parallelism
+
+	// runMu serializes pipeline runs on the handle; mu guards the session
+	// state and is never held across a run, so accessors stay O(1) even
+	// while a multi-second pipeline is in flight.
+	runMu sync.Mutex
+
+	mu       sync.Mutex
+	g        *graph.Graph
+	digest   graph.ContentDigest
+	hash     string
+	coloring []int32 // current session coloring; nil until first success
+	history  []Migration
+}
+
+// NewInstance mints a session handle for g under the given options. The
+// splitting oracle is built here (from opt.Splitter, or the engine's
+// factory, or the default FM-refined BFS) and cached for the session, and
+// the graph's content hash is computed once; both amortize across every
+// query on the handle.
+func (e *Engine) NewInstance(g *graph.Graph, opt Options) (*Instance, error) {
+	if opt.K < 1 {
+		return nil, fmt.Errorf("repro: K must be ≥ 1, got %d", opt.K)
+	}
+	opt = e.resolve(g, opt)
+	if opt.Splitter == nil {
+		opt.Splitter = splitter.NewRefined(g, splitter.NewBFS(g))
+	}
+	digest := graph.NewContentDigest(g)
+	return &Instance{
+		eng:    e,
+		opt:    opt,
+		g:      g,
+		digest: digest,
+		hash:   digest.HashWeights(g.Weight),
+	}, nil
+}
+
+// NewGridInstance mints a session handle for a grid graph bound to the
+// paper's exact GridSplit oracle (Section 6) with the canonical exponent
+// p = d/(d−1).
+func (e *Engine) NewGridInstance(gr *grid.Grid, k int) (*Instance, error) {
+	p := gr.P()
+	if math.IsInf(p, 1) {
+		p = 2
+	}
+	return e.NewInstance(gr.G, Options{K: k, P: p, Splitter: splitter.NewGrid(gr)})
+}
+
+// Hash returns the canonical content hash of the instance's current
+// (possibly drifted) graph — its identity in caches and serving layers.
+func (in *Instance) Hash() string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hash
+}
+
+// Graph returns the instance's current graph. It is a read-only view:
+// the topology is shared with every snapshot the session has produced,
+// and the weights belong to the session. Mutating it corrupts the handle.
+func (in *Instance) Graph() *graph.Graph {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.g
+}
+
+// Coloring returns a copy of the current session coloring, or nil if no
+// run has succeeded yet.
+func (in *Instance) Coloring() []int32 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.coloring == nil {
+		return nil
+	}
+	return append([]int32(nil), in.coloring...)
+}
+
+// History returns a copy of the session's migration history: one entry
+// per adopted Repartition, in order.
+func (in *Instance) History() []Migration {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Migration(nil), in.history...)
+}
+
+// AdoptColoring seeds the session coloring without running the pipeline —
+// the resume path for serving layers that hold a prior result (e.g. in a
+// cache) for the instance's current graph. The coloring must be complete
+// for the current graph and the instance's K; it is copied, so the caller
+// keeps ownership of its slice.
+func (in *Instance) AdoptColoring(chi []int32) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(chi) != in.g.N() {
+		return fmt.Errorf("repro: coloring length %d != N %d", len(chi), in.g.N())
+	}
+	if err := graph.CheckColoring(chi, in.opt.K); err != nil {
+		return err
+	}
+	in.coloring = append([]int32(nil), chi...)
+	return nil
+}
+
+// Partition runs the full pipeline on the instance's current graph and
+// adopts the coloring as the new session state. ctx cancels the run; on
+// any error the previous session state is kept untouched.
+func (in *Instance) Partition(ctx context.Context) (Result, error) {
+	in.runMu.Lock()
+	defer in.runMu.Unlock()
+	in.mu.Lock()
+	g := in.g
+	in.mu.Unlock()
+	res, err := core.Decompose(ctx, g, in.opt)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := in.eng.audit(g, in.opt, res); err != nil {
+		return Result{}, err
+	}
+	in.mu.Lock()
+	// Commit a copy: the caller owns res.Coloring and may mutate it, and
+	// the session prior must stay immutable (accessors and resumes rely
+	// on it).
+	in.coloring = append([]int32(nil), res.Coloring...)
+	in.mu.Unlock()
+	return res, nil
+}
+
+// Repartition applies a weight drift and resumes the pipeline from the
+// current session coloring — the incremental serving path. The drifted
+// graph shares the session topology (no clone) and its content hash is
+// recomputed from the frozen topology digest (O(N), not O(M log M)); both
+// savings compound over a drift chain.
+//
+// With no prior coloring (no successful run yet) the full pipeline runs
+// instead, so a cold handle still answers. On success the instance adopts
+// the drifted graph, hash and coloring, and appends the migration versus
+// the prior coloring to the session history. On error — cancellation
+// included — nothing is adopted: the prior coloring is never mutated
+// (Refine works on a private copy), and the handle still answers for the
+// pre-drift graph.
+func (in *Instance) Repartition(ctx context.Context, d Delta) (Result, error) {
+	in.runMu.Lock()
+	defer in.runMu.Unlock()
+	// Snapshot under mu, run without it: runMu guarantees no other run
+	// commits meanwhile, and an interleaved AdoptColoring merely loses to
+	// this run's commit (seeding is last-writer-wins by design). Neither
+	// slice is mutated in place anywhere, so the snapshot stays coherent.
+	in.mu.Lock()
+	g, prior := in.g, in.coloring
+	in.mu.Unlock()
+	w2, err := d.Materialize(g)
+	if err != nil {
+		return Result{}, err
+	}
+	g2 := g.WithWeights(w2)
+	var res Result
+	if prior == nil {
+		res, err = core.Decompose(ctx, g2, in.opt)
+	} else {
+		res, err = core.Refine(ctx, g2, in.opt, prior)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	if err := in.eng.audit(g2, in.opt, res); err != nil {
+		return Result{}, err
+	}
+	var mig Migration
+	if prior != nil {
+		mig = MigrationOf(g2, prior, res.Coloring)
+	}
+	in.mu.Lock()
+	in.g = g2
+	in.hash = in.digest.HashWeights(w2)
+	// A copy, for the same reason as in Partition: the caller owns the
+	// returned slice.
+	in.coloring = append([]int32(nil), res.Coloring...)
+	in.history = append(in.history, mig)
+	in.mu.Unlock()
+	return res, nil
+}
+
+// WeightChange is one sparse vertex-weight update of a Delta.
+type WeightChange struct {
+	// V is the vertex id.
+	V int32
+	// W is the new absolute weight (Set) or the multiplicative factor
+	// (Scale).
+	W float64
+}
+
+// Delta describes a vertex-weight drift for Instance.Repartition. The
+// forms compose in order: Weights (full replacement) first, then Set
+// (absolute per-vertex), then Scale (multiplicative per-vertex — the
+// natural encoding of the climate day/night drift). Edge costs and
+// topology never change within a session. The zero Delta is the null
+// drift: Repartition then re-polishes the current coloring in place.
+type Delta struct {
+	Weights []float64
+	Set     []WeightChange
+	Scale   []WeightChange
+}
+
+// Materialize composes the delta over g's weights into a fresh, validated
+// weight field, leaving g untouched. It is the single definition of delta
+// semantics: Instance.Repartition runs it, and the serving layer uses it
+// to derive a drifted instance's content id before deciding whether a
+// pipeline must run at all.
+func (d Delta) Materialize(g *graph.Graph) ([]float64, error) {
+	w := make([]float64, g.N())
+	if d.Weights != nil {
+		if len(d.Weights) != g.N() {
+			return nil, fmt.Errorf("repro: delta weights length %d != N %d", len(d.Weights), g.N())
+		}
+		copy(w, d.Weights)
+	} else {
+		copy(w, g.Weight)
+	}
+	for _, u := range d.Set {
+		if u.V < 0 || int(u.V) >= g.N() {
+			return nil, fmt.Errorf("repro: delta set: vertex %d out of range [0, %d)", u.V, g.N())
+		}
+		w[u.V] = u.W
+	}
+	for _, u := range d.Scale {
+		if u.V < 0 || int(u.V) >= g.N() {
+			return nil, fmt.Errorf("repro: delta scale: vertex %d out of range [0, %d)", u.V, g.N())
+		}
+		w[u.V] *= u.W
+	}
+	for v, wt := range w {
+		if wt < 0 || math.IsNaN(wt) || math.IsInf(wt, 0) {
+			return nil, fmt.Errorf("repro: vertex %d has invalid weight %v after delta", v, wt)
+		}
+	}
+	return w, nil
+}

@@ -14,6 +14,7 @@
 package baseline
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -76,7 +77,7 @@ func rbAssign(g *graph.Graph, sp splitter.Splitter, w []float64, W []int32, base
 	for _, v := range W {
 		total += w[v]
 	}
-	U := sp.Split(W, w, total*float64(k1)/float64(k))
+	U := sp.Split(context.Background(), W, w, total*float64(k1)/float64(k))
 	rest := subtract(W, U)
 	rbAssign(g, sp, w, U, base, k1, chi)
 	rbAssign(g, sp, w, rest, base+k1, k-k1, chi)
@@ -114,7 +115,7 @@ func kstAssign(g *graph.Graph, sp splitter.Splitter, w, pi []float64, W []int32,
 	}
 	// Split by weight first; if the π share of the cut side is badly off,
 	// re-split by a blend of the two measures (the two-weight separator).
-	U := sp.Split(W, w, totalW*frac)
+	U := sp.Split(context.Background(), W, w, totalW*frac)
 	piU := 0.0
 	for _, v := range U {
 		piU += pi[v]
@@ -131,7 +132,7 @@ func kstAssign(g *graph.Graph, sp splitter.Splitter, w, pi []float64, W []int32,
 			}
 			blend[v] = nw + npi
 		}
-		U = sp.Split(W, blend, 2*frac)
+		U = sp.Split(context.Background(), W, blend, 2*frac)
 	}
 	rest := subtract(W, U)
 	kstAssign(g, sp, w, pi, U, base, k1, chi)

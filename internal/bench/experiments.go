@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -47,7 +48,7 @@ func decomposeOnGrid(gr *grid.Grid, k int) core.Result {
 	if math.IsInf(p, 1) {
 		p = 2
 	}
-	res, err := core.Decompose(gr.G, core.Options{K: k, P: p, Splitter: splitter.NewGrid(gr)})
+	res, err := core.Decompose(context.Background(), gr.G, core.Options{K: k, P: p, Splitter: splitter.NewGrid(gr)})
 	if err != nil {
 		panic(fmt.Sprintf("bench: decompose failed: %v", err))
 	}
@@ -148,7 +149,7 @@ func E3Tightness(cfg Config) Table {
 	for _, k := range ks {
 		gr := grid.MustBox(m, m)
 		gt := lower.Copies(gr.G, k/4)
-		res, err := core.Decompose(gt, core.Options{
+		res, err := core.Decompose(context.Background(), gt, core.Options{
 			K: k, P: 2, Splitter: splitter.NewRefined(gt, splitter.NewBFS(gt)),
 		})
 		if err != nil {
@@ -272,7 +273,7 @@ func E6GreedyBaseline(cfg Config) Table {
 	mesh := workload.ClimateMesh(24, 24, 4, 5)
 	greedy := baseline.Greedy(mesh, k)
 	stG := graph.Stats(mesh, greedy, k)
-	resM, err := core.Decompose(mesh, core.Options{K: k})
+	resM, err := core.Decompose(context.Background(), mesh, core.Options{K: k})
 	if err != nil {
 		panic(err)
 	}
@@ -323,7 +324,7 @@ func E8Makespan(cfg Config) Table {
 	oursWins, cells := 0, 0
 	for _, alpha := range []float64{0, 0.5, 2} {
 		for _, k := range []int{4, 16, 64} {
-			res, err := core.Decompose(mesh, core.Options{K: k, Splitter: sp})
+			res, err := core.Decompose(context.Background(), mesh, core.Options{K: k, Splitter: sp})
 			if err != nil {
 				panic(err)
 			}
@@ -406,7 +407,7 @@ func E10Ablations(cfg Config) Table {
 		if opt.Splitter == nil {
 			opt.Splitter = splitter.NewGrid(gr)
 		}
-		res, err := core.Decompose(gr.G, opt)
+		res, err := core.Decompose(context.Background(), gr.G, opt)
 		if err != nil {
 			panic(err)
 		}
@@ -461,8 +462,8 @@ func E11SeparatorEquiv(cfg Config) Table {
 			}
 			return g.BoundaryCostMask(in)
 		}
-		cn := cost(native.Split(W, g.Weight, target))
-		cd := cost(derived.Split(W, g.Weight, target))
+		cn := cost(native.Split(context.Background(), W, g.Weight, target))
+		cd := cost(derived.Split(context.Background(), W, g.Weight, target))
 		ratio := cd / math.Max(cn, 1e-300)
 		if ratio > worst {
 			worst = ratio
@@ -516,7 +517,7 @@ func E12MultiBalanced(cfg Config) Table {
 				}
 				extras[j] = m
 			}
-			res, err := core.Decompose(g, core.Options{
+			res, err := core.Decompose(context.Background(), g, core.Options{
 				K: k, P: 2, Splitter: splitter.NewGrid(gr), Measures: extras,
 			})
 			if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -25,6 +26,13 @@ type Options struct {
 	// safe for concurrent use (see splitter.Splitter) whenever
 	// Parallelism ≠ 1.
 	Splitter splitter.Splitter
+
+	// Observer, when non-nil, receives progress callbacks (stage
+	// enter/leave, oracle calls, polish rounds) from the run. Callbacks
+	// must be cheap and concurrency-safe; see Observer. Like Splitter and
+	// Measures it has no wire representation and never influences the
+	// computed coloring, so it is excluded from result-cache identity.
+	Observer Observer
 
 	// Parallelism bounds the worker pool used by the pipeline's
 	// divide-and-conquer stages (and by PartitionBatch at the facade).
@@ -83,14 +91,20 @@ type Result struct {
 // The pipeline is Proposition 7 (multi-balanced, min-max boundary) →
 // Proposition 11 (almost strictly balanced) → Proposition 12 (strictly
 // balanced).
-func Decompose(g *graph.Graph, opt Options) (Result, error) {
+//
+// ctx cancels the run: every stage polls it at its checkpoints (oracle
+// calls, pool work items, rebalance moves, polish rounds), the worker pool
+// drains itself, and Decompose returns ctx.Err() instead of a partial
+// Result. Cancellation is cooperative — the longest stretch between
+// checkpoints is one splitting-oracle call on the current subproblem.
+func Decompose(ctx context.Context, g *graph.Graph, opt Options) (Result, error) {
 	if opt.K < 1 {
 		return Result{}, fmt.Errorf("core: K must be ≥ 1, got %d", opt.K)
 	}
 	if g.N() == 0 {
 		return Result{Coloring: []int32{}, Stats: graph.ColoringStats{K: opt.K}}, nil
 	}
-	c, err := newCtx(g, opt)
+	c, err := newCtx(ctx, g, opt)
 	if err != nil {
 		return Result{}, err
 	}
@@ -99,11 +113,12 @@ func Decompose(g *graph.Graph, opt Options) (Result, error) {
 	diag.Parallelism = c.par
 	// The counter is shared by every pool worker that consults the oracle,
 	// hence atomic (countingSplitter documents the contract).
-	c.sp = countingSplitter{inner: c.sp, calls: &diag.SplitterCalls}
+	c.sp = countingSplitter{inner: c.sp, calls: &diag.SplitterCalls, obs: c.obs}
 	start := time.Now()
 
 	// Stage 1 (Proposition 7): weakly balanced in w, π and user measures,
 	// with bounded maximum boundary cost.
+	c.stageEnter(StageMultiBalance)
 	user := append([][]float64{g.Weight}, opt.Measures...)
 	var chi []int32
 	if opt.SkipBoundaryBalance {
@@ -113,25 +128,41 @@ func Decompose(g *graph.Graph, opt Options) (Result, error) {
 		chi = c.minMaxBalanced(k, user)
 	}
 	diag.MultiBalance = time.Since(start)
+	c.stageLeave(StageMultiBalance, diag.MultiBalance)
+	if err := c.run.Err(); err != nil {
+		return Result{}, err
+	}
 
 	// Stage 2 (Proposition 11): almost strictly balanced.
 	mark := time.Now()
+	c.stageEnter(StageAlmostStrict)
 	if !opt.SkipShrink {
 		chi = c.almostStrict(chi, k, opt.PaperShrink)
 	}
 	diag.AlmostStrict = time.Since(mark)
+	c.stageLeave(StageAlmostStrict, diag.AlmostStrict)
+	if err := c.run.Err(); err != nil {
+		return Result{}, err
+	}
 
 	// Stage 3 (Proposition 12): strictly balanced.
 	mark = time.Now()
+	c.stageEnter(StageStrictPack)
 	chi = c.binPack2(chi, k)
 	diag.StrictPack = time.Since(mark)
+	c.stageLeave(StageStrictPack, diag.StrictPack)
+	if err := c.run.Err(); err != nil {
+		return Result{}, err
+	}
 
 	// Final polish: strictness-preserving greedy boundary reduction.
 	mark = time.Now()
+	c.stageEnter(StagePolish)
 	if !opt.SkipPolish && graph.IsStrictlyBalanced(g, chi, k) {
 		chi = c.polish(chi, k, 3)
 	}
 	diag.Polish = time.Since(mark)
+	c.stageLeave(StagePolish, diag.Polish)
 	diag.Total = time.Since(start)
 
 	res := Result{Coloring: chi, Diag: diag}
@@ -143,6 +174,12 @@ func Decompose(g *graph.Graph, opt Options) (Result, error) {
 		res.Coloring = chi
 		res.Stats = graph.Stats(g, chi, k)
 		res.UsedFallback = true
+	}
+	// A cancellation that lands after the stage checkpoints must still win
+	// over the assembled result: the caller's context is dead, and the
+	// backstop may have run on a half-finished coloring.
+	if err := c.run.Err(); err != nil {
+		return Result{}, err
 	}
 	if err := graph.CheckColoring(chi, k); err != nil {
 		return Result{}, fmt.Errorf("core: internal error: %w", err)
@@ -168,7 +205,10 @@ func Decompose(g *graph.Graph, opt Options) (Result, error) {
 // weight drift, not the size of the graph. Diagnostics count only the
 // resumed stages' oracle calls, making the saving over a fresh Decompose
 // observable via SplitterCalls.
-func Refine(g *graph.Graph, opt Options, prior []int32) (Result, error) {
+// ctx cancels the resumed run exactly as in Decompose: Refine returns
+// ctx.Err() and the caller's prior coloring is never adopted or mutated
+// (Refine works on a private copy from the start).
+func Refine(ctx context.Context, g *graph.Graph, opt Options, prior []int32) (Result, error) {
 	if opt.K < 1 {
 		return Result{}, fmt.Errorf("core: K must be ≥ 1, got %d", opt.K)
 	}
@@ -187,34 +227,46 @@ func Refine(g *graph.Graph, opt Options, prior []int32) (Result, error) {
 	if g.N() == 0 {
 		return Result{Coloring: []int32{}, Stats: graph.ColoringStats{K: opt.K}}, nil
 	}
-	c, err := newCtx(g, opt)
+	c, err := newCtx(ctx, g, opt)
 	if err != nil {
 		return Result{}, err
 	}
 	k := opt.K
 	var diag Diagnostics
 	diag.Parallelism = c.par
-	c.sp = countingSplitter{inner: c.sp, calls: &diag.SplitterCalls}
+	c.sp = countingSplitter{inner: c.sp, calls: &diag.SplitterCalls, obs: c.obs}
 	start := time.Now()
 
 	chi := append([]int32(nil), prior...)
 	strict := graph.IsStrictlyBalanced(g, chi, k)
 	if !strict {
+		c.stageEnter(StageAlmostStrict)
 		if !opt.SkipShrink {
 			chi = c.almostStrict(chi, k, opt.PaperShrink)
 		}
 		diag.AlmostStrict = time.Since(start)
+		c.stageLeave(StageAlmostStrict, diag.AlmostStrict)
+		if err := c.run.Err(); err != nil {
+			return Result{}, err
+		}
 		mark := time.Now()
+		c.stageEnter(StageStrictPack)
 		chi = c.binPack2(chi, k)
 		diag.StrictPack = time.Since(mark)
+		c.stageLeave(StageStrictPack, diag.StrictPack)
+		if err := c.run.Err(); err != nil {
+			return Result{}, err
+		}
 		strict = graph.IsStrictlyBalanced(g, chi, k)
 	}
 
 	mark := time.Now()
+	c.stageEnter(StagePolish)
 	if !opt.SkipPolish && strict {
 		chi = c.polish(chi, k, 3)
 	}
 	diag.Polish = time.Since(mark)
+	c.stageLeave(StagePolish, diag.Polish)
 	diag.Total = time.Since(start)
 
 	res := Result{Coloring: chi, Diag: diag}
@@ -225,14 +277,19 @@ func Refine(g *graph.Graph, opt Options, prior []int32) (Result, error) {
 		res.Stats = graph.Stats(g, chi, k)
 		res.UsedFallback = true
 	}
+	if err := c.run.Err(); err != nil {
+		return Result{}, err
+	}
 	if err := graph.CheckColoring(chi, k); err != nil {
 		return Result{}, fmt.Errorf("core: internal error: %w", err)
 	}
 	return res, nil
 }
 
-// newCtx validates options and builds the shared pipeline context.
-func newCtx(g *graph.Graph, opt Options) (*ctx, error) {
+// newCtx validates options and builds the shared pipeline context. A nil
+// run context is tolerated (treated as context.Background()) so internal
+// callers and tests need no ceremony.
+func newCtx(run context.Context, g *graph.Graph, opt Options) (*ctx, error) {
 	p := opt.P
 	if p == 0 {
 		p = 2
@@ -251,13 +308,21 @@ func newCtx(g *graph.Graph, opt Options) (*ctx, error) {
 	if par < 1 {
 		par = 1
 	}
+	if run == nil {
+		run = context.Background()
+	}
 	c := &ctx{
 		g:   g,
 		sp:  sp,
 		p:   p,
 		pi:  measure.SplittingCost(g, p, 1),
 		par: par,
+		run: run,
+		obs: opt.Observer,
 	}
+	// Done() is nil for Background-style contexts, which keeps the
+	// interrupted() checkpoint free on un-cancellable runs.
+	c.done = run.Done()
 	if par > 1 {
 		c.sem = make(chan struct{}, par-1)
 	}
@@ -276,62 +341,80 @@ func TheoremBound(g *graph.Graph, k int, p float64) float64 {
 
 // MultiBalanced exposes the Lemma 6 stage: a k-coloring balanced with
 // respect to every measure in ms with small *average* boundary cost.
-func MultiBalanced(g *graph.Graph, opt Options, ms [][]float64) ([]int32, error) {
+func MultiBalanced(ctx context.Context, g *graph.Graph, opt Options, ms [][]float64) ([]int32, error) {
 	if opt.K < 1 {
 		return nil, fmt.Errorf("core: K must be ≥ 1, got %d", opt.K)
 	}
-	c, err := newCtx(g, opt)
+	c, err := newCtx(ctx, g, opt)
 	if err != nil {
 		return nil, err
 	}
-	return c.multiBalanced(opt.K, ms), nil
+	chi := c.multiBalanced(opt.K, ms)
+	if err := c.run.Err(); err != nil {
+		return nil, err
+	}
+	return chi, nil
 }
 
 // MinMaxBalanced exposes the Proposition 7 stage: a k-coloring balanced in
 // the given measures (plus π) with small *maximum* boundary cost.
-func MinMaxBalanced(g *graph.Graph, opt Options, ms [][]float64) ([]int32, error) {
+func MinMaxBalanced(ctx context.Context, g *graph.Graph, opt Options, ms [][]float64) ([]int32, error) {
 	if opt.K < 1 {
 		return nil, fmt.Errorf("core: K must be ≥ 1, got %d", opt.K)
 	}
-	c, err := newCtx(g, opt)
+	c, err := newCtx(ctx, g, opt)
 	if err != nil {
 		return nil, err
 	}
-	return c.minMaxBalanced(opt.K, ms), nil
+	chi2 := c.minMaxBalanced(opt.K, ms)
+	if err := c.run.Err(); err != nil {
+		return nil, err
+	}
+	return chi2, nil
 }
 
 // AlmostStrict exposes the Proposition 11 stage on an existing coloring.
-func AlmostStrict(g *graph.Graph, opt Options, chi []int32) ([]int32, error) {
+func AlmostStrict(ctx context.Context, g *graph.Graph, opt Options, chi []int32) ([]int32, error) {
 	if len(chi) != g.N() {
 		return nil, fmt.Errorf("core: coloring length %d != N %d", len(chi), g.N())
 	}
 	if err := graph.CheckColoring(chi, opt.K); err != nil {
 		return nil, err
 	}
-	c, err := newCtx(g, opt)
+	c, err := newCtx(ctx, g, opt)
 	if err != nil {
 		return nil, err
 	}
-	return c.almostStrict(chi, opt.K, opt.PaperShrink), nil
+	out := c.almostStrict(chi, opt.K, opt.PaperShrink)
+	if err := c.run.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // StrictBalance exposes the Proposition 12 stage (BinPack2) on an existing
 // coloring; the result is strictly balanced per Definition 1 (with the
 // chunked-greedy backstop applied if needed).
-func StrictBalance(g *graph.Graph, opt Options, chi []int32) ([]int32, error) {
+func StrictBalance(ctx context.Context, g *graph.Graph, opt Options, chi []int32) ([]int32, error) {
 	if len(chi) != g.N() {
 		return nil, fmt.Errorf("core: coloring length %d != N %d", len(chi), g.N())
 	}
 	if err := graph.CheckColoring(chi, opt.K); err != nil {
 		return nil, err
 	}
-	c, err := newCtx(g, opt)
+	c, err := newCtx(ctx, g, opt)
 	if err != nil {
 		return nil, err
 	}
 	out := c.binPack2(chi, opt.K)
 	if !graph.IsStrictlyBalanced(g, out, opt.K) {
 		out = c.chunkedGreedy(out, opt.K)
+	}
+	// Like Decompose/Refine, a cancellation wins over the (possibly
+	// half-chunked) coloring — without this, chunkedGreedy's cancel path
+	// could leak -1 entries behind a nil error.
+	if err := c.run.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -40,6 +40,9 @@ func (c *ctx) cutDownClasses(classes [][]int32, w []float64, offsets []float64, 
 		guard := 0
 		cap := len(classes[i]) + 8
 		for cw+off > limit+tol && len(classes[i]) > 0 && guard < cap {
+			if c.interrupted() {
+				break
+			}
 			guard++
 			X := c.extractChunk(classes[i], w, maxw)
 			if len(X) == 0 {
@@ -131,6 +134,12 @@ func (c *ctx) chunkedGreedy(chi []int32, k int) []int32 {
 		U := classes[i]
 		guard := 0
 		for len(U) > 0 && guard < len(chi)+8 {
+			if c.interrupted() {
+				// Cancelled: stop chunking. The remaining vertices stay
+				// unassigned, which the entry point's final ctx check turns
+				// into ctx.Err() before CheckColoring could ever see it.
+				return classesToColoring(classes, c.g.N())
+			}
 			guard++
 			X := c.extractChunk(U, w, maxw)
 			if len(X) == 0 {

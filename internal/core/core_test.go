@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -479,7 +480,7 @@ func TestDecomposeStrictAndCheap(t *testing.T) {
 	for _, k := range []int{2, 4, 8, 16} {
 		gr, g := gridGraph(t, 20, 20)
 		randomizeWeights(rng, g, 3)
-		res, err := Decompose(g, Options{K: k, P: 2, Splitter: splitter.NewGrid(gr)})
+		res, err := Decompose(context.Background(), g, Options{K: k, P: 2, Splitter: splitter.NewGrid(gr)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -496,7 +497,7 @@ func TestDecomposeStrictAndCheap(t *testing.T) {
 
 func TestDecomposeDefaultSplitter(t *testing.T) {
 	_, g := gridGraph(t, 12, 12)
-	res, err := Decompose(g, Options{K: 6})
+	res, err := Decompose(context.Background(), g, Options{K: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -507,7 +508,7 @@ func TestDecomposeDefaultSplitter(t *testing.T) {
 
 func TestDecomposeK1(t *testing.T) {
 	_, g := gridGraph(t, 4, 4)
-	res, err := Decompose(g, Options{K: 1})
+	res, err := Decompose(context.Background(), g, Options{K: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -518,17 +519,17 @@ func TestDecomposeK1(t *testing.T) {
 
 func TestDecomposeErrors(t *testing.T) {
 	_, g := gridGraph(t, 3, 3)
-	if _, err := Decompose(g, Options{K: 0}); err == nil {
+	if _, err := Decompose(context.Background(), g, Options{K: 0}); err == nil {
 		t.Fatal("expected error for K=0")
 	}
-	if _, err := Decompose(g, Options{K: 2, P: 0.5}); err == nil {
+	if _, err := Decompose(context.Background(), g, Options{K: 2, P: 0.5}); err == nil {
 		t.Fatal("expected error for P ≤ 1")
 	}
 }
 
 func TestDecomposeEmptyGraph(t *testing.T) {
 	g := graph.NewBuilder(0).MustBuild()
-	res, err := Decompose(g, Options{K: 3})
+	res, err := Decompose(context.Background(), g, Options{K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -546,7 +547,7 @@ func TestDecomposeHeavyVertices(t *testing.T) {
 			g.Weight[v] = 100
 		}
 	}
-	res, err := Decompose(g, Options{K: 5, Splitter: splitter.NewGrid(gr)})
+	res, err := Decompose(context.Background(), g, Options{K: 5, Splitter: splitter.NewGrid(gr)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -564,7 +565,7 @@ func TestDecomposeAblations(t *testing.T) {
 		{K: 8, Splitter: splitter.NewGrid(gr), SkipShrink: true},
 		{K: 8, Splitter: splitter.NewGrid(gr), SkipBoundaryBalance: true, SkipShrink: true},
 	} {
-		res, err := Decompose(g, opt)
+		res, err := Decompose(context.Background(), g, opt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -576,7 +577,7 @@ func TestDecomposeAblations(t *testing.T) {
 
 func TestDecomposeKBiggerThanN(t *testing.T) {
 	gr, g := gridGraph(t, 3, 3)
-	res, err := Decompose(g, Options{K: 20, Splitter: splitter.NewGrid(gr)})
+	res, err := Decompose(context.Background(), g, Options{K: 20, Splitter: splitter.NewGrid(gr)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -589,25 +590,25 @@ func TestDecomposeKBiggerThanN(t *testing.T) {
 func TestStageWrappers(t *testing.T) {
 	gr, g := gridGraph(t, 10, 10)
 	opt := Options{K: 4, Splitter: splitter.NewGrid(gr)}
-	chi, err := MultiBalanced(g, opt, [][]float64{g.Weight})
+	chi, err := MultiBalanced(context.Background(), g, opt, [][]float64{g.Weight})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := graph.CheckColoring(chi, 4); err != nil {
 		t.Fatal(err)
 	}
-	chi2, err := MinMaxBalanced(g, opt, [][]float64{g.Weight})
+	chi2, err := MinMaxBalanced(context.Background(), g, opt, [][]float64{g.Weight})
 	if err != nil {
 		t.Fatal(err)
 	}
-	chi3, err := AlmostStrict(g, opt, chi2)
+	chi3, err := AlmostStrict(context.Background(), g, opt, chi2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !graph.IsAlmostStrictlyBalanced(g, chi3, 4) {
 		t.Fatal("AlmostStrict wrapper failed")
 	}
-	chi4, err := StrictBalance(g, opt, chi3)
+	chi4, err := StrictBalance(context.Background(), g, opt, chi3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -615,10 +616,10 @@ func TestStageWrappers(t *testing.T) {
 		t.Fatal("StrictBalance wrapper failed")
 	}
 	// Error paths.
-	if _, err := MultiBalanced(g, Options{K: 0}, nil); err == nil {
+	if _, err := MultiBalanced(context.Background(), g, Options{K: 0}, nil); err == nil {
 		t.Fatal("expected K error")
 	}
-	if _, err := AlmostStrict(g, Options{K: 4}, make([]int32, g.N()+5)); err == nil {
+	if _, err := AlmostStrict(context.Background(), g, Options{K: 4}, make([]int32, g.N()+5)); err == nil {
 		t.Fatal("expected coloring length error")
 	}
 }
@@ -628,7 +629,7 @@ func TestStageWrappers(t *testing.T) {
 func TestMaxBoundaryDecaysWithK(t *testing.T) {
 	gr, g := gridGraph(t, 24, 24)
 	get := func(k int) float64 {
-		res, err := Decompose(g, Options{K: k, Splitter: splitter.NewGrid(gr)})
+		res, err := Decompose(context.Background(), g, Options{K: k, Splitter: splitter.NewGrid(gr)})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/graph"
 	"repro/internal/splitter"
@@ -10,7 +12,7 @@ import (
 
 // ctx bundles the graph, the splitting-set oracle and the Hölder exponent
 // that all pipeline stages share, plus the bounded worker pool that the
-// parallel stages draw from.
+// parallel stages draw from and the run's cancellation context.
 //
 // Concurrency contract: every field is written only before the first pool
 // worker is spawned (newCtx, plus Decompose's countingSplitter wrap of sp)
@@ -18,6 +20,14 @@ import (
 // may run from multiple pool workers at once as long as each worker only
 // writes state it owns. The splitting oracle sp must be safe for concurrent use
 // (see splitter.Splitter); all in-tree implementations are stateless.
+//
+// Cancellation contract: stages poll interrupted() at their checkpoints
+// (every oracle call, every pool-work item, every rebalance move, every
+// polish round) and unwind with whatever partial coloring they hold; the
+// entry points (Decompose, Refine) then discard the partial coloring and
+// return run.Err(). A cancelled run therefore never yields a Result, and
+// the pool drains itself — workers stop pulling indices, so no goroutine
+// outlives the entry point's return.
 type ctx struct {
 	g  *graph.Graph
 	sp splitter.Splitter
@@ -26,6 +36,61 @@ type ctx struct {
 
 	par int           // resolved Options.Parallelism (≥ 1)
 	sem chan struct{} // spare-worker tokens; nil when par == 1
+
+	run  context.Context // the run's context (never nil after newCtx)
+	done <-chan struct{} // run.Done(), cached; nil for un-cancellable runs
+	obs  Observer        // progress hooks; nil when unobserved
+}
+
+// interrupted reports whether the run's context has been cancelled. It is
+// the single cancellation checkpoint predicate; a nil done channel (a
+// Background-style context) makes it free.
+func (c *ctx) interrupted() bool {
+	if c.done == nil {
+		return false
+	}
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// split consults the splitting oracle under the run's context. Once the
+// run is cancelled it short-circuits to nil — the "no progress" value every
+// stage treats as a signal to unwind — without invoking the oracle at all.
+// A nil run (a ctx built directly by stage-level tests, bypassing newCtx)
+// degrades to Background so oracles always see a non-nil context.
+func (c *ctx) split(W []int32, w []float64, target float64) []int32 {
+	if c.interrupted() {
+		return nil
+	}
+	run := c.run
+	if run == nil {
+		run = context.Background()
+	}
+	return c.sp.Split(run, W, w, target)
+}
+
+// stageEnter / stageLeave / polishRound forward to the observer when one is
+// attached; nil-observer runs pay only a nil check.
+func (c *ctx) stageEnter(s Stage) {
+	if c.obs != nil {
+		c.obs.StageEnter(s)
+	}
+}
+
+func (c *ctx) stageLeave(s Stage, took time.Duration) {
+	if c.obs != nil {
+		c.obs.StageLeave(s, took)
+	}
+}
+
+func (c *ctx) polishRound(round int, improved bool) {
+	if c.obs != nil {
+		c.obs.PolishRound(round, improved)
+	}
 }
 
 // parallelCutoff is the minimum subproblem size (vertices) for which
@@ -59,10 +124,15 @@ func (c *ctx) release() { <-c.sem }
 // goroutine). f must only write state owned by index i; the iteration
 // order is unspecified but every index runs exactly once, so any
 // per-index output is deterministic. Falls back to a plain loop when the
-// pool is unavailable.
+// pool is unavailable. Once the run is cancelled, workers stop pulling
+// new indices — some indices then never run, which is safe because the
+// entry points discard the partial coloring of a cancelled run.
 func (c *ctx) parRange(n int, f func(i int)) {
 	if c.sem == nil || n < 2 {
 		for i := 0; i < n; i++ {
+			if c.interrupted() {
+				return
+			}
 			f(i)
 		}
 		return
@@ -71,7 +141,7 @@ func (c *ctx) parRange(n int, f func(i int)) {
 	work := func() {
 		for {
 			i := int(atomic.AddInt64(&next, 1)) - 1
-			if i >= n {
+			if i >= n || c.interrupted() {
 				return
 			}
 			f(i)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -37,16 +38,22 @@ func (d Diagnostics) String() string {
 		d.Polish.Round(time.Microsecond), d.Total.Round(time.Microsecond))
 }
 
-// countingSplitter decorates a Splitter with a call counter. The counter is
-// incremented atomically because the decorated oracle is consulted from
-// every pool worker concurrently; the final value is read only after all
-// workers have joined (Decompose returns), so no torn read is possible.
+// countingSplitter decorates a Splitter with a call counter and the
+// Observer's OracleCall hook. The counter is incremented atomically because
+// the decorated oracle is consulted from every pool worker concurrently;
+// the final value is read only after all workers have joined (Decompose
+// returns), so no torn read is possible. The observer hook fires with the
+// running total, from whichever worker made the call.
 type countingSplitter struct {
 	inner splitter.Splitter
 	calls *int64
+	obs   Observer
 }
 
-func (cs countingSplitter) Split(W []int32, w []float64, target float64) []int32 {
-	atomic.AddInt64(cs.calls, 1)
-	return cs.inner.Split(W, w, target)
+func (cs countingSplitter) Split(ctx context.Context, W []int32, w []float64, target float64) []int32 {
+	n := atomic.AddInt64(cs.calls, 1)
+	if cs.obs != nil {
+		cs.obs.OracleCall(n)
+	}
+	return cs.inner.Split(ctx, W, w, target)
 }

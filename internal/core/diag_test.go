@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 
 func TestDiagnosticsPopulated(t *testing.T) {
 	gr, g := gridGraph(t, 16, 16)
-	res, err := Decompose(g, Options{K: 8, Splitter: splitter.NewGrid(gr)})
+	res, err := Decompose(context.Background(), g, Options{K: 8, Splitter: splitter.NewGrid(gr)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestDiagnosticsOracleComplexity(t *testing.T) {
 	// is split O(1) times per stage, plus O(log k) rebalance depth).
 	gr, g := gridGraph(t, 24, 24)
 	calls := func(k int) int64 {
-		res, err := Decompose(g, Options{K: k, Splitter: splitter.NewGrid(gr)})
+		res, err := Decompose(context.Background(), g, Options{K: k, Splitter: splitter.NewGrid(gr)})
 		if err != nil {
 			t.Fatal(err)
 		}

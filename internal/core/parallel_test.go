@@ -6,6 +6,7 @@ package core
 // package with the race detector enabled).
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -34,14 +35,14 @@ func TestDecomposeDeterministicAcrossParallelism(t *testing.T) {
 			}
 			opt1 := tc.opt
 			opt1.Parallelism = 1
-			base, err := Decompose(g, opt1)
+			base, err := Decompose(context.Background(), g, opt1)
 			if err != nil {
 				t.Fatal(err)
 			}
 			for _, par := range []int{2, 8} {
 				optN := tc.opt
 				optN.Parallelism = par
-				got, err := Decompose(g, optN)
+				got, err := Decompose(context.Background(), g, optN)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -74,7 +75,7 @@ func TestDecomposeDeterministicAcrossParallelism(t *testing.T) {
 func TestSplitterCallsRaceFree(t *testing.T) {
 	mesh := workload.ClimateMesh(20, 20, 4, 2)
 	opt := Options{K: 12, Parallelism: 8}
-	want, err := Decompose(mesh, Options{K: 12, Parallelism: 1})
+	want, err := Decompose(context.Background(), mesh, Options{K: 12, Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +84,7 @@ func TestSplitterCallsRaceFree(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, err := Decompose(mesh, opt)
+			res, err := Decompose(context.Background(), mesh, opt)
 			if err != nil {
 				t.Error(err)
 				return
@@ -111,7 +112,7 @@ func TestParallelismResolution(t *testing.T) {
 		{1, 1},
 		{4, 4},
 	} {
-		res, err := Decompose(mesh, Options{K: 4, Parallelism: tc.in})
+		res, err := Decompose(context.Background(), mesh, Options{K: 4, Parallelism: tc.in})
 		if err != nil {
 			t.Fatal(err)
 		}

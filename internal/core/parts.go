@@ -16,7 +16,7 @@ func (c *ctx) iterativePartition(U []int32, psi []float64, psiStar float64) [][]
 	limit := len(U) + 4
 	for sumOver(psi, X) > 3*psiStar && len(X) > 1 && guard < limit {
 		guard++
-		Xi := c.sp.Split(X, psi, psiStar+maxOver(psi, X)/2)
+		Xi := c.split(X, psi, psiStar+maxOver(psi, X)/2)
 		if len(Xi) == 0 || len(Xi) == len(X) {
 			break
 		}
@@ -147,7 +147,7 @@ func (c *ctx) extractHighImpact(U []int32, psi []float64, target float64, measur
 	}
 	// Top up with a splitting set of U \ X̄ (Lemma 30's set S).
 	rest := subtract(U, xbar)
-	S := c.sp.Split(rest, psi, target-got+maxOver(psi, rest)/2)
+	S := c.split(rest, psi, target-got+maxOver(psi, rest)/2)
 	return append(xbar, S...)
 }
 
@@ -170,7 +170,7 @@ func (c *ctx) extractChunk(U []int32, w []float64, maxw float64) []int32 {
 	}
 	// Otherwise ‖w|U‖∞ < maxw/2, so the splitting window is < maxw/4 and a
 	// target of (3/4)·maxw yields w(X) ∈ [maxw/2, maxw].
-	X := c.sp.Split(U, w, 0.75*maxw)
+	X := c.split(U, w, 0.75*maxw)
 	if len(X) == 0 || sumOver(w, X) > maxw*(1+1e-9) {
 		// The oracle violated its Definition 3 contract (or returned
 		// nothing). The chunk weight cap is what the strict-balance greedy

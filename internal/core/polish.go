@@ -40,7 +40,12 @@ func (c *ctx) polish(chi []int32, k int, rounds int) []int32 {
 	ps.tol = 1e-9 * (ps.avg + maxw + 1)
 
 	for round := 0; round < rounds; round++ {
-		if !ps.round() {
+		if c.interrupted() {
+			break
+		}
+		improved := ps.round()
+		c.polishRound(round, improved)
+		if !improved {
 			break
 		}
 	}
@@ -123,6 +128,9 @@ func (ps *polishState) round() bool {
 	inTouched := make([]bool, k)
 	touchedCls := make([]int32, 0, 8)
 	for donor := int32(0); donor < int32(k); donor++ {
+		if ps.c.interrupted() {
+			break // cancelled mid-sweep: the entry point discards the result
+		}
 		if ps.cb[donor] < 0.75*maxB {
 			continue
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -87,11 +88,11 @@ func TestPolishNoopCases(t *testing.T) {
 
 func TestDecomposeSkipPolish(t *testing.T) {
 	gr, g := gridGraph(t, 16, 16)
-	with, err := Decompose(g, Options{K: 8, Splitter: splitter.NewGrid(gr)})
+	with, err := Decompose(context.Background(), g, Options{K: 8, Splitter: splitter.NewGrid(gr)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	without, err := Decompose(g, Options{K: 8, Splitter: splitter.NewGrid(gr), SkipPolish: true})
+	without, err := Decompose(context.Background(), g, Options{K: 8, Splitter: splitter.NewGrid(gr), SkipPolish: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestDecomposePaperShrinkEndToEnd(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	gr, g := gridGraph(t, 20, 20)
 	randomizeWeights(rng, g, 0.3)
-	res, err := Decompose(g, Options{K: 5, Splitter: splitter.NewGrid(gr), PaperShrink: true})
+	res, err := Decompose(context.Background(), g, Options{K: 5, Splitter: splitter.NewGrid(gr), PaperShrink: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestDecomposeWithExtraMeasures(t *testing.T) {
 		mem[i] = rng.ExpFloat64()
 	}
 	k := 8
-	res, err := Decompose(g, Options{K: k, Splitter: splitter.NewGrid(gr), Measures: [][]float64{mem}})
+	res, err := Decompose(context.Background(), g, Options{K: k, Splitter: splitter.NewGrid(gr), Measures: [][]float64{mem}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -31,7 +32,7 @@ func TestDecomposePropertyAcrossFamilies(t *testing.T) {
 			g.Weight[v] = rng.Float64()*5 + 0.01
 		}
 		k := 2 + rng.Intn(10)
-		res, err := Decompose(g, Options{K: k})
+		res, err := Decompose(context.Background(), g, Options{K: k})
 		if err != nil {
 			t.Logf("seed %d: %v", seed, err)
 			return false
@@ -50,11 +51,11 @@ func TestDecomposePropertyAcrossFamilies(t *testing.T) {
 // Property: the pipeline is deterministic — same input, same output.
 func TestDecomposeDeterministic(t *testing.T) {
 	g := workload.ClimateMesh(10, 10, 2, 5)
-	a, err := Decompose(g, Options{K: 5})
+	a, err := Decompose(context.Background(), g, Options{K: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Decompose(g, Options{K: 5})
+	b, err := Decompose(context.Background(), g, Options{K: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ type brokenSplitter struct {
 	rng *rand.Rand
 }
 
-func (b *brokenSplitter) Split(W []int32, w []float64, target float64) []int32 {
+func (b *brokenSplitter) Split(_ context.Context, W []int32, w []float64, target float64) []int32 {
 	switch b.rng.Intn(4) {
 	case 0:
 		return nil // always empty
@@ -96,7 +97,7 @@ func (b *brokenSplitter) Split(W []int32, w []float64, target float64) []int32 {
 func TestDecomposeWithBrokenSplitter(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		g := workload.ClimateMesh(8, 8, 2, seed)
-		res, err := Decompose(g, Options{
+		res, err := Decompose(context.Background(), g, Options{
 			K:        4,
 			Splitter: &brokenSplitter{rng: rand.New(rand.NewSource(seed))},
 		})
@@ -116,8 +117,8 @@ func TestDecomposeWithBrokenSplitter(t *testing.T) {
 // catch any resulting corruption rather than return garbage.
 type outOfSetSplitter struct{ inner splitter.Splitter }
 
-func (o outOfSetSplitter) Split(W []int32, w []float64, target float64) []int32 {
-	U := o.inner.Split(W, w, target)
+func (o outOfSetSplitter) Split(ctx context.Context, W []int32, w []float64, target float64) []int32 {
+	U := o.inner.Split(ctx, W, w, target)
 	if len(U) > 0 {
 		return U[:len(U)-1] // drop one element: still ⊆ W, weight off
 	}
@@ -126,7 +127,7 @@ func (o outOfSetSplitter) Split(W []int32, w []float64, target float64) []int32 
 
 func TestDecomposeWithLossySplitter(t *testing.T) {
 	g := workload.ClimateMesh(8, 8, 2, 3)
-	res, err := Decompose(g, Options{
+	res, err := Decompose(context.Background(), g, Options{
 		K:        4,
 		Splitter: outOfSetSplitter{inner: splitter.NewBFS(g)},
 	})
@@ -146,7 +147,7 @@ func TestDecomposeWithLossySplitter(t *testing.T) {
 // apply, but safety must.
 func TestDecomposeStar(t *testing.T) {
 	g := graph.Star(100)
-	res, err := Decompose(g, Options{K: 7})
+	res, err := Decompose(context.Background(), g, Options{K: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestDecomposeZeroWeights(t *testing.T) {
 	for v := range g.Weight {
 		g.Weight[v] = 0
 	}
-	res, err := Decompose(g, Options{K: 4})
+	res, err := Decompose(context.Background(), g, Options{K: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestDecomposeZeroWeights(t *testing.T) {
 			g.Weight[v] = 1
 		}
 	}
-	res, err = Decompose(g, Options{K: 3})
+	res, err = Decompose(context.Background(), g, Options{K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestDecomposeZeroWeights(t *testing.T) {
 // stage.
 func TestDecomposeDisconnected(t *testing.T) {
 	g := graph.Disjoint(graph.Path(30), graph.Cycle(20), graph.RandomTree(25, 1))
-	res, err := Decompose(g, Options{K: 5})
+	res, err := Decompose(context.Background(), g, Options{K: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

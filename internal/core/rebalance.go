@@ -88,6 +88,9 @@ func (c *ctx) rebalance(chi []int32, k int, psi []float64, preserve [][]float64,
 
 	maxMoves := 4*k + 16 // the forest argument guarantees ≤ 2k iterations
 	for moves := 0; len(pending) > 0 && moves < maxMoves; moves++ {
+		if c.interrupted() {
+			break // cancelled: unwind; the entry point discards the coloring
+		}
 		i := pending[0]
 		pending = pending[1:]
 
@@ -108,7 +111,7 @@ func (c *ctx) rebalance(chi []int32, k int, psi []float64, preserve [][]float64,
 		}
 		X := tent[i]
 		// Step (3.): splitting set U with Ψ(U) ∈ [avg, avg + ‖Ψ‖∞].
-		U := c.sp.Split(X, psi, avg+maxOver(psi, X)/2)
+		U := c.split(X, psi, avg+maxOver(psi, X)/2)
 		W := subtract(X, U)
 		if len(U) == 0 || len(W) == 0 {
 			finish()

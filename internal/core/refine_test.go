@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"slices"
 	"testing"
 
@@ -23,11 +24,11 @@ func reweight(g *graph.Graph, rows, cols int, f float64) *graph.Graph {
 func TestRefineIdenticalWeightsIsPolishOnly(t *testing.T) {
 	g := workload.ClimateMesh(24, 24, 4, 3)
 	opt := Options{K: 8, Parallelism: 1}
-	full, err := Decompose(g, opt)
+	full, err := Decompose(context.Background(), g, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, err := Refine(g, opt, full.Coloring)
+	ref, err := Refine(context.Background(), g, opt, full.Coloring)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,13 +51,13 @@ func TestRefineAfterWeightDrift(t *testing.T) {
 	const rows, cols, k = 32, 32, 8
 	g := workload.ClimateMesh(rows, cols, 4, 5)
 	opt := Options{K: k, Parallelism: 1}
-	full, err := Decompose(g, opt)
+	full, err := Decompose(context.Background(), g, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	h := reweight(g, rows, cols, 2.5)
-	ref, err := Refine(h, opt, full.Coloring)
+	ref, err := Refine(context.Background(), h, opt, full.Coloring)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestRefineAfterWeightDrift(t *testing.T) {
 		t.Fatal("refined coloring not strictly balanced under drifted weights")
 	}
 
-	scratch, err := Decompose(h, opt)
+	scratch, err := Decompose(context.Background(), h, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,22 +97,22 @@ func TestRefineAfterWeightDrift(t *testing.T) {
 func TestRefineValidation(t *testing.T) {
 	g := workload.ClimateMesh(8, 8, 2, 1)
 	good := make([]int32, g.N())
-	if _, err := Refine(g, Options{K: 0}, good); err == nil {
+	if _, err := Refine(context.Background(), g, Options{K: 0}, good); err == nil {
 		t.Fatal("K=0 accepted")
 	}
-	if _, err := Refine(g, Options{K: 2}, good[:10]); err == nil {
+	if _, err := Refine(context.Background(), g, Options{K: 2}, good[:10]); err == nil {
 		t.Fatal("short coloring accepted")
 	}
 	bad := slices.Clone(good)
 	bad[3] = 7
-	if _, err := Refine(g, Options{K: 2}, bad); err == nil {
+	if _, err := Refine(context.Background(), g, Options{K: 2}, bad); err == nil {
 		t.Fatal("out-of-range color accepted")
 	}
-	if _, err := Refine(g, Options{K: 2, P: 0.5}, good); err == nil {
+	if _, err := Refine(context.Background(), g, Options{K: 2, P: 0.5}, good); err == nil {
 		t.Fatal("invalid P accepted")
 	}
 	ms := [][]float64{make([]float64, g.N())}
-	if _, err := Refine(g, Options{K: 2, Measures: ms}, good); err == nil {
+	if _, err := Refine(context.Background(), g, Options{K: 2, Measures: ms}, good); err == nil {
 		t.Fatal("Measures accepted — Refine cannot preserve multi-balance")
 	}
 }
@@ -119,16 +120,16 @@ func TestRefineValidation(t *testing.T) {
 func TestRefineDeterministic(t *testing.T) {
 	g := workload.ClimateMesh(20, 20, 3, 9)
 	opt := Options{K: 6, Parallelism: 1}
-	full, err := Decompose(g, opt)
+	full, err := Decompose(context.Background(), g, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
 	h := reweight(g, 20, 20, 3)
-	a, err := Refine(h, opt, full.Coloring)
+	a, err := Refine(context.Background(), h, opt, full.Coloring)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Refine(h, Options{K: 6, Parallelism: 4}, full.Coloring)
+	b, err := Refine(context.Background(), h, Options{K: 6, Parallelism: 4}, full.Coloring)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -199,6 +199,9 @@ func (c *ctx) directAlmostStrict(classes [][]int32, k int) [][]int32 {
 	tol := 1e-9 * (avg + maxw + 1)
 
 	for moves := 0; moves < 4*k+16; moves++ {
+		if c.interrupted() {
+			break
+		}
 		hi, lo := 0, 0
 		for i := 1; i < k; i++ {
 			if cw[i] > cw[hi] {
@@ -220,7 +223,7 @@ func (c *ctx) directAlmostStrict(classes [][]int32, k int) [][]int32 {
 		if amount <= 0 {
 			break
 		}
-		X := c.sp.Split(classes[hi], w, amount)
+		X := c.split(classes[hi], w, amount)
 		if len(X) == 0 || len(X) == len(classes[hi]) {
 			break
 		}
@@ -262,8 +265,9 @@ func (c *ctx) almostStrictRec(classes [][]int32, k int, depth int) [][]int32 {
 	}
 
 	// Base case: weights too coarse for shrinking (paper: ‖w‖∞ > ε⁵·Ψ*;
-	// practical: ε·Ψ*/4), or recursion guards. Lemma 15 with W₁ = ∅.
-	if maxw > shrinkEps*avg/4 || len(W) <= 4*k || depth > 200 {
+	// practical: ε·Ψ*/4), cancellation, or recursion guards. Lemma 15 with
+	// W₁ = ∅ terminates the unwinding cheaply on a cancelled run.
+	if maxw > shrinkEps*avg/4 || len(W) <= 4*k || depth > 200 || c.interrupted() {
 		zero := make([]float64, k)
 		return c.binPack1(classes, w, zero, avg, maxw)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -167,7 +168,7 @@ func TestSplitterContractHelpers(t *testing.T) {
 
 type oversizeSplitter struct{ inner splitter.Splitter }
 
-func (o *oversizeSplitter) Split(W []int32, w []float64, target float64) []int32 {
+func (o *oversizeSplitter) Split(_ context.Context, W []int32, w []float64, target float64) []int32 {
 	// Always return (almost) everything — grossly violates the window.
 	if len(W) > 1 {
 		return W[:len(W)-1]

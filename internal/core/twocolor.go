@@ -25,7 +25,7 @@ func (c *ctx) twoColor(W []int32, ms [][]float64) [2][]int32 {
 		return [2][]int32{append([]int32(nil), W...), nil}
 	}
 	last := ms[r-1]
-	U1 := c.sp.Split(W, last, sumOver(last, W)/2)
+	U1 := c.split(W, last, sumOver(last, W)/2)
 	U2 := subtract(W, U1)
 	if r == 1 {
 		return [2][]int32{U1, U2}

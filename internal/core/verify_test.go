@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/graph"
@@ -10,7 +11,7 @@ import (
 func TestVerifyAcceptsGoodResult(t *testing.T) {
 	gr, g := gridGraph(t, 12, 12)
 	opt := Options{K: 6, Splitter: splitter.NewGrid(gr)}
-	res, err := Decompose(g, opt)
+	res, err := Decompose(context.Background(), g, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func TestVerifyAcceptsGoodResult(t *testing.T) {
 func TestVerifyCatchesCorruption(t *testing.T) {
 	gr, g := gridGraph(t, 8, 8)
 	opt := Options{K: 4, Splitter: splitter.NewGrid(gr)}
-	res, err := Decompose(g, opt)
+	res, err := Decompose(context.Background(), g, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file defines the canonical content identity of a graph instance —
+// the fingerprint the serving layer uses as a cache key and the Instance
+// session API exposes as its handle id. Two graphs hash equal iff they
+// have the same vertex count, the same weights, and the same sorted
+// (u, v, cost) edge list; construction order never matters.
+//
+// The hash is split into two halves so repartition chains pay only for
+// what changed: ContentDigest freezes the topology half (vertex/edge
+// counts, sorted edge list with costs — immutable under weight drift) and
+// HashWeights folds a weight field over it. A drift step re-hashes O(N)
+// weights instead of re-sorting and re-hashing O(M log M) edges.
+
+// ContentDigest is the frozen topology half of a graph's content hash.
+// The zero value is invalid; build one with NewContentDigest.
+type ContentDigest struct {
+	n, m  int
+	edges [sha256.Size]byte
+}
+
+func writeU64(h interface{ Write([]byte) (int, error) }, x uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], x)
+	h.Write(buf[:])
+}
+
+// NewContentDigest hashes g's weight-independent content: N, M and the
+// sorted (u, v, cost) edge list. O(N + M log M); compute once per
+// topology and reuse across reweightings.
+func NewContentDigest(g *Graph) ContentDigest {
+	h := sha256.New()
+	writeU64(h, uint64(g.N()))
+	writeU64(h, uint64(g.M()))
+	us, vs, cs := g.SortedEdgeList()
+	for i := range us {
+		writeU64(h, uint64(uint32(us[i])))
+		writeU64(h, uint64(uint32(vs[i])))
+		writeU64(h, math.Float64bits(cs[i]))
+	}
+	d := ContentDigest{n: g.N(), m: g.M()}
+	copy(d.edges[:], h.Sum(nil))
+	return d
+}
+
+// HashWeights returns the full content hash of the digested topology under
+// the given weight field. O(len(weights)). It panics if the weight count
+// does not match the digested vertex count — a digest is only valid for
+// reweightings of the graph it was built from.
+func (d ContentDigest) HashWeights(weights []float64) string {
+	if len(weights) != d.n {
+		panic(fmt.Sprintf("graph: HashWeights length %d != digested N %d", len(weights), d.n))
+	}
+	h := sha256.New()
+	h.Write(d.edges[:])
+	for _, w := range weights {
+		writeU64(h, math.Float64bits(w))
+	}
+	return fmt.Sprintf("g-%x", h.Sum(nil)[:16])
+}
+
+// ContentHash returns the canonical content hash of g: the topology digest
+// combined with its current weights.
+func ContentHash(g *Graph) string {
+	return NewContentDigest(g).HashWeights(g.Weight)
+}
+
+// WithWeights returns a view of g that shares its topology (edge list,
+// costs, adjacency) but carries the given weight slice, which the view
+// adopts without copying. The result is the cheap representation of a
+// weight-drifted instance: O(1) instead of Clone's O(N + M).
+//
+// Both graphs alias the same topology arrays, so the usual read-only
+// convention extends across them: mutate neither. It panics if the weight
+// count does not match.
+func (g *Graph) WithWeights(w []float64) *Graph {
+	if len(w) != g.numV {
+		panic(fmt.Sprintf("graph: WithWeights length %d != N %d", len(w), g.numV))
+	}
+	h := *g
+	h.Weight = w
+	return &h
+}

@@ -1,6 +1,7 @@
 package loadgen
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -9,6 +10,10 @@ import (
 	"repro/internal/lower"
 	"repro/internal/service"
 )
+
+// scratchEngine runs the certifier's from-scratch comparison pipelines;
+// zero policy, so a scratch run is exactly a default pipeline execution.
+var scratchEngine = repro.NewEngine()
 
 // maxViolationSamples bounds how many violation descriptions the report
 // carries verbatim; the count is always exact.
@@ -182,7 +187,7 @@ func (c *Certifier) certifyUpload(in *instance, instIdx int, resp *service.Uploa
 // instance versus a from-scratch pipeline run (computed post-run so it
 // never distorts latency measurements).
 func (c *Certifier) certifyScratch(in *instance, instIdx, step, k int, servedMaxBoundary, tol float64) error {
-	scratch, err := repro.PartitionWithOptions(in.steps[step], repro.Options{K: k})
+	scratch, err := scratchEngine.PartitionWithOptions(context.Background(), in.steps[step], repro.Options{K: k})
 	if err != nil {
 		return fmt.Errorf("loadgen: scratch run inst=%d step=%d: %w", instIdx, step, err)
 	}

@@ -14,7 +14,17 @@ import (
 // ReportSchema versions the BENCH_service.json contract. Bump only with a
 // deliberate format change; downstream PRs diff these files across
 // commits as the service perf trajectory.
-const ReportSchema = "repro-loadgen/1"
+//
+// Compatibility note — repro-loadgen/2 (vs /1): requests gained a
+// "cancelled" outcome (client-cancelled or deadline-exceeded requests,
+// answered 499/504 — previously folded into "failed"), and the embedded
+// server snapshot gained "sessions", "jobs_dropped" and
+// "requests_cancelled" counters, which split the former shed accounting
+// into capacity sheds (503) versus client cancellations. All /1 fields
+// are retained with unchanged meaning, so a /1 consumer that ignores
+// unknown fields reads a /2 report correctly except for the
+// failed-vs-cancelled split.
+const ReportSchema = "repro-loadgen/2"
 
 // LatencySummary is a percentile digest of successful-request latencies.
 type LatencySummary struct {
@@ -29,11 +39,15 @@ type LatencySummary struct {
 
 // RequestCounts tallies the measured body by outcome and kind.
 type RequestCounts struct {
-	Total  int            `json:"total"`
-	OK     int            `json:"ok"`
-	Shed   int            `json:"shed"`
-	Failed int            `json:"failed"`
-	ByKind map[string]int `json:"by_kind"`
+	Total int `json:"total"`
+	OK    int `json:"ok"`
+	// Shed counts capacity sheds (503).
+	Shed int `json:"shed"`
+	// Cancelled counts client-cancelled or deadline-exceeded requests
+	// (499/504) — schema /2; /1 folded these into Failed.
+	Cancelled int            `json:"cancelled"`
+	Failed    int            `json:"failed"`
+	ByKind    map[string]int `json:"by_kind"`
 }
 
 // CacheSummary is the measured-body delta of the serving cache counters
@@ -132,11 +146,12 @@ func (h *Harness) report(rec *recorder, pre, post service.StatsResponse, wall ti
 		byKind[string(kind)] = summarizeLatency(ms)
 	}
 	counts := RequestCounts{
-		OK:     rec.ok,
-		Shed:   rec.shed,
-		Failed: rec.failed,
-		Total:  rec.ok + rec.shed + rec.failed,
-		ByKind: make(map[string]int, len(rec.byKind)),
+		OK:        rec.ok,
+		Shed:      rec.shed,
+		Cancelled: rec.cancelled,
+		Failed:    rec.failed,
+		Total:     rec.ok + rec.shed + rec.cancelled + rec.failed,
+		ByKind:    make(map[string]int, len(rec.byKind)),
 	}
 	for kind, n := range rec.byKind {
 		counts.ByKind[string(kind)] = n
@@ -204,8 +219,8 @@ func (r *Report) Summary() string {
 	fmt.Fprintf(&sb, "profile %s (seed %d, %s): %d requests in %.2fs — %.1f req/s\n",
 		r.Profile.Name, r.Profile.Seed, r.Profile.Mode, r.Requests.Total, r.WallSeconds, r.ThroughputRPS)
 	fmt.Fprintf(&sb, "  trace        %s\n", r.TraceDigest)
-	fmt.Fprintf(&sb, "  outcomes     ok=%d shed=%d failed=%d (shed rate %.3f)\n",
-		r.Requests.OK, r.Requests.Shed, r.Requests.Failed, r.ShedRate)
+	fmt.Fprintf(&sb, "  outcomes     ok=%d shed=%d cancelled=%d failed=%d (shed rate %.3f)\n",
+		r.Requests.OK, r.Requests.Shed, r.Requests.Cancelled, r.Requests.Failed, r.ShedRate)
 	fmt.Fprintf(&sb, "  latency ms   p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
 		r.LatencyMS.P50MS, r.LatencyMS.P95MS, r.LatencyMS.P99MS, r.LatencyMS.MaxMS)
 	fmt.Fprintf(&sb, "  cache        hit rate %.3f (%d hits / %d misses), coalesced %d, pipeline runs %d\n",

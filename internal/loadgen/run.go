@@ -55,6 +55,7 @@ type recorder struct {
 	durations map[Kind][]float64 // milliseconds, successful requests
 	ok        int
 	shed      int
+	cancelled int
 	failed    int
 	byKind    map[Kind]int
 	cached    int64
@@ -81,12 +82,16 @@ func (r *recorder) observe(kind Kind, dur time.Duration, status int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.byKind[kind]++
-	switch {
-	case status == http.StatusOK:
+	switch status {
+	case http.StatusOK:
 		r.ok++
 		r.durations[kind] = append(r.durations[kind], float64(dur.Nanoseconds())/1e6)
-	case status == http.StatusServiceUnavailable:
+	case http.StatusServiceUnavailable:
 		r.shed++
+	case 499, http.StatusGatewayTimeout:
+		// Client-cancelled (499, nginx convention) or deadline-exceeded
+		// (504): demand that stopped wanting an answer, not a failure.
+		r.cancelled++
 	default:
 		r.failed++
 	}

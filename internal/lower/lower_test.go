@@ -1,6 +1,7 @@
 package lower
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -81,7 +82,7 @@ func TestTightnessOnGridCopies(t *testing.T) {
 	for _, k := range []int{8, 16} {
 		r := k / 4
 		gt := Copies(g, r)
-		res, err := core.Decompose(gt, core.Options{
+		res, err := core.Decompose(context.Background(), gt, core.Options{
 			K: k, P: 2, Splitter: splitter.NewRefined(gt, splitter.NewBFS(gt)),
 		})
 		if err != nil {

@@ -1,6 +1,7 @@
 package separator
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -96,7 +97,7 @@ func TestGeometricAsSplitter(t *testing.T) {
 	s := NewSplitterFromSeparator(gr.G, NewGeometric(gr), 2)
 	w := unitWeights(gr.G.N())
 	W := allVerts(gr.G.N())
-	U := s.Split(W, w, 37)
+	U := s.Split(context.Background(), W, w, 37)
 	if !splitter.CheckWindow(U, W, w, 37) {
 		t.Fatal("geometric-derived splitter window violated")
 	}

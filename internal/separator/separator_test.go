@@ -1,6 +1,7 @@
 package separator
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -179,7 +180,7 @@ func TestSplitterFromSeparatorWindow(t *testing.T) {
 			total += w[v]
 		}
 		target := rng.Float64() * total
-		U := s.Split(W, w, target)
+		U := s.Split(context.Background(), W, w, target)
 		if !splitter.CheckWindow(U, W, w, target) {
 			t.Fatalf("trial %d: window violated", trial)
 		}
@@ -213,8 +214,8 @@ func TestSeparatorEquivalenceCostShape(t *testing.T) {
 		}
 		return g.BoundaryCostMask(in)
 	}
-	cNative := costOf(native.Split(W, w, target))
-	cDerived := costOf(derived.Split(W, w, target))
+	cNative := costOf(native.Split(context.Background(), W, w, target))
+	cDerived := costOf(derived.Split(context.Background(), W, w, target))
 	if cNative <= 0 {
 		t.Fatal("native split has zero boundary?")
 	}
@@ -230,7 +231,7 @@ func TestSplitterFromSeparatorEdgeless(t *testing.T) {
 	g := b.MustBuild()
 	s := NewSplitterFromSeparator(g, NewBFSLayered(g), 2)
 	w := unitWeights(5)
-	U := s.Split(allVerts(5), w, 2)
+	U := s.Split(context.Background(), allVerts(5), w, 2)
 	if !splitter.CheckWindow(U, allVerts(5), w, 2) {
 		t.Fatal("edgeless window violated")
 	}

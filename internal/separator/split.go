@@ -1,6 +1,7 @@
 package separator
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/graph"
@@ -36,7 +37,7 @@ func (f *FromSplitter) FindSeparation(W []int32, w []float64) Separation {
 	if maxw > total/3 {
 		return Separation{A: []int32{argmax}, B: append([]int32(nil), W...)}
 	}
-	U := f.S.Split(W, w, total/3)
+	U := f.S.Split(context.Background(), W, w, total/3)
 	inU := make([]bool, f.G.N())
 	for _, v := range U {
 		inU[v] = true
@@ -90,8 +91,12 @@ func NewSplitterFromSeparator(g *graph.Graph, f Finder, p float64) *SplitterFrom
 	return &SplitterFromSeparator{G: g, F: f, P: p}
 }
 
-// Split implements splitter.Splitter.
-func (s *SplitterFromSeparator) Split(W []int32, w []float64, target float64) []int32 {
+// Split implements splitter.Splitter. The recursion checks ctx at every
+// level, so a cancelled run unwinds without finishing the separator chain.
+func (s *SplitterFromSeparator) Split(ctx context.Context, W []int32, w []float64, target float64) []int32 {
+	if ctx.Err() != nil {
+		return nil
+	}
 	total, maxw := 0.0, 0.0
 	for _, v := range W {
 		total += w[v]
@@ -110,7 +115,10 @@ func (s *SplitterFromSeparator) Split(W []int32, w []float64, target float64) []
 	for _, v := range W {
 		pi[v] = math.Pow(s.G.CostDegree(v), s.P)
 	}
-	A0, B0 := s.split(W, w, pi, target, maxw, 0)
+	A0, B0 := s.split(ctx, W, w, pi, target, maxw, 0)
+	if ctx.Err() != nil {
+		return nil
+	}
 
 	// Assemble the splitting set: A0\B0 plus a weight prefix of the
 	// separator, choosing the cumulative weight nearest the target.
@@ -123,13 +131,14 @@ func (s *SplitterFromSeparator) Split(W []int32, w []float64, target float64) []
 
 // split is procedure Split of Lemma 37: returns a separation (A0, B0) of
 // G[W] with w(A0\B0) ≤ target ≤ w(A0) (up to ‖w‖∞/2 slack at the ends).
-func (s *SplitterFromSeparator) split(W []int32, w, pi []float64, target, maxw float64, depth int) (A0, B0 []int32) {
-	// Trivial cases: no separating cost, tiny sets, or recursion guard.
+func (s *SplitterFromSeparator) split(ctx context.Context, W []int32, w, pi []float64, target, maxw float64, depth int) (A0, B0 []int32) {
+	// Trivial cases: no separating cost, tiny sets, cancellation, or
+	// recursion guard.
 	piTotal := 0.0
 	for _, v := range W {
 		piTotal += pi[v]
 	}
-	if piTotal == 0 || len(W) <= 2 || depth > 64 {
+	if piTotal == 0 || len(W) <= 2 || depth > 64 || ctx.Err() != nil {
 		return append([]int32(nil), W...), append([]int32(nil), W...)
 	}
 	sep := s.F.FindSeparation(W, pi)
@@ -149,7 +158,7 @@ func (s *SplitterFromSeparator) split(W []int32, w, pi []float64, target, maxw f
 	}
 	switch {
 	case target-maxw/2 < wa:
-		Ap, Bp := s.split(aOnly, w, pi, target, maxw, depth+1)
+		Ap, Bp := s.split(ctx, aOnly, w, pi, target, maxw, depth+1)
 		// (A0, B0) := (A' ∪ (A∩B), B' ∪ B)
 		A0 = append(append([]int32(nil), Ap...), S...)
 		B0 = append(append([]int32(nil), Bp...), sep.B...)
@@ -157,7 +166,7 @@ func (s *SplitterFromSeparator) split(W []int32, w, pi []float64, target, maxw f
 	case wa+wsep >= target-maxw/2:
 		return sep.A, sep.B
 	default:
-		Ap, Bp := s.split(bOnly, w, pi, target-wa-wsep, maxw, depth+1)
+		Ap, Bp := s.split(ctx, bOnly, w, pi, target-wa-wsep, maxw, depth+1)
 		// (A0, B0) := (A ∪ A', B' ∪ (A∩B))
 		A0 = append(append([]int32(nil), sep.A...), Ap...)
 		B0 = append(append([]int32(nil), Bp...), S...)

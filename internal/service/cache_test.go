@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -83,7 +84,7 @@ func TestFlightGroupCoalesces(t *testing.T) {
 	shared := make([]bool, followers+1)
 	call := func(i int) {
 		defer wg.Done()
-		res, err, coalesced := g.do("key", func() (repro.Result, error) {
+		res, err, coalesced := g.do(context.Background(), "key", func(context.Context) (repro.Result, error) {
 			close(started)
 			<-release
 			atomic.AddInt64(&runs, 1)
@@ -104,9 +105,14 @@ func TestFlightGroupCoalesces(t *testing.T) {
 		wg.Add(1)
 		go call(i)
 	}
-	// Followers register in coalescedCount before blocking on the leader;
-	// wait for all of them so none can arrive late and lead a second run.
-	for g.coalescedCount() < followers {
+	// Followers join the call's membership before blocking on the leader
+	// (coalescedCount now increments only when a shared result is
+	// returned); wait for all of them so none can arrive late and lead a
+	// second run.
+	g.mu.Lock()
+	c := g.calls["key"]
+	g.mu.Unlock()
+	for c.waiters.Load() < followers+1 {
 		time.Sleep(time.Millisecond)
 	}
 	close(release)
@@ -130,13 +136,13 @@ func TestFlightGroupCoalesces(t *testing.T) {
 
 func TestFlightGroupKeyIsolation(t *testing.T) {
 	g := newFlightGroup()
-	_, _, c1 := g.do("a", func() (repro.Result, error) { return repro.Result{}, nil })
-	_, _, c2 := g.do("b", func() (repro.Result, error) { return repro.Result{}, nil })
+	_, _, c1 := g.do(context.Background(), "a", func(context.Context) (repro.Result, error) { return repro.Result{}, nil })
+	_, _, c2 := g.do(context.Background(), "b", func(context.Context) (repro.Result, error) { return repro.Result{}, nil })
 	if c1 || c2 {
 		t.Fatal("sequential distinct keys must not coalesce")
 	}
 	// A key is reusable after its call completes.
-	_, _, c3 := g.do("a", func() (repro.Result, error) { return repro.Result{}, nil })
+	_, _, c3 := g.do(context.Background(), "a", func(context.Context) (repro.Result, error) { return repro.Result{}, nil })
 	if c3 {
 		t.Fatal("completed key should start a fresh call")
 	}

@@ -1,0 +1,215 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/workload"
+)
+
+// postCancelled drives one handler invocation whose request context is
+// already dead — the in-process equivalent of a client that disconnected
+// while its request sat on the wire — and returns the recorded status.
+func postCancelled(t *testing.T, s *Server, path string, req any) int {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := httptest.NewRequest("POST", path, bytes.NewReader(body)).WithContext(ctx)
+	r.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	return w.Code
+}
+
+// TestCancelledRequestsProduceNoCacheEntries is the serving half of the
+// cancellation-hygiene invariant: a request whose context dies mid-run is
+// answered 499, counted as cancelled (never shed), and leaves neither a
+// result-cache entry nor an advanced repartition session behind — the
+// identical retry misses the cache and runs fresh.
+func TestCancelledRequestsProduceNoCacheEntries(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	g := workload.ClimateMesh(32, 32, 3, 11)
+	up := uploadGraph(t, ts.URL, g)
+
+	// Warm the base prior so the repartition below is a genuine resume.
+	postJSON(t, ts.URL+"/v1/partition", PartitionRequest{GraphID: up.GraphID, K: 6}, &PartitionResponse{})
+	warm := serverStats(t, ts.URL)
+
+	// Cancelled partition on an uncached key.
+	if code := postCancelled(t, s, "/v1/partition",
+		PartitionRequest{GraphID: up.GraphID, K: 9}); code != statusClientClosedRequest {
+		t.Fatalf("cancelled partition status %d, want %d", code, statusClientClosedRequest)
+	}
+	// Cancelled repartition on a drift the session has not absorbed.
+	drift := RepartitionRequest{GraphID: up.GraphID, K: 6,
+		Scale: []WeightUpdate{{V: 1, W: 3}, {V: 2, W: 0.25}}}
+	if code := postCancelled(t, s, "/v1/repartition", drift); code != statusClientClosedRequest {
+		t.Fatalf("cancelled repartition status %d, want %d", code, statusClientClosedRequest)
+	}
+
+	st := serverStats(t, ts.URL)
+	if got := st.RequestsCancelled - warm.RequestsCancelled; got != 2 {
+		t.Fatalf("requests_cancelled delta = %d, want 2", got)
+	}
+	if st.RequestsShed != warm.RequestsShed {
+		t.Fatal("a cancellation was miscounted as a capacity shed")
+	}
+	if st.PipelineRuns != warm.PipelineRuns {
+		t.Fatalf("cancelled requests completed pipeline runs (%d → %d)",
+			warm.PipelineRuns, st.PipelineRuns)
+	}
+	if st.CacheEntries != warm.CacheEntries {
+		t.Fatalf("cancelled requests left cache entries (%d → %d)",
+			warm.CacheEntries, st.CacheEntries)
+	}
+
+	// Retries miss the cache and run fresh — and succeed.
+	var pr PartitionResponse
+	if code := postJSON(t, ts.URL+"/v1/partition",
+		PartitionRequest{GraphID: up.GraphID, K: 9}, &pr); code != 200 {
+		t.Fatalf("partition retry status %d", code)
+	}
+	if pr.Cached {
+		t.Fatal("cancelled partition left a cache entry behind")
+	}
+	var rr RepartitionResponse
+	if code := postJSON(t, ts.URL+"/v1/repartition", drift, &rr); code != 200 {
+		t.Fatalf("repartition retry status %d", code)
+	}
+	if rr.Cached {
+		t.Fatal("cancelled repartition left a cache entry behind")
+	}
+	if !rr.Stats.StrictlyBalanced {
+		t.Fatal("repartition retry not strictly balanced")
+	}
+	if rr.ColdStart {
+		t.Fatal("cancelled repartition consumed the session prior")
+	}
+}
+
+// TestFlightSurvivesLeaderCancellation pins the coalescing cancellation
+// contract: the execution context dies only when every participant has
+// gone. A leader's disconnect must not abort a run a follower still waits
+// on; once the last participant leaves, the run is cancelled.
+func TestFlightSurvivesLeaderCancellation(t *testing.T) {
+	g := newFlightGroup()
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	type outcome struct {
+		err       error
+		coalesced bool
+	}
+	leaderDone := make(chan outcome, 1)
+	go func() {
+		_, err, co := g.do(leaderCtx, "k", func(execCtx context.Context) (repro.Result, error) {
+			close(started)
+			select {
+			case <-execCtx.Done():
+				return repro.Result{}, execCtx.Err()
+			case <-release:
+				return repro.Result{UsedFallback: true}, nil
+			}
+		})
+		leaderDone <- outcome{err, co}
+	}()
+	<-started
+
+	followerDone := make(chan outcome, 1)
+	go func() {
+		_, err, co := g.do(context.Background(), "k", func(context.Context) (repro.Result, error) {
+			t.Error("follower executed fn despite a leader in flight")
+			return repro.Result{}, nil
+		})
+		followerDone <- outcome{err, co}
+	}()
+
+	// Wait until the follower has joined the call's membership, then kill
+	// the leader: with a live follower the execution context must survive.
+	g.mu.Lock()
+	c := g.calls["k"]
+	g.mu.Unlock()
+	for c.waiters.Load() != 2 {
+		time.Sleep(time.Millisecond)
+	}
+	cancelLeader()
+	for c.waiters.Load() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-followerDone:
+		t.Fatal("follower unblocked before the run finished")
+	default:
+	}
+
+	close(release) // the run completes for the follower
+	fo := <-followerDone
+	if fo.err != nil || !fo.coalesced {
+		t.Fatalf("follower outcome err=%v coalesced=%t, want nil/true", fo.err, fo.coalesced)
+	}
+	if lo := <-leaderDone; lo.err != nil {
+		t.Fatalf("leader outcome err=%v (a completed run is returned even to a dead leader)", lo.err)
+	}
+
+	// Sole participant gone ⇒ the run is cancelled.
+	soloCtx, cancelSolo := context.WithCancel(context.Background())
+	soloStarted := make(chan struct{})
+	soloDone := make(chan outcome, 1)
+	go func() {
+		_, err, _ := g.do(soloCtx, "solo", func(execCtx context.Context) (repro.Result, error) {
+			close(soloStarted)
+			<-execCtx.Done()
+			return repro.Result{}, execCtx.Err()
+		})
+		soloDone <- outcome{err, false}
+	}()
+	<-soloStarted
+	cancelSolo()
+	if so := <-soloDone; !errors.Is(so.err, context.Canceled) {
+		t.Fatalf("sole-participant cancellation err=%v, want context.Canceled", so.err)
+	}
+}
+
+// TestServerSideDeadlineAnswers504 pins the deadline half of the
+// cancellation accounting: with Config.RequestTimeout set, a pipeline
+// outliving the server-side deadline is cancelled and answered 504
+// Gateway Timeout (not 499, not 503), counted in requests_cancelled, and
+// leaves no cache entry.
+func TestServerSideDeadlineAnswers504(t *testing.T) {
+	s, ts := newTestServer(t, Config{RequestTimeout: time.Millisecond})
+	g := workload.ClimateMesh(64, 64, 3, 5)
+	up := uploadGraph(t, ts.URL, g)
+
+	body, err := json.Marshal(PartitionRequest{GraphID: up.GraphID, K: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := httptest.NewRequest("POST", "/v1/partition", bytes.NewReader(body))
+	r.Header.Set("Content-Type", "application/json")
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, r)
+	if w.Code != 504 {
+		t.Fatalf("deadline-exceeded partition status %d, want 504", w.Code)
+	}
+	st := serverStats(t, ts.URL)
+	if st.RequestsCancelled == 0 {
+		t.Fatal("deadline expiry not counted in requests_cancelled")
+	}
+	if st.RequestsShed != 0 {
+		t.Fatal("deadline expiry miscounted as a capacity shed")
+	}
+	if st.CacheEntries != 0 {
+		t.Fatal("deadline-cancelled run left a cache entry")
+	}
+}

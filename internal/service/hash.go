@@ -16,26 +16,13 @@ import (
 // list — construction order never matters. Weights participate in the
 // hash, so a reweighted instance is a distinct cache identity: repartition
 // chains (day → dusk → night) each get their own cached result.
+//
+// The fingerprint is graph.ContentHash — the same identity the Instance
+// session API reports — so ids derived by the server's incremental path
+// (which re-hashes only the weight half) and ids derived by external
+// verifiers hashing a materialized graph always agree.
 func GraphHash(g *graph.Graph) string {
-	h := sha256.New()
-	var buf [8]byte
-	u64 := func(x uint64) {
-		binary.LittleEndian.PutUint64(buf[:], x)
-		h.Write(buf[:])
-	}
-	f64 := func(f float64) { u64(math.Float64bits(f)) }
-	u64(uint64(g.N()))
-	u64(uint64(g.M()))
-	for _, w := range g.Weight {
-		f64(w)
-	}
-	us, vs, cs := g.SortedEdgeList()
-	for i := range us {
-		u64(uint64(uint32(us[i])))
-		u64(uint64(uint32(vs[i])))
-		f64(cs[i])
-	}
-	return fmt.Sprintf("g-%x", h.Sum(nil)[:16])
+	return graph.ContentHash(g)
 }
 
 // OptionsKey canonicalizes the result-relevant pipeline options. The

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -20,8 +21,13 @@ var errShuttingDown = errors.New("service: server shutting down")
 
 // job is one partition request admitted to the batch scheduler.
 type job struct {
+	// ctx is the admitting request's context: a client disconnect or
+	// deadline cancels the job — before execution it is dropped at drain
+	// time, during execution it aborts the pipeline at its next checkpoint
+	// (for grouped jobs, only once every member's context is done).
+	ctx context.Context
 	g   *graph.Graph
-	opt repro.Options // result-relevant options; Parallelism is scheduler-owned
+	opt repro.Options // result-relevant options; Parallelism is engine-owned
 
 	done chan struct{}
 	res  repro.Result
@@ -29,22 +35,31 @@ type job struct {
 }
 
 // scheduler admission-queues independent partition jobs and drains them in
-// groups onto repro.PartitionBatch — the throughput path under load: one
-// HTTP request per instance, but pipeline executions fanned across the
-// worker pool batch-wise instead of goroutine-per-request.
+// groups onto Engine.Batch — the throughput path under load: one HTTP
+// request per instance, but pipeline executions fanned across the worker
+// pool batch-wise instead of goroutine-per-request.
 //
-// PartitionBatch takes a single Options for all instances, so each drained
-// batch is grouped by OptionsKey and executed one group at a time; within
-// a group, per-instance failures come back through repro.BatchError and
-// are routed to exactly the jobs that failed.
+// Batch takes a single Options for all instances, so each drained batch is
+// grouped by OptionsKey and executed one group at a time; within a group,
+// per-instance failures come back through repro.BatchError and are routed
+// to exactly the jobs that failed.
+//
+// Cancellation: a job whose request context is already done when its batch
+// drains is failed with that context's error without executing. A group in
+// flight runs under a context that cancels only when every member's
+// request context has been cancelled — one disconnecting client must not
+// abort work other clients still wait on — while a lone job runs directly
+// under its request context, so single-request cancellation reaches the
+// pipeline immediately.
 type scheduler struct {
 	queue    chan *job
 	window   time.Duration
 	maxBatch int
-	par      int
+	eng      *repro.Engine
 
-	batches      int64 // drained PartitionBatch executions
+	batches      int64 // drained batch executions
 	jobsExecuted int64
+	jobsDropped  int64 // jobs failed unexecuted because their ctx was done
 
 	// mu orders submit against close: a submit holding the read lock has
 	// either observed stopped (and rejected) or finished its enqueue before
@@ -57,7 +72,7 @@ type scheduler struct {
 	wg   sync.WaitGroup
 }
 
-func newScheduler(queueDepth, maxBatch int, window time.Duration, parallelism int) *scheduler {
+func newScheduler(queueDepth, maxBatch int, window time.Duration, eng *repro.Engine) *scheduler {
 	if queueDepth < 1 {
 		queueDepth = 1
 	}
@@ -68,7 +83,7 @@ func newScheduler(queueDepth, maxBatch int, window time.Duration, parallelism in
 		queue:    make(chan *job, queueDepth),
 		window:   window,
 		maxBatch: maxBatch,
-		par:      parallelism,
+		eng:      eng,
 		stop:     make(chan struct{}),
 	}
 	s.wg.Add(1)
@@ -161,11 +176,41 @@ func (s *scheduler) failQueued() {
 	}
 }
 
+// groupContext derives the execution context of a multi-job group: it is
+// cancelled once *every* member's request context is done (one client
+// disconnecting must not abort a batch other clients still wait on), and
+// released early via the returned stop function when the group finishes
+// first, so the watcher goroutines never outlive the batch.
+func groupContext(js []*job) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	pending := int32(len(js))
+	for _, j := range js {
+		go func(done <-chan struct{}) {
+			select {
+			case <-done:
+				if atomic.AddInt32(&pending, -1) == 0 {
+					cancel()
+				}
+			case <-ctx.Done():
+			}
+		}(j.ctx.Done())
+	}
+	return ctx, cancel
+}
+
 // run executes one admitted batch, grouped by options identity.
 func (s *scheduler) run(batch []*job) {
 	groups := make(map[string][]*job)
 	var order []string
 	for _, j := range batch {
+		// Drop jobs whose client is already gone: shed accounting at the
+		// HTTP layer distinguishes these (499) from capacity sheds (503).
+		if err := j.ctx.Err(); err != nil {
+			j.err = err
+			atomic.AddInt64(&s.jobsDropped, 1)
+			close(j.done)
+			continue
+		}
 		key := OptionsKey(j.opt)
 		if _, ok := groups[key]; !ok {
 			order = append(order, key)
@@ -177,12 +222,11 @@ func (s *scheduler) run(batch []*job) {
 		if len(js) == 1 {
 			// A lone job gains nothing from instance-level fan-out (the
 			// batch facade pins inner runs sequential); give it the
-			// intra-pipeline parallel engine instead. The coloring is
-			// identical either way per the core determinism contract.
+			// intra-pipeline parallel engine instead, directly under its
+			// request context. The coloring is identical either way per
+			// the core determinism contract.
 			j := js[0]
-			opt := j.opt
-			opt.Parallelism = s.par
-			j.res, j.err = repro.PartitionWithOptions(j.g, opt)
+			j.res, j.err = s.eng.PartitionWithOptions(j.ctx, j.g, j.opt)
 			atomic.AddInt64(&s.batches, 1)
 			atomic.AddInt64(&s.jobsExecuted, 1)
 			close(j.done)
@@ -192,9 +236,9 @@ func (s *scheduler) run(batch []*job) {
 		for i, j := range js {
 			gs[i] = j.g
 		}
-		opt := js[0].opt
-		opt.Parallelism = s.par
-		results, err := repro.PartitionBatch(gs, opt)
+		gctx, release := groupContext(js)
+		results, err := s.eng.Batch(gctx, gs, js[0].opt)
+		release()
 		atomic.AddInt64(&s.batches, 1)
 		atomic.AddInt64(&s.jobsExecuted, int64(len(js)))
 		var be *repro.BatchError

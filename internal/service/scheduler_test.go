@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
@@ -13,7 +14,7 @@ import (
 
 func submitAndWait(t *testing.T, s *scheduler, g *graph.Graph, opt repro.Options) *job {
 	t.Helper()
-	j := &job{g: g, opt: opt, done: make(chan struct{})}
+	j := &job{ctx: context.Background(), g: g, opt: opt, done: make(chan struct{})}
 	if err := s.submit(j); err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +23,7 @@ func submitAndWait(t *testing.T, s *scheduler, g *graph.Graph, opt repro.Options
 }
 
 func TestSchedulerExecutesMixedOptionGroups(t *testing.T) {
-	s := newScheduler(64, 16, time.Millisecond, 2)
+	s := newScheduler(64, 16, time.Millisecond, repro.NewEngine(repro.WithParallelism(2)))
 	defer s.close()
 
 	gA := workload.ClimateMesh(12, 12, 3, 1)
@@ -41,7 +42,7 @@ func TestSchedulerExecutesMixedOptionGroups(t *testing.T) {
 		{gB, repro.Options{K: 6}},
 	} {
 		go func(g *graph.Graph, opt repro.Options, i int) {
-			j := &job{g: g, opt: opt, done: make(chan struct{})}
+			j := &job{ctx: context.Background(), g: g, opt: opt, done: make(chan struct{})}
 			if err := s.submit(j); err != nil {
 				j.err = err
 				close(j.done)
@@ -68,7 +69,7 @@ func TestSchedulerExecutesMixedOptionGroups(t *testing.T) {
 }
 
 func TestSchedulerMatchesStandaloneRun(t *testing.T) {
-	s := newScheduler(8, 4, 0, 1)
+	s := newScheduler(8, 4, 0, repro.NewEngine(repro.WithParallelism(1)))
 	defer s.close()
 	g := workload.ClimateMesh(16, 16, 3, 5)
 	opt := repro.Options{K: 8}
@@ -76,7 +77,7 @@ func TestSchedulerMatchesStandaloneRun(t *testing.T) {
 	if j.err != nil {
 		t.Fatal(j.err)
 	}
-	solo, err := repro.PartitionWithOptions(g, repro.Options{K: 8, Parallelism: 1})
+	solo, err := repro.NewEngine().PartitionWithOptions(context.Background(), g, repro.Options{K: 8, Parallelism: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestSchedulerMatchesStandaloneRun(t *testing.T) {
 }
 
 func TestSchedulerPerInstanceErrors(t *testing.T) {
-	s := newScheduler(8, 4, 0, 1)
+	s := newScheduler(8, 4, 0, repro.NewEngine(repro.WithParallelism(1)))
 	defer s.close()
 	g := workload.ClimateMesh(8, 8, 2, 1)
 	// Invalid P fails inside the pipeline, after admission: the job must
@@ -102,19 +103,19 @@ func TestSchedulerPerInstanceErrors(t *testing.T) {
 func TestSchedulerAdmissionControl(t *testing.T) {
 	// A scheduler that can never drain (closed immediately) with a tiny
 	// queue: the overflow submit must fail fast with errQueueFull.
-	s := newScheduler(1, 1, time.Hour, 1)
+	s := newScheduler(1, 1, time.Hour, repro.NewEngine(repro.WithParallelism(1)))
 	// Stall the drain loop with a job it will gather forever (window 1h,
 	// maxBatch 1 means it executes immediately — so instead saturate the
 	// queue while the loop is busy). Use a graph big enough to occupy it.
 	big := workload.ClimateMesh(48, 48, 3, 1)
-	first := &job{g: big, opt: repro.Options{K: 16}, done: make(chan struct{})}
+	first := &job{ctx: context.Background(), g: big, opt: repro.Options{K: 16}, done: make(chan struct{})}
 	if err := s.submit(first); err != nil {
 		t.Fatal(err)
 	}
 	// Fill the queue slot and then overflow it.
 	var sawFull bool
 	for i := 0; i < 50; i++ {
-		j := &job{g: big, opt: repro.Options{K: 16}, done: make(chan struct{})}
+		j := &job{ctx: context.Background(), g: big, opt: repro.Options{K: 16}, done: make(chan struct{})}
 		if err := s.submit(j); err != nil {
 			if !errors.Is(err, errQueueFull) {
 				t.Fatalf("overflow error = %v, want errQueueFull", err)
@@ -130,9 +131,9 @@ func TestSchedulerAdmissionControl(t *testing.T) {
 }
 
 func TestSchedulerShutdownFailsQueued(t *testing.T) {
-	s := newScheduler(4, 4, 0, 1)
+	s := newScheduler(4, 4, 0, repro.NewEngine(repro.WithParallelism(1)))
 	s.close()
-	j := &job{g: workload.ClimateMesh(4, 4, 2, 1), opt: repro.Options{K: 2}, done: make(chan struct{})}
+	j := &job{ctx: context.Background(), g: workload.ClimateMesh(4, 4, 2, 1), opt: repro.Options{K: 2}, done: make(chan struct{})}
 	if err := s.submit(j); !errors.Is(err, errShuttingDown) {
 		t.Fatalf("submit after close = %v, want errShuttingDown", err)
 	}

@@ -3,17 +3,18 @@
 // paper motivates (scientific meshes whose vertex weights drift with the
 // day/night cycle, re-decomposed continuously for load balancing).
 //
-// Architecture (DESIGN.md §6):
+// Architecture (DESIGN.md §6, §8):
 //
 //   - POST /v1/graphs     — upload an instance (textual graph format);
 //     the canonical content hash becomes its id.
 //   - POST /v1/partition  — decompose an instance. Results are cached in
 //     an LRU keyed by graph-hash × options; concurrent identical misses
 //     are coalesced into one pipeline run; distinct misses are
-//     admission-queued and drained batch-wise onto repro.PartitionBatch.
+//     admission-queued and drained batch-wise onto Engine.Batch.
 //   - POST /v1/repartition — incremental path: a vertex-weight delta
-//     against a cached instance resumes the pipeline from the prior
-//     coloring (repro.Repartition) and reports the migration volume.
+//     against a cached instance resumes the pipeline through a per-
+//     (graph, options) repro.Instance session, which carries the drift
+//     chain's coloring and topology hash digest across requests.
 //   - GET /v1/stats, /v1/healthz — observability.
 //
 // Serving invariants:
@@ -31,9 +32,14 @@
 //     balance and boundary guarantees are identical either way, but
 //     byte-level reproducibility across evictions or restarts is not
 //     promised for keys first produced by /v1/repartition.
+//  5. Request contexts cancel work: a client disconnect or deadline
+//     aborts its pipeline run at the next checkpoint, is answered 499
+//     (disconnect) or 504 (deadline), counts as cancelled — never as a
+//     capacity shed — and never populates the cache or a session.
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -48,6 +54,12 @@ import (
 	"repro/internal/graph"
 )
 
+// statusClientClosedRequest is the nginx-convention status for a request
+// whose client disconnected before the response was ready. Nobody reads
+// the body; the code exists so the shed accounting can tell client
+// cancellations apart from capacity sheds (503).
+const statusClientClosedRequest = 499
+
 // Config tunes a Server. Zero values select the documented defaults.
 type Config struct {
 	// CacheSize is the result-cache capacity in entries (default 256).
@@ -55,7 +67,7 @@ type Config struct {
 	// GraphStoreSize is the uploaded-instance capacity (default 64).
 	GraphStoreSize int
 	// MaxBatch bounds how many queued jobs one scheduler drain hands to
-	// PartitionBatch (default 32).
+	// Engine.Batch (default 32).
 	MaxBatch int
 	// BatchWindow is how long the scheduler gathers companions for an
 	// admitted job before executing (default 2ms; negative means drain
@@ -74,11 +86,25 @@ type Config struct {
 	MaxGraphBytes int64
 	// MaxK rejects absurd part counts at the wire (default 65536).
 	MaxK int
+	// RequestTimeout, when positive, bounds every work request's context
+	// with a server-side deadline: a pipeline still running when it
+	// expires is cancelled at its next checkpoint and answered 504 /
+	// counted in requests_cancelled. Client-side deadlines cannot produce
+	// 504 (an HTTP client that gives up just disconnects, which the
+	// server sees as a 499 cancellation), so this knob is what makes the
+	// deadline half of the accounting real. 0 means no server-side limit.
+	RequestTimeout time.Duration
 	// Clock is the time source for the request accounting in /v1/stats
 	// (default time.Now). Harnesses inject a deterministic clock here so
 	// server-side busy-time accounting is reproducible; it never influences
 	// scheduling, only observability.
 	Clock func() time.Time
+	// Observer, when non-nil, receives pipeline progress callbacks (stage
+	// enter/leave, oracle calls, polish rounds) from every non-batched run
+	// the server executes — the hook the cancellation acceptance tests and
+	// metrics exporters attach to. Must be cheap and concurrency-safe; see
+	// repro.Observer.
+	Observer repro.Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -116,44 +142,67 @@ func (c Config) withDefaults() Config {
 // Handler, and Close when done (stops the batch scheduler).
 type Server struct {
 	cfg    Config
+	eng    *repro.Engine
 	mux    *http.ServeMux
 	graphs *lru[*graph.Graph]
 	cache  *lru[repro.Result]
 	flight *flightGroup
 	sched  *scheduler
 
+	// sessions holds the repartition Instances, keyed by base graph id ×
+	// options: each carries one drift chain's session state (current
+	// coloring, topology hash digest), so a chain pays the oracle
+	// construction and edge-list hash once instead of per request. Sized
+	// by GraphStoreSize, not CacheSize: every session pins a full graph,
+	// so the uploaded-instance knob is the one that bounds graph memory.
+	sessions *lru[*repro.Instance]
+
+	// digests caches the topology half of stored graphs' content hashes,
+	// so a repartition derives its target id from an O(N) weight re-hash
+	// instead of an O(M log M) edge re-sort.
+	digests *lru[graph.ContentDigest]
+
 	// repartSem bounds concurrent repartition pipeline executions — the
-	// incremental path runs in the handler (it resumes from a specific
+	// incremental path runs in the handler (it resumes from a session
 	// prior, so it cannot ride the batch scheduler), and invariant 3
 	// (shed at admission) must hold for it too.
 	repartSem chan struct{}
 
 	// deltaMemo maps baseGraphID + delta digest → derived graph id, so a
 	// repeated identical repartition can reach the result cache without
-	// cloning and re-hashing the whole graph (the delta digest is
+	// materializing the drifted weight field (the delta digest is
 	// proportional to the delta, not the instance).
 	deltaMemo *lru[string]
 
 	pipelineRuns int64
 
 	// Request accounting (atomic; exported via Stats): every request that
-	// reaches a handler, how many were shed with 503, and the summed
-	// handler occupancy measured with cfg.Clock.
-	requestsServed int64
-	requestsShed   int64
-	busyNS         int64
+	// reaches a handler, how many were shed with 503 (capacity), how many
+	// ended 499/504 (client-cancelled or deadline-exceeded), and the
+	// summed handler occupancy measured with cfg.Clock.
+	requestsServed    int64
+	requestsShed      int64
+	requestsCancelled int64
+	busyNS            int64
 }
 
 // New builds a Server with the given configuration.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	eng := repro.NewEngine(
+		repro.WithParallelism(cfg.Parallelism),
+		repro.WithObserver(cfg.Observer),
+	)
 	s := &Server{
 		cfg:       cfg,
+		eng:       eng,
 		mux:       http.NewServeMux(),
 		graphs:    newLRU[*graph.Graph](cfg.GraphStoreSize),
 		cache:     newLRU[repro.Result](cfg.CacheSize),
 		flight:    newFlightGroup(),
-		sched:     newScheduler(cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow, cfg.Parallelism),
+		sched:     newScheduler(cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow, eng),
+		sessions:  newLRU[*repro.Instance](cfg.GraphStoreSize),
+		digests:   newLRU[graph.ContentDigest](cfg.GraphStoreSize),
 		repartSem: make(chan struct{}, cfg.RepartitionConcurrency),
 		deltaMemo: newLRU[string](cfg.CacheSize),
 	}
@@ -177,17 +226,26 @@ func (r *statusRecorder) WriteHeader(code int) {
 }
 
 // instrument wraps a work handler with the request accounting: request
-// count, 503 (shed) count, and handler occupancy measured with the
-// configured clock. Stats and healthz probes are left unwrapped so the
-// counters reflect decomposition traffic only.
+// count, 503 (capacity shed) count, 499/504 (client-cancelled) count, and
+// handler occupancy measured with the configured clock. Stats and healthz
+// probes are left unwrapped so the counters reflect decomposition traffic
+// only.
 func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := s.cfg.Clock()
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r)
 		atomic.AddInt64(&s.requestsServed, 1)
-		if rec.status == http.StatusServiceUnavailable {
+		switch rec.status {
+		case http.StatusServiceUnavailable:
 			atomic.AddInt64(&s.requestsShed, 1)
+		case statusClientClosedRequest, http.StatusGatewayTimeout:
+			atomic.AddInt64(&s.requestsCancelled, 1)
 		}
 		atomic.AddInt64(&s.busyNS, s.cfg.Clock().Sub(start).Nanoseconds())
 	}
@@ -218,13 +276,36 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
+// preferCallerCtxErr rewrites a run's cancellation error to the caller's
+// own context error when the caller's context is what died. The flight
+// and group execution contexts report plain cancellation whichever way
+// the last member left; this restores the per-member distinction the
+// accounting documents — a member whose deadline expired is answered 504,
+// a disconnected one 499 — and leaves non-context errors untouched.
+func preferCallerCtxErr(ctx context.Context, err error) error {
+	if err == nil || (!errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded)) {
+		return err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
 // writeError maps an error to its HTTP status and a JSON error body.
+// Context errors get the cancellation statuses — 499 for a disconnected
+// client (nobody reads it; the status feeds the cancelled counter), 504
+// for a missed deadline — so they are never mistaken for capacity sheds.
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var he *httpError
 	switch {
 	case errors.As(err, &he):
 		status = he.status
+	case errors.Is(err, context.Canceled):
+		status = statusClientClosedRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
 	case errors.Is(err, errQueueFull), errors.Is(err, errShuttingDown):
 		status = http.StatusServiceUnavailable
 	}
@@ -233,11 +314,25 @@ func writeError(w http.ResponseWriter, err error) {
 	_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 }
 
-// storeGraph registers g under its content hash and returns the id.
+// storeGraph registers g under its content hash, retaining the topology
+// digest so later reweightings of the same instance re-hash in O(N).
 func (s *Server) storeGraph(g *graph.Graph) string {
-	id := GraphHash(g)
+	d := graph.NewContentDigest(g)
+	id := d.HashWeights(g.Weight)
 	s.graphs.put(id, g)
+	s.digests.put(id, d)
 	return id
+}
+
+// digestOf returns the cached topology digest of a stored graph, computing
+// and retaining it when the digest was evicted but the graph was not.
+func (s *Server) digestOf(id string, g *graph.Graph) graph.ContentDigest {
+	if d, ok := s.digests.peek(id); ok {
+		return d
+	}
+	d := graph.NewContentDigest(g)
+	s.digests.put(id, d)
+	return d
 }
 
 // checkFinite rejects instances with infinite weights or costs.
@@ -324,22 +419,26 @@ func (s *Server) requestOptions(k int, p float64) (repro.Options, error) {
 }
 
 // partition serves one (graph, options) query through the cache →
-// coalesce → batch-schedule path. It returns the result plus how it was
-// obtained.
-func (s *Server) partition(g *graph.Graph, id string, opt repro.Options, noCache bool) (repro.Result, bool, bool, error) {
+// coalesce → batch-schedule path under the request's context. It returns
+// the result plus how it was obtained.
+func (s *Server) partition(ctx context.Context, g *graph.Graph, id string, opt repro.Options, noCache bool) (repro.Result, bool, bool, error) {
 	key := requestKey(id, opt)
 	if !noCache {
 		if res, ok := s.cache.get(key); ok {
 			return res, true, false, nil
 		}
 	}
-	res, err, coalesced := s.flight.do(key, func() (repro.Result, error) {
-		j := &job{g: g, opt: opt, done: make(chan struct{})}
+	res, err, coalesced := s.flight.do(ctx, key, func(execCtx context.Context) (repro.Result, error) {
+		// The job runs under the flight's execution context: it dies only
+		// when every coalesced participant has gone, so one disconnecting
+		// client never aborts a run others still wait on.
+		j := &job{ctx: execCtx, g: g, opt: opt, done: make(chan struct{})}
 		if err := s.sched.submit(j); err != nil {
 			return repro.Result{}, err
 		}
 		<-j.done
 		if j.err != nil {
+			// A cancelled run never reaches the cache (invariant 5).
 			return repro.Result{}, j.err
 		}
 		atomic.AddInt64(&s.pipelineRuns, 1)
@@ -370,9 +469,9 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	res, cached, coalesced, err := s.partition(g, id, opt, req.NoCache)
+	res, cached, coalesced, err := s.partition(r.Context(), g, id, opt, req.NoCache)
 	if err != nil {
-		writeError(w, err)
+		writeError(w, preferCallerCtxErr(r.Context(), err))
 		return
 	}
 	resp := PartitionResponse{
@@ -390,38 +489,57 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// applyDelta materializes the reweighted instance of a repartition
-// request: a clone of base with the delta folded into its weights.
-func applyDelta(base *graph.Graph, req *RepartitionRequest) (*graph.Graph, error) {
-	h := base.Clone()
-	if req.Weights != nil {
-		if len(req.Weights) != h.N() {
-			return nil, badRequest("weights length %d != n %d", len(req.Weights), h.N())
-		}
-		copy(h.Weight, req.Weights)
-	}
+// deltaWeights materializes the drifted weight field of a repartition
+// request via repro.Delta.Materialize — one definition of the delta
+// semantics (Weights, then Set, then Scale, always relative to the
+// *named base instance*, so request meaning never depends on what the
+// session has absorbed since). The base graph is never touched.
+func deltaWeights(base *graph.Graph, req *RepartitionRequest) ([]float64, error) {
+	d := repro.Delta{Weights: req.Weights}
 	for _, u := range req.Set {
-		if u.V < 0 || int(u.V) >= h.N() {
-			return nil, badRequest("set: vertex %d out of range [0, %d)", u.V, h.N())
-		}
-		h.Weight[u.V] = u.W
+		d.Set = append(d.Set, repro.WeightChange{V: u.V, W: u.W})
 	}
 	for _, u := range req.Scale {
-		if u.V < 0 || int(u.V) >= h.N() {
-			return nil, badRequest("scale: vertex %d out of range [0, %d)", u.V, h.N())
-		}
-		h.Weight[u.V] *= u.W
+		d.Scale = append(d.Scale, repro.WeightChange{V: u.V, W: u.W})
 	}
-	for v, wt := range h.Weight {
-		if wt < 0 || math.IsNaN(wt) || math.IsInf(wt, 0) {
-			return nil, badRequest("vertex %d has invalid weight %v after delta", v, wt)
-		}
+	w, err := d.Materialize(base)
+	if err != nil {
+		return nil, badRequest("%v", err)
 	}
-	return h, nil
+	return w, nil
 }
 
-// handleRepartition serves POST /v1/repartition: the incremental path.
+// session returns the repartition Instance for (base graph × options),
+// minting one on first use. A fresh session adopts the cached base-result
+// coloring when one exists, so it resumes exactly where the old ad-hoc
+// prior lookup would have. Concurrent first requests may briefly race two
+// instances for one key; the LRU keeps the last, and correctness never
+// depends on which one served a request.
+func (s *Server) session(sessKey, baseID string, base *graph.Graph, opt repro.Options) (*repro.Instance, error) {
+	if inst, ok := s.sessions.peek(sessKey); ok {
+		return inst, nil
+	}
+	inst, err := s.eng.NewInstance(base, opt)
+	if err != nil {
+		return nil, err
+	}
+	if prior, ok := s.cache.peek(requestKey(baseID, opt)); ok {
+		// Ignore adoption errors: a stale or mismatched prior just means a
+		// cold start, which Instance.Repartition handles.
+		_ = inst.AdoptColoring(prior.Coloring)
+	}
+	s.sessions.put(sessKey, inst)
+	return inst, nil
+}
+
+// handleRepartition serves POST /v1/repartition: the incremental path,
+// rebuilt on Instance sessions. Per request it materializes the target
+// weight field (O(N)), derives the target id from the cached topology
+// digest (O(N) — never an O(M log M) re-sort), and on a cache miss runs
+// Instance.Repartition under the request's context, which resumes from
+// the session's drift-chain coloring.
 func (s *Server) handleRepartition(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
 	var req RepartitionRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxJSONBody())).Decode(&req); err != nil {
 		writeError(w, badRequest("decoding request: %v", err))
@@ -436,16 +554,20 @@ func (s *Server) handleRepartition(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	sessKey := requestKey(req.GraphID, opt)
 
-	// Resolve the derived instance. Fast path: an identical delta against
-	// the same base was seen before, so the memo names the derived graph
-	// without cloning or re-hashing anything instance-sized.
-	var next *graph.Graph
-	var nextID string
+	// Fast path: an identical delta against the same base was seen before
+	// and its result is still cached — answer without materializing
+	// anything instance-sized.
 	memoKey := req.GraphID + "|" + deltaDigest(&req)
+	var (
+		nextID  string
+		targetW []float64
+		next    *graph.Graph
+	)
 	if id, ok := s.deltaMemo.peek(memoKey); ok {
 		if g2, ok := s.graphs.peek(id); ok {
-			next, nextID = g2, id
+			nextID, next = id, g2
 		}
 	}
 	if next == nil {
@@ -455,22 +577,49 @@ func (s *Server) handleRepartition(w http.ResponseWriter, r *http.Request) {
 				fmt.Sprintf("unknown graph_id %q (uploads are LRU-evicted; re-upload)", req.GraphID)})
 			return
 		}
-		next, err = applyDelta(base, &req)
+		targetW, err = deltaWeights(base, &req)
 		if err != nil {
 			writeError(w, err)
 			return
 		}
-		nextID = s.storeGraph(next)
+		next = base.WithWeights(targetW)
+		nextID = s.digestOf(req.GraphID, base).HashWeights(targetW)
 		s.deltaMemo.put(memoKey, nextID)
 	}
 
-	prior, havePrior := s.cache.peek(requestKey(req.GraphID, opt))
-	coldStart := !havePrior
+	// Snapshot the prior the migration report is measured against: the
+	// session's current coloring, or the cached base result a fresh
+	// session would adopt.
+	var prior []int32
+	if inst, ok := s.sessions.peek(sessKey); ok {
+		prior = inst.Coloring()
+	}
+	if prior == nil {
+		if res, ok := s.cache.peek(requestKey(req.GraphID, opt)); ok {
+			prior = res.Coloring
+		}
+	}
+	coldStart := prior == nil
+
 	key := requestKey(nextID, opt)
 	res, cached := s.cache.get(key)
 	if !cached {
+		if targetW == nil {
+			// Memo fast path found the derived graph but its result was
+			// evicted: recover the weight field from the stored graph.
+			targetW = next.Weight
+		}
+		base, ok := s.graphs.get(req.GraphID)
+		if !ok {
+			// The base was evicted but the derived instance is resident
+			// (memo fast path). The session only needs the shared topology
+			// and the delta is already materialized as a full weight
+			// field, so the derived graph stands in for the base — the
+			// pre-session code served this path without base too.
+			base = next
+		}
 		var err error
-		res, err, _ = s.flight.do(key, func() (repro.Result, error) {
+		res, err, _ = s.flight.do(ctx, key, func(execCtx context.Context) (repro.Result, error) {
 			// Shed at admission, like the partition path's queue: bound
 			// how many incremental pipelines run at once.
 			select {
@@ -479,17 +628,14 @@ func (s *Server) handleRepartition(w http.ResponseWriter, r *http.Request) {
 			default:
 				return repro.Result{}, errQueueFull
 			}
-			var (
-				out repro.Result
-				err error
-			)
-			if havePrior {
-				out, err = repro.Repartition(next, withParallelism(opt, s.cfg.Parallelism), prior.Coloring)
-			} else {
-				// No prior to resume from: fall back to the full pipeline.
-				out, err = repro.PartitionWithOptions(next, withParallelism(opt, s.cfg.Parallelism))
-			}
+			inst, err := s.session(sessKey, req.GraphID, base, opt)
 			if err != nil {
+				return repro.Result{}, err
+			}
+			out, err := inst.Repartition(execCtx, repro.Delta{Weights: targetW})
+			if err != nil {
+				// Cancelled or failed: the session kept its prior state and
+				// no cache entry is written (invariant 5).
 				return repro.Result{}, err
 			}
 			atomic.AddInt64(&s.pipelineRuns, 1)
@@ -497,14 +643,27 @@ func (s *Server) handleRepartition(w http.ResponseWriter, r *http.Request) {
 			return out, nil
 		})
 		if err != nil {
-			writeError(w, err)
+			writeError(w, preferCallerCtxErr(ctx, err))
 			return
 		}
 	}
 
+	// (Re-)register the drifted instance under the derived id we are about
+	// to hand out — on every successful answer, cached repeats included,
+	// so the id stays addressable for chains and follow-up /v1/partition
+	// queries even after uploads evicted it. `next` shares the session
+	// topology and drifts swap fresh weight slices, so the stored snapshot
+	// can never be mutated. (Deliberately not inst.Hash()/inst.Graph(): a
+	// concurrent drift on the same session may already have advanced those
+	// past this request's state.)
+	s.graphs.put(nextID, next)
+	if d, ok := s.digests.peek(req.GraphID); ok {
+		s.digests.put(nextID, d)
+	}
+
 	var mig repro.Migration
-	if havePrior {
-		mig = repro.MigrationOf(next, prior.Coloring, res.Coloring)
+	if prior != nil && len(prior) == next.N() {
+		mig = repro.MigrationOf(next, prior, res.Coloring)
 	}
 	resp := RepartitionResponse{
 		GraphID:      nextID,
@@ -523,30 +682,27 @@ func (s *Server) handleRepartition(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// withParallelism returns opt with the scheduler's parallelism bound.
-func withParallelism(opt repro.Options, par int) repro.Options {
-	opt.Parallelism = par
-	return opt
-}
-
 // Stats returns the serving counters — the same snapshot /v1/stats
 // serializes, exported so in-process harnesses (internal/loadgen) can read
 // them without an HTTP round trip.
 func (s *Server) Stats() StatsResponse {
 	hits, misses, evictions := s.cache.counters()
 	return StatsResponse{
-		CacheHits:      hits,
-		CacheMisses:    misses,
-		CacheEvictions: evictions,
-		CacheEntries:   s.cache.len(),
-		GraphsStored:   s.graphs.len(),
-		Coalesced:      s.flight.coalescedCount(),
-		PipelineRuns:   atomic.LoadInt64(&s.pipelineRuns),
-		BatchesDrained: atomic.LoadInt64(&s.sched.batches),
-		JobsExecuted:   atomic.LoadInt64(&s.sched.jobsExecuted),
-		RequestsServed: atomic.LoadInt64(&s.requestsServed),
-		RequestsShed:   atomic.LoadInt64(&s.requestsShed),
-		BusyNS:         atomic.LoadInt64(&s.busyNS),
+		CacheHits:         hits,
+		CacheMisses:       misses,
+		CacheEvictions:    evictions,
+		CacheEntries:      s.cache.len(),
+		GraphsStored:      s.graphs.len(),
+		Sessions:          s.sessions.len(),
+		Coalesced:         s.flight.coalescedCount(),
+		PipelineRuns:      atomic.LoadInt64(&s.pipelineRuns),
+		BatchesDrained:    atomic.LoadInt64(&s.sched.batches),
+		JobsExecuted:      atomic.LoadInt64(&s.sched.jobsExecuted),
+		JobsDropped:       atomic.LoadInt64(&s.sched.jobsDropped),
+		RequestsServed:    atomic.LoadInt64(&s.requestsServed),
+		RequestsShed:      atomic.LoadInt64(&s.requestsShed),
+		RequestsCancelled: atomic.LoadInt64(&s.requestsCancelled),
+		BusyNS:            atomic.LoadInt64(&s.busyNS),
 	}
 }
 

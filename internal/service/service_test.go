@@ -305,10 +305,11 @@ func TestRepartitionRepeatIsCached(t *testing.T) {
 	if first.GraphID != second.GraphID {
 		t.Fatal("identical deltas produced different derived graph ids")
 	}
-	// Migration is reported identically: it compares the same prior to the
-	// same cached result.
-	if first.Migration != second.Migration {
-		t.Fatalf("migration changed on a cached repeat: %+v → %+v", first.Migration, second.Migration)
+	// Migration is measured against the session's pre-request coloring.
+	// The first repartition moved the session onto the drifted result, so
+	// the cached repeat implies no further data movement at all.
+	if second.Migration.Vertices != 0 || second.Migration.Weight != 0 {
+		t.Fatalf("cached repeat reported nonzero migration: %+v", second.Migration)
 	}
 }
 

@@ -85,7 +85,10 @@ type RepartitionRequest struct {
 	IncludeColoring bool `json:"include_coloring,omitempty"`
 }
 
-// MigrationWire mirrors repro.Migration.
+// MigrationWire mirrors repro.Migration. The prior it is measured against
+// is the repartition session's coloring as of this request — the
+// decomposition a deployment is currently running — so a cached repeat of
+// a drift the session already absorbed reports zero movement.
 type MigrationWire struct {
 	// Vertices is the number of vertices whose class changed versus the
 	// prior coloring.
@@ -155,18 +158,29 @@ type StatsResponse struct {
 	CacheEvictions int64 `json:"cache_evictions"`
 	CacheEntries   int   `json:"cache_entries"`
 	GraphsStored   int   `json:"graphs_stored"`
-	Coalesced      int64 `json:"coalesced"`
+	// Sessions counts live repartition Instance sessions (one per base
+	// graph × options drift chain).
+	Sessions  int   `json:"sessions"`
+	Coalesced int64 `json:"coalesced"`
 	// PipelineRuns counts completed pipeline executions (full or resumed);
 	// cache hits and coalesced waits do not increment it.
 	PipelineRuns int64 `json:"pipeline_runs"`
-	// BatchesDrained counts PartitionBatch executions by the scheduler.
+	// BatchesDrained counts batch executions by the scheduler.
 	BatchesDrained int64 `json:"batches_drained"`
 	JobsExecuted   int64 `json:"jobs_executed"`
+	// JobsDropped counts admitted jobs never executed because their
+	// request context was already cancelled at drain time.
+	JobsDropped int64 `json:"jobs_dropped"`
 	// RequestsServed counts requests that reached a work handler (upload,
 	// partition, repartition); stats and healthz probes are excluded.
 	RequestsServed int64 `json:"requests_served"`
-	// RequestsShed counts work requests answered 503 at admission.
+	// RequestsShed counts work requests answered 503 at admission —
+	// capacity sheds only; client cancellations are RequestsCancelled.
 	RequestsShed int64 `json:"requests_shed"`
+	// RequestsCancelled counts work requests that ended 499 (client
+	// disconnected mid-run) or 504 (request deadline exceeded): demand the
+	// server did not fail to serve, but that stopped wanting an answer.
+	RequestsCancelled int64 `json:"requests_cancelled"`
 	// BusyNS is the summed work-handler occupancy in nanoseconds, measured
 	// with the configured Clock.
 	BusyNS int64 `json:"busy_ns"`

@@ -1,6 +1,8 @@
 package splitter
 
 import (
+	"context"
+
 	"repro/internal/graph"
 )
 
@@ -26,20 +28,28 @@ func NewRefined(g *graph.Graph, inner Splitter) *Refined {
 	return &Refined{G: g, Inner: inner, Passes: 4}
 }
 
-// Split implements Splitter.
-func (r *Refined) Split(W []int32, w []float64, target float64) []int32 {
-	U := r.Inner.Split(W, w, target)
+// Split implements Splitter. A done ctx short-circuits to nil before the
+// inner oracle runs, and skips the refinement passes if cancellation lands
+// between the inner call and the FM loop.
+func (r *Refined) Split(ctx context.Context, W []int32, w []float64, target float64) []int32 {
+	U := r.Inner.Split(ctx, W, w, target)
+	if U == nil || ctx.Err() != nil {
+		return nil
+	}
 	passes := r.Passes
 	if passes <= 0 {
 		passes = 4
 	}
-	return refine(r.G, W, U, w, target, passes)
+	return refine(ctx, r.G, W, U, w, target, passes)
 }
 
 // refine greedily applies improving moves. A move flips one vertex of W
 // between U and W\U. It is admissible if it strictly decreases the cut cost
-// of U inside G[W] and keeps |w(U) − target| ≤ ‖w|W‖∞/2.
-func refine(g *graph.Graph, W, U []int32, w []float64, target float64, passes int) []int32 {
+// of U inside G[W] and keeps |w(U) − target| ≤ ‖w|W‖∞/2. The move loop is
+// the oracle's only super-linear stretch, so it re-checks ctx per move —
+// that keeps the pipeline's cancellation latency bounded by one O(|W|)
+// scan even on instances where a full refinement pass is slow.
+func refine(ctx context.Context, g *graph.Graph, W, U []int32, w []float64, target float64, passes int) []int32 {
 	inW := make([]bool, g.N())
 	inU := make([]bool, g.N())
 	for _, v := range W {
@@ -99,6 +109,9 @@ func refine(g *graph.Graph, W, U []int32, w []float64, target float64, passes in
 		improved := false
 		moved := make(map[int32]bool)
 		for {
+			if ctx.Err() != nil {
+				return nil
+			}
 			var best int32 = -1
 			bestGain := 1e-12
 			for _, v := range W {

@@ -1,6 +1,8 @@
 package splitter
 
 import (
+	"context"
+
 	"repro/internal/grid"
 )
 
@@ -22,6 +24,9 @@ func NewGrid(gr *grid.Grid) *GridAdapter {
 }
 
 // Split implements Splitter.
-func (a *GridAdapter) Split(W []int32, w []float64, target float64) []int32 {
+func (a *GridAdapter) Split(ctx context.Context, W []int32, w []float64, target float64) []int32 {
+	if ctx.Err() != nil {
+		return nil
+	}
 	return a.Grid.SplitSubset(W, w, target).U
 }

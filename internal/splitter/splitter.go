@@ -18,6 +18,7 @@
 package splitter
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/graph"
@@ -29,6 +30,15 @@ import (
 // target into [0, w(W)], choosing U with small boundary cost inside G[W].
 // w is indexed by global vertex id; entries outside W are ignored.
 //
+// Cancellation: ctx is the decomposition run's context. An implementation
+// should return nil promptly once ctx is done — nil is the documented
+// "no progress" value, which every pipeline stage treats as a signal to
+// unwind, and the pipeline entry points (core.Decompose, core.Refine)
+// convert the unwound partial coloring into ctx.Err(). Implementations
+// whose single call is cheap (all in-tree ones are near-linear in |W|) may
+// simply check ctx once at entry; a long-running custom oracle should
+// check periodically.
+//
 // Concurrency: the core pipeline consults the oracle from multiple worker
 // goroutines at once whenever core.Options.Parallelism ≠ 1, so Split must
 // be safe for concurrent calls (with disjoint or overlapping W) as long as
@@ -38,7 +48,7 @@ import (
 // allocated per call) and satisfies this. A stateful implementation must
 // either synchronize internally or be constructed per goroutine.
 type Splitter interface {
-	Split(W []int32, w []float64, target float64) []int32
+	Split(ctx context.Context, W []int32, w []float64, target float64) []int32
 }
 
 // Order produces a vertex ordering of W used by the prefix splitter.
@@ -66,7 +76,10 @@ func NewByID(g *graph.Graph) *OrderedPrefix {
 }
 
 // Split implements Splitter.
-func (s *OrderedPrefix) Split(W []int32, w []float64, target float64) []int32 {
+func (s *OrderedPrefix) Split(ctx context.Context, W []int32, w []float64, target float64) []int32 {
+	if ctx.Err() != nil {
+		return nil
+	}
 	order := s.Order(s.G, W)
 	return BestPrefix(order, w, target)
 }

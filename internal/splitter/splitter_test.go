@@ -1,6 +1,7 @@
 package splitter
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -92,7 +93,7 @@ func TestOrderedPrefixWindowProperty(t *testing.T) {
 				total += w[v]
 			}
 			target := rng.Float64() * total
-			U := s.Split(W, w, target)
+			U := s.Split(context.Background(), W, w, target)
 			if !CheckWindow(U, W, w, target) {
 				t.Fatalf("trial %d: window violated", trial)
 			}
@@ -145,8 +146,8 @@ func TestRefinedImprovesOrKeeps(t *testing.T) {
 		base := NewByID(g)
 		refined := NewRefined(g, base)
 
-		U0 := base.Split(W, w, target)
-		U1 := refined.Split(W, w, target)
+		U0 := base.Split(context.Background(), W, w, target)
+		U1 := refined.Split(context.Background(), W, w, target)
 		if !CheckWindow(U1, W, w, target) {
 			t.Fatalf("trial %d: refined window violated", trial)
 		}
@@ -180,7 +181,7 @@ func TestGridAdapterWindowAndQuality(t *testing.T) {
 		total += w[v]
 	}
 	for _, frac := range []float64{0.2, 0.5, 0.8} {
-		U := s.Split(W, w, frac*total)
+		U := s.Split(context.Background(), W, w, frac*total)
 		if !CheckWindow(U, W, w, frac*total) {
 			t.Fatal("grid adapter window violated")
 		}
@@ -192,10 +193,10 @@ func TestRefinedEmptyAndFullTargets(t *testing.T) {
 	r := NewRefined(g, NewBFS(g))
 	W := allVerts(6)
 	w := g.Weight
-	if U := r.Split(W, w, 0); len(U) != 0 {
+	if U := r.Split(context.Background(), W, w, 0); len(U) != 0 {
 		t.Fatalf("target 0 gave %v", U)
 	}
-	if U := r.Split(W, w, 6); len(U) != 6 {
+	if U := r.Split(context.Background(), W, w, 6); len(U) != 6 {
 		t.Fatalf("target total gave %d vertices", len(U))
 	}
 }

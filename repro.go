@@ -12,32 +12,38 @@
 //   - the maximum boundary cost is O_p(σ_p·(k^{−1/p}·‖c‖_p + Δ_c)), where
 //     σ_p is the graph's p-splittability (Definition 3).
 //
-// Quick start:
+// The API is built around a long-lived Engine (policy: parallelism,
+// splitting-oracle factory, verification, observability) minting Instance
+// handles (per-graph session state: content hash, current coloring,
+// migration history). Every run takes a context.Context and cancels
+// mid-pipeline. Quick start:
 //
-//	gr := grid.MustBox(64, 64)                      // a 2-D grid instance
-//	res, err := repro.PartitionGrid(gr, 16)         // exact §6 oracle
+//	eng := repro.NewEngine()
+//	inst, err := eng.NewGridInstance(grid.MustBox(64, 64), 16)  // §6 oracle
+//	res, err := inst.Partition(ctx)
 //	// res.Coloring[v] ∈ [0,16), res.Stats.MaxBoundary, …
+//	res, err = inst.Repartition(ctx, repro.Delta{Scale: drift})  // warm resume
 //
-// or, for a general mesh-like graph:
+// or, one-shot for a general mesh-like graph:
 //
-//	res, err := repro.Partition(g, 16)              // BFS+FM oracle
+//	res, err := eng.Partition(ctx, g, 16)                       // BFS+FM oracle
 //
-// The full pipeline and every substrate live under internal/: see
-// DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction of the paper's bounds.
+// The stateless free functions (Partition, PartitionWithOptions,
+// PartitionGrid, PartitionBatch, Repartition) survive as deprecated
+// wrappers over a package-default Engine with context.Background(); new
+// code should construct an Engine. The full pipeline and every substrate
+// live under internal/: see DESIGN.md for the system inventory (§8 for
+// the Engine/Instance API) and EXPERIMENTS.md for the reproduction of the
+// paper's bounds.
 package repro
 
 import (
+	"context"
 	"fmt"
-	"math"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/grid"
-	"repro/internal/splitter"
 )
 
 // Options re-exports the pipeline configuration.
@@ -48,6 +54,10 @@ type Result = core.Result
 
 // Verification re-exports the audit report of a Result.
 type Verification = core.Verification
+
+// defaultEngine backs the deprecated free functions: a zero-policy Engine,
+// so every wrapper behaves exactly as the pre-Engine API did.
+var defaultEngine = NewEngine()
 
 // Verify audits a Result against the graph and options it was produced
 // under: completeness, Definition 1 strict balance, boundary consistency
@@ -62,92 +72,65 @@ func Verify(g *graph.Graph, opt Options, res Result, factor float64) Verificatio
 // Partition computes a strictly balanced k-coloring of g with small
 // maximum boundary cost, using the default FM-refined BFS splitting oracle
 // (suitable for bounded-degree mesh-like graphs).
+//
+// Deprecated: use Engine.Partition, which takes a context.Context and
+// carries deployment policy. This wrapper delegates to a package-default
+// Engine with context.Background(), so it can never be cancelled.
 func Partition(g *graph.Graph, k int) (Result, error) {
-	return core.Decompose(g, Options{K: k})
+	return defaultEngine.Partition(context.Background(), g, k)
 }
 
 // PartitionWithOptions runs the pipeline with explicit options.
+//
+// Deprecated: use Engine.PartitionWithOptions (cancellable, policy-aware).
 func PartitionWithOptions(g *graph.Graph, opt Options) (Result, error) {
-	return core.Decompose(g, opt)
+	return defaultEngine.PartitionWithOptions(context.Background(), g, opt)
 }
 
 // PartitionGrid partitions a d-dimensional grid graph using the paper's
 // exact GridSplit splitting oracle (Section 6, Theorem 19) with the
 // canonical exponent p = d/(d−1).
+//
+// Deprecated: use Engine.PartitionGrid, or Engine.NewGridInstance for
+// repeated queries on one grid.
 func PartitionGrid(gr *grid.Grid, k int) (Result, error) {
-	p := gr.P()
-	if math.IsInf(p, 1) {
-		p = 2
-	}
-	return core.Decompose(gr.G, Options{K: k, P: p, Splitter: splitter.NewGrid(gr)})
+	return defaultEngine.PartitionGrid(context.Background(), gr, k)
 }
 
-// PartitionBatch decomposes a slice of independent instances, fanning them
-// across a worker pool of opt.Parallelism goroutines (0 defaults to
-// runtime.GOMAXPROCS(0)) — the serving front-end for workloads that
-// partition many graphs at once. Each instance runs the full pipeline with
-// the given options but with intra-instance Parallelism pinned to 1:
-// instance-level fan-out already saturates the pool, and a sequential inner
-// run makes every result byte-identical to a standalone
-// PartitionWithOptions call with Parallelism 1.
+// PartitionBatch decomposes a slice of independent instances across a
+// worker pool; see Engine.Batch for the semantics (results indexed like
+// gs, per-instance failures aggregated in *BatchError).
 //
-// results[i] corresponds to gs[i]. If any instance fails, the returned
-// error is a *BatchError aggregating every per-instance failure by index;
-// entries whose instances failed are zero Results and the rest are valid,
-// so callers can salvage partial batches.
-//
-// opt.Splitter must be nil for batches: a splitter is bound to one graph,
-// so each instance builds its own default oracle. Pass a non-nil splitter
-// only via single-instance PartitionWithOptions.
+// Deprecated: use Engine.Batch, which additionally honors cancellation
+// (stops launching instances once ctx is done and reports the cancelled
+// entries as ctx.Err() inside the *BatchError).
 func PartitionBatch(gs []*graph.Graph, opt Options) ([]Result, error) {
-	if opt.Splitter != nil {
-		return nil, fmt.Errorf("repro: PartitionBatch requires a nil Splitter (oracles are bound to a single graph)")
-	}
-	// Same resolution rules as Options.Parallelism: 0 defaults to the
-	// machine width, negatives mean sequential.
-	workers := opt.Parallelism
-	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > len(gs) {
-		workers = len(gs)
-	}
-	inner := opt
-	inner.Parallelism = 1
-
-	results := make([]Result, len(gs))
-	errs := make([]error, len(gs))
-	var next int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= len(gs) {
-					return
-				}
-				results[i], errs[i] = core.Decompose(gs[i], inner)
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return results, &BatchError{Errs: errs}
-		}
-	}
-	return results, nil
+	return defaultEngine.Batch(context.Background(), gs, opt)
 }
 
-// BatchError aggregates the per-instance failures of a PartitionBatch run.
+// Repartition resumes the pipeline from a prior coloring of a (possibly
+// reweighted) graph — the incremental serving path. When vertex weights
+// drift between queries (the paper's climate motivation: per-region cost
+// changes "tremendously depending on day-time"), re-running only the
+// rebalance → bin-pack → polish stages from the previous coloring is much
+// cheaper than a fresh Decompose, skips the splitting-oracle recursion
+// entirely when the prior coloring is still strictly balanced, and keeps
+// vertices in their prior class wherever the balance window allows — so
+// the migration volume (see MigrationOf) tracks the size of the drift.
+// The result carries the same strict-balance guarantee as Partition.
+//
+// Deprecated: use Instance.Repartition, which reuses the session's cached
+// oracle and content-hash topology digest across the drift chain, or
+// Engine.Repartition for a one-shot cancellable resume.
+func Repartition(g *graph.Graph, opt Options, prior []int32) (Result, error) {
+	return defaultEngine.Repartition(context.Background(), g, opt, prior)
+}
+
+// BatchError aggregates the per-instance failures of a Batch run.
 // Errs is indexed like the input slice: Errs[i] is nil exactly when
 // instance i succeeded. errors.Is and errors.As traverse every non-nil
-// entry via Unwrap.
+// entry via Unwrap — a batch cut short by cancellation satisfies
+// errors.Is(err, context.Canceled).
 type BatchError struct {
 	Errs []error
 }
@@ -179,20 +162,6 @@ func (e *BatchError) Unwrap() []error {
 		}
 	}
 	return out
-}
-
-// Repartition resumes the pipeline from a prior coloring of a (possibly
-// reweighted) graph — the incremental serving path. When vertex weights
-// drift between queries (the paper's climate motivation: per-region cost
-// changes "tremendously depending on day-time"), re-running only the
-// rebalance → bin-pack → polish stages from the previous coloring is much
-// cheaper than a fresh Decompose, skips the splitting-oracle recursion
-// entirely when the prior coloring is still strictly balanced, and keeps
-// vertices in their prior class wherever the balance window allows — so
-// the migration volume (see MigrationOf) tracks the size of the drift.
-// The result carries the same strict-balance guarantee as Partition.
-func Repartition(g *graph.Graph, opt Options, prior []int32) (Result, error) {
-	return core.Refine(g, opt, prior)
 }
 
 // Migration quantifies how many vertices changed class between two

@@ -1,5 +1,11 @@
 package repro
 
+// These tests deliberately exercise the deprecated free-function wrappers
+// (Partition, PartitionWithOptions, PartitionGrid): they pin that each
+// wrapper still delegates to the package-default Engine with unchanged
+// behavior. Engine/Instance behavior proper is covered by cancel_test.go
+// and the layers above; new tests should use the Engine API.
+
 import (
 	"testing"
 
