@@ -169,6 +169,64 @@ func BenchmarkDecomposeParallel(b *testing.B) {
 	})
 }
 
+// ---- multilevel path ----
+
+// BenchmarkDecomposeMultilevel compares the direct pipeline against the
+// multilevel (coarsen → solve → project → refine) path on the acceptance
+// instance: a 1024×1024 grid (1M vertices, ~2M edges), k = 16, lognormal
+// weights, exact Section 6 oracle at the finest level. Each iteration
+// times one direct run and one multilevel run; ns/op covers the pair, and
+// the metrics report the wall-clock "speedup" (direct/ml, acceptance bar
+// ≥ 2, measured ≈ 4–5) and the "boundary_ratio" (ml/direct max boundary,
+// documented ≤ MLBoundaryFactor; in practice ≤ 1 here). Every multilevel
+// result is verified. The benchmark fails outright if the multilevel path
+// regresses to slower than direct — the CI smoke step runs one iteration
+// exactly for that guard.
+func BenchmarkDecomposeMultilevel(b *testing.B) {
+	gr := grid.MustBox(1024, 1024)
+	workload.ApplyFields(gr, workload.LognormalWeights(0.5), nil, 1)
+	eng := NewEngine()
+	opt := Options{K: 16, P: gr.P(), Splitter: splitter.NewGrid(gr)}
+	mlOpt := opt
+	mlOpt.Multilevel = &Multilevel{}
+
+	var directT, mlT time.Duration
+	var ratio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		direct, err := eng.PartitionWithOptions(context.Background(), gr.G, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		directT += time.Since(t0)
+		t0 = time.Now()
+		ml, err := eng.PartitionWithOptions(context.Background(), gr.G, mlOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mlT += time.Since(t0)
+		if v := Verify(gr.G, opt, ml, 20); !v.OK() {
+			b.Fatalf("multilevel result failed verification: %v", v.Errors)
+		}
+		if ml.Stats.MaxBoundary > MLBoundaryFactor*direct.Stats.MaxBoundary {
+			b.Fatalf("multilevel boundary %g exceeds %g× direct %g",
+				ml.Stats.MaxBoundary, MLBoundaryFactor, direct.Stats.MaxBoundary)
+		}
+		ratio = ml.Stats.MaxBoundary / direct.Stats.MaxBoundary
+	}
+	b.StopTimer()
+	if mlT > 0 {
+		speedup := directT.Seconds() / mlT.Seconds()
+		b.ReportMetric(speedup, "speedup")
+		b.ReportMetric(ratio, "boundary_ratio")
+		if speedup < 1 {
+			b.Fatalf("multilevel regressed to slower than direct: %.2fx (direct %v, ml %v)",
+				speedup, directT, mlT)
+		}
+	}
+}
+
 // ---- incremental path ----
 
 // driftFactors is the 4-step day/night cycle the drift benchmarks push

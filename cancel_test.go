@@ -223,7 +223,7 @@ func TestBatchCancellation(t *testing.T) {
 func TestObserverSeesFullRun(t *testing.T) {
 	type event struct {
 		kind  string
-		stage Stage
+		stage StageName
 	}
 	var (
 		events    []event
@@ -231,8 +231,8 @@ func TestObserverSeesFullRun(t *testing.T) {
 		polish    int32
 	)
 	obs := &funcObserver{
-		enter: func(s Stage) { events = append(events, event{"enter", s}) },
-		leave: func(s Stage, _ time.Duration) { events = append(events, event{"leave", s}) },
+		enter: func(s StageName) { events = append(events, event{"enter", s}) },
+		leave: func(s StageName, _ time.Duration) { events = append(events, event{"leave", s}) },
 		oracle: func(n int64) {
 			if n < atomic.LoadInt64(&oracleMax) {
 				t.Errorf("oracle total went backwards: %d", n)
@@ -248,7 +248,7 @@ func TestObserverSeesFullRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantOrder := []Stage{StageMultiBalance, StageAlmostStrict, StageStrictPack, StagePolish}
+	wantOrder := []StageName{StageMultiBalance, StageAlmostStrict, StageStrictPack, StagePolish}
 	if len(events) != 8 {
 		t.Fatalf("got %d stage events, want 8: %v", len(events), events)
 	}
@@ -267,13 +267,13 @@ func TestObserverSeesFullRun(t *testing.T) {
 
 // funcObserver adapts closures to the Observer interface for tests.
 type funcObserver struct {
-	enter       func(Stage)
-	leave       func(Stage, time.Duration)
+	enter       func(StageName)
+	leave       func(StageName, time.Duration)
 	oracle      func(int64)
 	polishRound func(int, bool)
 }
 
-func (f *funcObserver) StageEnter(s Stage)                  { f.enter(s) }
-func (f *funcObserver) StageLeave(s Stage, d time.Duration) { f.leave(s, d) }
-func (f *funcObserver) OracleCall(n int64)                  { f.oracle(n) }
-func (f *funcObserver) PolishRound(r int, i bool)           { f.polishRound(r, i) }
+func (f *funcObserver) StageEnter(s StageName)                  { f.enter(s) }
+func (f *funcObserver) StageLeave(s StageName, d time.Duration) { f.leave(s, d) }
+func (f *funcObserver) OracleCall(n int64)                      { f.oracle(n) }
+func (f *funcObserver) PolishRound(r int, i bool)               { f.polishRound(r, i) }

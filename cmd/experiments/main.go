@@ -6,10 +6,13 @@
 //
 //	experiments [-quick] [-only E4] [-json]
 //	experiments -batch 32 [-batchsize 48] [-k 16] [-par 0] [-json]
+//	experiments -multilevel [-sides 128,256,512] [-k 16] [-json]
 //
 // With -json the output is machine-readable: the experiment suite emits a
-// JSON array of tables, the batch harness a single throughput record —
-// the format the BENCH_*.json perf trajectory ingests.
+// JSON array of tables, the batch harness a single throughput record, and
+// the multilevel harness an array of per-size comparisons — the formats
+// the BENCH_*.json perf trajectory and the EXPERIMENTS.md multilevel
+// table ingest.
 package main
 
 import (
@@ -20,12 +23,15 @@ import (
 	"os"
 	"runtime"
 	"slices"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro"
 	"repro/internal/bench"
 	"repro/internal/graph"
+	"repro/internal/grid"
+	"repro/internal/splitter"
 	"repro/internal/workload"
 )
 
@@ -94,6 +100,82 @@ func (r batchReport) print() {
 	fmt.Printf("  speedup: %.2fx   colorings: identical\n", r.Speedup)
 }
 
+// mlReport is one row of the -multilevel comparison: the direct pipeline
+// versus the multilevel path on the same fixed-seed instance.
+type mlReport struct {
+	Family       string  `json:"family"`
+	Side         int     `json:"side"`
+	N            int     `json:"n"`
+	K            int     `json:"k"`
+	Levels       int     `json:"levels"`
+	DirectSecs   float64 `json:"direct_seconds"`
+	MLSecs       float64 `json:"ml_seconds"`
+	Speedup      float64 `json:"speedup"`
+	DirectMaxB   float64 `json:"direct_max_boundary"`
+	MLMaxB       float64 `json:"ml_max_boundary"`
+	BoundaryOver float64 `json:"boundary_ratio"`
+}
+
+// runMultilevel compares the direct and multilevel paths on the two
+// instance families of the paper (exact grids with the Section 6 oracle,
+// climate meshes with BFS+FM) at the given side lengths; the reported
+// rows regenerate the EXPERIMENTS.md multilevel table.
+func runMultilevel(sides []int, k int) ([]mlReport, error) {
+	eng := repro.NewEngine()
+	var out []mlReport
+	run := func(family string, side int, g *graph.Graph, opt repro.Options) error {
+		direct, err := eng.PartitionWithOptions(context.Background(), g, opt)
+		if err != nil {
+			return err
+		}
+		mlOpt := opt
+		mlOpt.Multilevel = &repro.Multilevel{}
+		ml, err := eng.PartitionWithOptions(context.Background(), g, mlOpt)
+		if err != nil {
+			return err
+		}
+		if v := repro.Verify(g, opt, ml, 20); !v.OK() {
+			return fmt.Errorf("%s: multilevel result failed verification: %v", family, v.Errors)
+		}
+		out = append(out, mlReport{
+			Family:       family,
+			Side:         side,
+			N:            g.N(),
+			K:            k,
+			Levels:       ml.Diag.Levels,
+			DirectSecs:   direct.Diag.Total.Seconds(),
+			MLSecs:       ml.Diag.Total.Seconds(),
+			Speedup:      direct.Diag.Total.Seconds() / ml.Diag.Total.Seconds(),
+			DirectMaxB:   direct.Stats.MaxBoundary,
+			MLMaxB:       ml.Stats.MaxBoundary,
+			BoundaryOver: ml.Stats.MaxBoundary / direct.Stats.MaxBoundary,
+		})
+		return nil
+	}
+	for _, side := range sides {
+		gr := grid.MustBox(side, side)
+		workload.ApplyFields(gr, workload.LognormalWeights(0.5), nil, 1)
+		if err := run("grid", side, gr.G, repro.Options{K: k, P: gr.P(), Splitter: splitter.NewGrid(gr)}); err != nil {
+			return nil, err
+		}
+		mesh := workload.ClimateMesh(side, side, 4, 1)
+		if err := run("climate", side, mesh, repro.Options{K: k}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func printML(rows []mlReport) {
+	fmt.Println("multilevel vs direct (fixed seeds; speedup = direct/ml wall clock)")
+	fmt.Printf("  %-8s %6s %9s %4s %7s %10s %10s %8s %9s\n",
+		"family", "side", "n", "lvl", "speedup", "direct_s", "ml_s", "∂ratio", "ml_max∂")
+	for _, r := range rows {
+		fmt.Printf("  %-8s %6d %9d %4d %6.2fx %10.3f %10.3f %8.3f %9.4g\n",
+			r.Family, r.Side, r.N, r.Levels, r.Speedup, r.DirectSecs, r.MLSecs, r.BoundaryOver, r.MLMaxB)
+	}
+}
+
 // exp is one registered experiment.
 type exp struct {
 	id string
@@ -125,8 +207,10 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment ids to run (e.g. E1,E4)")
 	batch := flag.Int("batch", 0, "instead of the experiment suite, run a batch of this many climate-mesh instances through PartitionBatch")
 	batchSize := flag.Int("batchsize", 48, "side length of each batch instance")
-	kFlag := flag.Int("k", 16, "number of parts for -batch")
+	kFlag := flag.Int("k", 16, "number of parts for -batch / -multilevel")
 	par := flag.Int("par", 0, "worker-pool bound for -batch (0 = GOMAXPROCS)")
+	multilevel := flag.Bool("multilevel", false, "instead of the experiment suite, compare the direct and multilevel paths")
+	sides := flag.String("sides", "128,256,512", "comma-separated instance side lengths for -multilevel")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	flag.Parse()
 
@@ -149,6 +233,29 @@ func main() {
 			emit(report)
 		} else {
 			report.print()
+		}
+		return
+	}
+
+	if *multilevel {
+		var sideList []int
+		for _, s := range strings.Split(*sides, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || v < 2 {
+				fmt.Fprintf(os.Stderr, "experiments: bad -sides entry %q\n", s)
+				os.Exit(2)
+			}
+			sideList = append(sideList, v)
+		}
+		rows, err := runMultilevel(sideList, *kFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			emit(rows)
+		} else {
+			printML(rows)
 		}
 		return
 	}

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	minmaxpart -k 8 [-p 2] [-in graph.txt] [-out coloring.txt] [-stats] [-verify]
+//	minmaxpart -k 8 [-p 2] [-multilevel] [-ml-min-vertices n] [-ml-max-levels n]
+//	           [-in graph.txt] [-out coloring.txt] [-stats] [-verify]
 //
 // The input format (see internal/graph):
 //
@@ -38,6 +39,9 @@ func main() {
 	out := flag.String("out", "", "output coloring file (default stdout)")
 	stats := flag.Bool("stats", false, "print balance and boundary statistics to stderr")
 	verify := flag.Bool("verify", false, "audit the result against every Theorem 4 guarantee")
+	multilevel := flag.Bool("multilevel", false, "use the multilevel (coarsen → solve → project → refine) path")
+	mlMinVerts := flag.Int("ml-min-vertices", 0, "multilevel coarsening floor (0 = default max(1024, 8k))")
+	mlMaxLevels := flag.Int("ml-max-levels", 0, "multilevel hierarchy depth cap (0 = default 24)")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel the pipeline mid-run instead of killing the
@@ -45,7 +49,12 @@ func main() {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
-	if err := run(ctx, *k, *p, *in, *out, *stats, *verify); err != nil {
+	var ml *core.Multilevel
+	if *multilevel || *mlMinVerts > 0 || *mlMaxLevels > 0 {
+		ml = &core.Multilevel{MinVertices: *mlMinVerts, MaxLevels: *mlMaxLevels}
+	}
+
+	if err := run(ctx, *k, *p, ml, *in, *out, *stats, *verify); err != nil {
 		if errors.Is(err, context.Canceled) {
 			fmt.Fprintln(os.Stderr, "minmaxpart: interrupted")
 			os.Exit(130)
@@ -55,7 +64,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, k int, p float64, inPath, outPath string, stats, verify bool) error {
+func run(ctx context.Context, k int, p float64, ml *core.Multilevel, inPath, outPath string, stats, verify bool) error {
 	var r io.Reader = os.Stdin
 	if inPath != "" {
 		f, err := os.Open(inPath)
@@ -70,7 +79,7 @@ func run(ctx context.Context, k int, p float64, inPath, outPath string, stats, v
 		return fmt.Errorf("reading graph: %w", err)
 	}
 
-	opt := core.Options{K: k, P: p}
+	opt := core.Options{K: k, P: p, Multilevel: ml}
 	res, err := core.Decompose(ctx, g, opt)
 	if err != nil {
 		return err
@@ -109,6 +118,10 @@ func run(ctx context.Context, k int, p float64, inPath, outPath string, stats, v
 			st.MaxBoundary, st.AvgBoundary)
 		fmt.Fprintf(os.Stderr, "theorem shape ‖c‖_p/k^{1/p}+‖c‖∞: %.6g\n",
 			core.TheoremBound(g, k, p))
+		if res.Diag.Levels > 0 {
+			fmt.Fprintf(os.Stderr, "multilevel: %d coarsening levels, coarsen %v\n",
+				res.Diag.Levels, res.Diag.Coarsen)
+		}
 		if res.UsedFallback {
 			fmt.Fprintln(os.Stderr, "note: chunked-greedy backstop was used")
 		}

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/grid"
 )
@@ -31,7 +32,7 @@ func TestRunPartitionsFile(t *testing.T) {
 	gr := grid.MustBox(8, 8)
 	in := writeGraphFile(t, gr.G)
 	out := filepath.Join(t.TempDir(), "coloring.txt")
-	if err := run(context.Background(), 4, 2, in, out, true, true); err != nil {
+	if err := run(context.Background(), 4, 2, nil, in, out, true, true); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -59,17 +60,46 @@ func TestRunPartitionsFile(t *testing.T) {
 	}
 }
 
+func TestRunMultilevel(t *testing.T) {
+	gr := grid.MustBox(16, 16)
+	in := writeGraphFile(t, gr.G)
+	out := filepath.Join(t.TempDir(), "coloring.txt")
+	// A floor below the instance size so the CLI path actually coarsens;
+	// -verify audits the result inside run.
+	ml := &core.Multilevel{MinVertices: 32}
+	if err := run(context.Background(), 4, 2, ml, in, out, true, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var coloring []int32
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		c, err := strconv.Atoi(sc.Text())
+		if err != nil {
+			t.Fatal(err)
+		}
+		coloring = append(coloring, int32(c))
+	}
+	if !graph.IsStrictlyBalanced(gr.G, coloring, 4) {
+		t.Fatal("multilevel CLI output not strictly balanced")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run(context.Background(), 2, 2, "/nonexistent/path", "", false, false); err == nil {
+	if err := run(context.Background(), 2, 2, nil, "/nonexistent/path", "", false, false); err == nil {
 		t.Fatal("expected error for missing input")
 	}
 	// Bad K propagates from core.
 	gr := grid.MustBox(3, 3)
 	in := writeGraphFile(t, gr.G)
-	if err := run(context.Background(), 0, 2, in, "", false, false); err == nil {
+	if err := run(context.Background(), 0, 2, nil, in, "", false, false); err == nil {
 		t.Fatal("expected error for k=0")
 	}
-	if err := run(context.Background(), 2, 0.5, in, "", false, false); err == nil {
+	if err := run(context.Background(), 2, 0.5, nil, in, "", false, false); err == nil {
 		t.Fatal("expected error for p<=1")
 	}
 }

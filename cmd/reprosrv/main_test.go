@@ -200,18 +200,18 @@ func TestServeClimatePartitionEndToEnd(t *testing.T) {
 type stageRecorder struct {
 	repro.NopObserver
 	mu     sync.Mutex
-	enters []repro.Stage
-	leaves []repro.Stage
+	enters []repro.StageName
+	leaves []repro.StageName
 	splits int64
 }
 
-func (r *stageRecorder) StageEnter(s repro.Stage) {
+func (r *stageRecorder) StageEnter(s repro.StageName) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.enters = append(r.enters, s)
 }
 
-func (r *stageRecorder) StageLeave(s repro.Stage, _ time.Duration) {
+func (r *stageRecorder) StageLeave(s repro.StageName, _ time.Duration) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.leaves = append(r.leaves, s)

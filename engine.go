@@ -23,17 +23,25 @@ type Observer = core.Observer
 // NopObserver re-exports the embeddable do-nothing Observer.
 type NopObserver = core.NopObserver
 
-// Stage re-exports the pipeline stage identifier used by Observer events.
-type Stage = core.Stage
+// StageName re-exports the pipeline stage identifier used by Observer
+// events. (The underlying core package also exposes the composable Stage
+// interface and Pipeline driver these names instrument; the facade keeps
+// policy-level knobs only — assemble custom pipelines against
+// internal/core directly.)
+type StageName = core.StageName
 
-// The pipeline stages, in the order a full Partition visits them; a
+// The pipeline stages, in the order a full direct Partition visits them; a
 // Repartition resumes at StageAlmostStrict (or straight at StagePolish
-// when the prior coloring is still strictly balanced).
+// when the prior coloring is still strictly balanced), and a multilevel
+// Partition opens with StageMultilevel/StageCoarsen before the per-level
+// inner pipelines replay the classic stages.
 const (
 	StageMultiBalance = core.StageMultiBalance
 	StageAlmostStrict = core.StageAlmostStrict
 	StageStrictPack   = core.StageStrictPack
 	StagePolish       = core.StagePolish
+	StageCoarsen      = core.StageCoarsen
+	StageMultilevel   = core.StageMultilevel
 )
 
 // SplitterFactory builds the splitting-set oracle an Engine binds to a
@@ -59,15 +67,22 @@ const (
 	VerifyResults
 )
 
+// Multilevel re-exports the multilevel-path configuration (coarsen →
+// solve → project → refine): set it per run via Options.Multilevel, or
+// engine-wide via WithMultilevel. The zero value selects every default.
+type Multilevel = core.Multilevel
+
 // Engine is the configured entry point of the decomposition API: construct
 // one per deployment (it is cheap and safe for concurrent use), then
 // partition graphs through it — one-shot via Partition / Batch, or
 // session-wise via NewInstance for repeated queries against the same
 // topology. An Engine carries policy only (parallelism, oracle factory,
-// verification, observability); all per-graph state lives in Instances.
+// multilevel path, verification, observability); all per-graph state lives
+// in Instances.
 type Engine struct {
 	par          int
 	factory      SplitterFactory
+	ml           *Multilevel
 	verify       VerifyPolicy
 	verifyFactor float64
 	obs          Observer
@@ -97,6 +112,19 @@ func WithSplitterFactory(f SplitterFactory) EngineOption {
 // interleaved events from fan-out instances cannot be attributed.
 func WithObserver(o Observer) EngineOption {
 	return func(e *Engine) { e.obs = o }
+}
+
+// WithMultilevel routes every full decomposition whose Options.Multilevel
+// is nil through the multilevel (coarsen → solve → project → refine) path
+// with the given configuration (the zero Multilevel selects the documented
+// defaults). The strict-balance guarantee is unchanged; boundary cost pays
+// a small documented factor for solving on the coarse proxy, and oracle-
+// bound instances get a large wall-clock win. Incremental resumes
+// (Repartition) are unaffected — they already start from a projected-
+// quality prior. Runs that set Options.Multilevel explicitly still win,
+// and Options.Measures is incompatible with the multilevel path.
+func WithMultilevel(m Multilevel) EngineOption {
+	return func(e *Engine) { e.ml = &m }
 }
 
 // WithVerification sets the result-auditing policy.
@@ -131,6 +159,18 @@ func (e *Engine) resolve(g *graph.Graph, opt Options) Options {
 	}
 	if opt.Splitter == nil && e.factory != nil {
 		opt.Splitter = e.factory(g)
+	}
+	if opt.SplitterFactory == nil && e.factory != nil {
+		// The multilevel path mints per-level oracles for the hierarchy's
+		// coarse graphs from this factory.
+		opt.SplitterFactory = e.factory
+	}
+	if opt.Multilevel == nil && e.ml != nil && len(opt.Measures) == 0 {
+		// Measures runs stay on the direct path: the multilevel path does
+		// not support them, and the engine-wide default must not turn a
+		// valid multi-balanced request into an error.
+		ml := *e.ml
+		opt.Multilevel = &ml
 	}
 	return opt
 }

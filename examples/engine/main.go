@@ -34,11 +34,11 @@ type progress struct {
 	oracleCalls atomic.Int64
 }
 
-func (p *progress) StageEnter(s repro.Stage) {
+func (p *progress) StageEnter(s repro.StageName) {
 	fmt.Printf("    → %-12s", s)
 }
 
-func (p *progress) StageLeave(s repro.Stage, took time.Duration) {
+func (p *progress) StageLeave(s repro.StageName, took time.Duration) {
 	fmt.Printf(" %8s  (oracle calls so far: %d)\n", took.Round(100*time.Microsecond), p.oracleCalls.Load())
 }
 

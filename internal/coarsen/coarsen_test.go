@@ -1,0 +1,125 @@
+package coarsen
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+func TestBuildShrinksDeterministically(t *testing.T) {
+	g := workload.ClimateMesh(48, 48, 4, 1)
+	opt := Options{MinVertices: 64}
+	h1, err := Build(context.Background(), g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h1.Levels) == 0 {
+		t.Fatal("no levels built for a 2304-vertex mesh with floor 64")
+	}
+	prev := g.N()
+	for i, con := range h1.Levels {
+		cn := con.Coarse.N()
+		if cn >= prev {
+			t.Fatalf("level %d did not shrink: %d → %d", i, prev, cn)
+		}
+		if err := con.Coarse.Validate(); err != nil {
+			t.Fatalf("level %d coarse graph invalid: %v", i, err)
+		}
+		if math.Abs(con.Coarse.TotalWeight()-g.TotalWeight()) > 1e-6 {
+			t.Fatalf("level %d lost weight", i)
+		}
+		prev = cn
+	}
+	if cn := h1.Coarsest().N(); cn > g.N() {
+		t.Fatalf("coarsest has %d vertices", cn)
+	}
+
+	// A pure function of the graph: the rebuilt hierarchy is identical.
+	h2, err := Build(context.Background(), g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h1.Levels) != len(h2.Levels) {
+		t.Fatalf("hierarchy depth differs between builds: %d vs %d", len(h1.Levels), len(h2.Levels))
+	}
+	for i := range h1.Levels {
+		if a, b := graph.ContentHash(h1.Levels[i].Coarse), graph.ContentHash(h2.Levels[i].Coarse); a != b {
+			t.Fatalf("level %d differs between builds: %s vs %s", i, a, b)
+		}
+	}
+}
+
+func TestBuildRespectsWeightCap(t *testing.T) {
+	g := workload.ClimateMesh(32, 32, 3, 2)
+	cap := 4 * g.TotalWeight() / float64(g.N()) // ~4 average vertices per cluster
+	h, err := Build(context.Background(), g, Options{MinVertices: 16, MaxWeight: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Merges respect the cap at match time, so no coarse vertex may weigh
+	// more than the cap unless it is a singleton that already exceeded it
+	// at the finest level.
+	limit := cap
+	if mw := g.MaxWeight(); mw > limit {
+		limit = mw
+	}
+	for i, con := range h.Levels {
+		for v, w := range con.Coarse.Weight {
+			if w > limit+1e-9 {
+				t.Fatalf("level %d vertex %d weight %g exceeds cap %g (max fine %g)", i, v, w, cap, g.MaxWeight())
+			}
+		}
+	}
+}
+
+func TestBuildHonorsFloorAndLevelCap(t *testing.T) {
+	g := workload.ClimateMesh(40, 40, 4, 3)
+	h, err := Build(context.Background(), g, Options{MinVertices: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := h.Coarsest().N(); n > 100 && len(h.Levels) == 24 {
+		t.Fatalf("stopped above the floor without exhausting levels: %d vertices", n)
+	}
+	// Every level but the last must still have been above the floor when
+	// its contraction was decided.
+	fine := g.N()
+	for i, con := range h.Levels {
+		if fine <= 100 {
+			t.Fatalf("level %d contracted a graph already at the floor (%d)", i, fine)
+		}
+		fine = con.Coarse.N()
+	}
+
+	h1, err := Build(context.Background(), g, Options{MinVertices: 100, MaxLevels: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h1.Levels) != 1 {
+		t.Fatalf("MaxLevels 1 built %d levels", len(h1.Levels))
+	}
+}
+
+func TestBuildCancelled(t *testing.T) {
+	g := workload.ClimateMesh(64, 64, 4, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Build(ctx, g, Options{MinVertices: 16}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestBuildTinyGraphIsEmptyHierarchy(t *testing.T) {
+	g := workload.ClimateMesh(4, 4, 2, 5)
+	h, err := Build(context.Background(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Levels) != 0 || h.Coarsest() != g {
+		t.Fatalf("16-vertex graph below the default floor built %d levels", len(h.Levels))
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"time"
 
 	"repro/internal/graph"
 	"repro/internal/measure"
@@ -46,6 +45,29 @@ type Options struct {
 	// Measures are additional vertex measures to balance alongside the
 	// vertex weights (the multi-balanced extension noted in Section 7).
 	Measures [][]float64
+
+	// Multilevel, when non-nil, selects the multilevel decomposition path:
+	// coarsen the graph by heavy-edge matching contraction, solve the
+	// coarsest level with the direct pipeline, then project the coloring
+	// down the hierarchy, refining at each level. Same strict-balance
+	// guarantee, typically a small constant-factor boundary premium, and a
+	// large wall-clock win on instances whose oracle calls dominate (the
+	// splitting recursion runs on the coarse proxy instead of the full
+	// graph). nil selects the direct path. Multilevel is incompatible with
+	// Measures (the coarse levels balance weight and π only) and is
+	// ignored by Refine, which already starts from a projected-quality
+	// prior. See Multilevel for the knobs and their defaults.
+	Multilevel *Multilevel
+
+	// SplitterFactory mints splitting oracles for derived graphs — the
+	// coarse levels of the multilevel hierarchy, whose graphs exist only
+	// inside the run (Splitter is bound to the input graph and cannot
+	// serve them). nil defaults to the FM-refined BFS prefix splitter.
+	// The factory must be safe for concurrent use when Parallelism ≠ 1;
+	// like Splitter and Observer it has no wire representation, and —
+	// because every in-tree factory is deterministic for a given graph —
+	// it is excluded from result-cache identity.
+	SplitterFactory func(g *graph.Graph) splitter.Splitter
 
 	// SkipBoundaryBalance disables the Proposition 7 boundary-balancing
 	// stage (ablation E10a): the coloring is still multi-balanced in
@@ -93,98 +115,24 @@ type Result struct {
 // balanced).
 //
 // ctx cancels the run: every stage polls it at its checkpoints (oracle
-// calls, pool work items, rebalance moves, polish rounds), the worker pool
-// drains itself, and Decompose returns ctx.Err() instead of a partial
-// Result. Cancellation is cooperative — the longest stretch between
-// checkpoints is one splitting-oracle call on the current subproblem.
+// calls, pool work items, rebalance moves, polish rounds, coarsening
+// sweeps), the worker pool drains itself, and Decompose returns ctx.Err()
+// instead of a partial Result. Cancellation is cooperative — the longest
+// stretch between checkpoints is one splitting-oracle call on the current
+// subproblem.
+//
+// Decompose is an assembly over the stage pipeline: DecomposePipeline
+// selects the direct or multilevel stage sequence from opt and Pipeline.Run
+// drives it. Callers composing their own sequences use those pieces
+// directly.
 func Decompose(ctx context.Context, g *graph.Graph, opt Options) (Result, error) {
-	if opt.K < 1 {
-		return Result{}, fmt.Errorf("core: K must be ≥ 1, got %d", opt.K)
+	if opt.Multilevel != nil && len(opt.Measures) > 0 {
+		// The coarse levels balance weight and π only; silently dropping a
+		// multi-balance request would return a coloring without the
+		// property the caller asked for.
+		return Result{}, fmt.Errorf("core: Multilevel does not support Measures (coarse levels balance weight only); use the direct path")
 	}
-	if g.N() == 0 {
-		return Result{Coloring: []int32{}, Stats: graph.ColoringStats{K: opt.K}}, nil
-	}
-	c, err := newCtx(ctx, g, opt)
-	if err != nil {
-		return Result{}, err
-	}
-	k := opt.K
-	var diag Diagnostics
-	diag.Parallelism = c.par
-	// The counter is shared by every pool worker that consults the oracle,
-	// hence atomic (countingSplitter documents the contract).
-	c.sp = countingSplitter{inner: c.sp, calls: &diag.SplitterCalls, obs: c.obs}
-	start := time.Now()
-
-	// Stage 1 (Proposition 7): weakly balanced in w, π and user measures,
-	// with bounded maximum boundary cost.
-	c.stageEnter(StageMultiBalance)
-	user := append([][]float64{g.Weight}, opt.Measures...)
-	var chi []int32
-	if opt.SkipBoundaryBalance {
-		ms := append([][]float64{c.pi}, user...)
-		chi = c.multiBalanced(k, ms)
-	} else {
-		chi = c.minMaxBalanced(k, user)
-	}
-	diag.MultiBalance = time.Since(start)
-	c.stageLeave(StageMultiBalance, diag.MultiBalance)
-	if err := c.run.Err(); err != nil {
-		return Result{}, err
-	}
-
-	// Stage 2 (Proposition 11): almost strictly balanced.
-	mark := time.Now()
-	c.stageEnter(StageAlmostStrict)
-	if !opt.SkipShrink {
-		chi = c.almostStrict(chi, k, opt.PaperShrink)
-	}
-	diag.AlmostStrict = time.Since(mark)
-	c.stageLeave(StageAlmostStrict, diag.AlmostStrict)
-	if err := c.run.Err(); err != nil {
-		return Result{}, err
-	}
-
-	// Stage 3 (Proposition 12): strictly balanced.
-	mark = time.Now()
-	c.stageEnter(StageStrictPack)
-	chi = c.binPack2(chi, k)
-	diag.StrictPack = time.Since(mark)
-	c.stageLeave(StageStrictPack, diag.StrictPack)
-	if err := c.run.Err(); err != nil {
-		return Result{}, err
-	}
-
-	// Final polish: strictness-preserving greedy boundary reduction.
-	mark = time.Now()
-	c.stageEnter(StagePolish)
-	if !opt.SkipPolish && graph.IsStrictlyBalanced(g, chi, k) {
-		chi = c.polish(chi, k, 3)
-	}
-	diag.Polish = time.Since(mark)
-	c.stageLeave(StagePolish, diag.Polish)
-	diag.Total = time.Since(start)
-
-	res := Result{Coloring: chi, Diag: diag}
-	res.Stats = graph.Stats(g, chi, k)
-	if !res.Stats.StrictlyBalanced {
-		// Degenerate inputs (e.g. wildly heavy vertices) can defeat the
-		// practical constants; the chunked-greedy backstop is always strict.
-		chi = c.chunkedGreedy(chi, k)
-		res.Coloring = chi
-		res.Stats = graph.Stats(g, chi, k)
-		res.UsedFallback = true
-	}
-	// A cancellation that lands after the stage checkpoints must still win
-	// over the assembled result: the caller's context is dead, and the
-	// backstop may have run on a half-finished coloring.
-	if err := c.run.Err(); err != nil {
-		return Result{}, err
-	}
-	if err := graph.CheckColoring(chi, k); err != nil {
-		return Result{}, fmt.Errorf("core: internal error: %w", err)
-	}
-	return res, nil
+	return DecomposePipeline(opt).Run(ctx, g, opt, nil)
 }
 
 // Refine resumes the pipeline on an existing complete coloring of g — the
@@ -208,6 +156,11 @@ func Decompose(ctx context.Context, g *graph.Graph, opt Options) (Result, error)
 // ctx cancels the resumed run exactly as in Decompose: Refine returns
 // ctx.Err() and the caller's prior coloring is never adopted or mutated
 // (Refine works on a private copy from the start).
+//
+// Refine is an assembly over the stage pipeline: RefinePipeline guards the
+// rebalancing stages behind the strictness check and Pipeline.Run drives
+// the sequence. Options.Multilevel is ignored here — the prior coloring
+// already plays the role the multilevel path's projection would.
 func Refine(ctx context.Context, g *graph.Graph, opt Options, prior []int32) (Result, error) {
 	if opt.K < 1 {
 		return Result{}, fmt.Errorf("core: K must be ≥ 1, got %d", opt.K)
@@ -224,66 +177,7 @@ func Refine(ctx context.Context, g *graph.Graph, opt Options, prior []int32) (Re
 	if err := graph.CheckColoring(prior, opt.K); err != nil {
 		return Result{}, err
 	}
-	if g.N() == 0 {
-		return Result{Coloring: []int32{}, Stats: graph.ColoringStats{K: opt.K}}, nil
-	}
-	c, err := newCtx(ctx, g, opt)
-	if err != nil {
-		return Result{}, err
-	}
-	k := opt.K
-	var diag Diagnostics
-	diag.Parallelism = c.par
-	c.sp = countingSplitter{inner: c.sp, calls: &diag.SplitterCalls, obs: c.obs}
-	start := time.Now()
-
-	chi := append([]int32(nil), prior...)
-	strict := graph.IsStrictlyBalanced(g, chi, k)
-	if !strict {
-		c.stageEnter(StageAlmostStrict)
-		if !opt.SkipShrink {
-			chi = c.almostStrict(chi, k, opt.PaperShrink)
-		}
-		diag.AlmostStrict = time.Since(start)
-		c.stageLeave(StageAlmostStrict, diag.AlmostStrict)
-		if err := c.run.Err(); err != nil {
-			return Result{}, err
-		}
-		mark := time.Now()
-		c.stageEnter(StageStrictPack)
-		chi = c.binPack2(chi, k)
-		diag.StrictPack = time.Since(mark)
-		c.stageLeave(StageStrictPack, diag.StrictPack)
-		if err := c.run.Err(); err != nil {
-			return Result{}, err
-		}
-		strict = graph.IsStrictlyBalanced(g, chi, k)
-	}
-
-	mark := time.Now()
-	c.stageEnter(StagePolish)
-	if !opt.SkipPolish && strict {
-		chi = c.polish(chi, k, 3)
-	}
-	diag.Polish = time.Since(mark)
-	c.stageLeave(StagePolish, diag.Polish)
-	diag.Total = time.Since(start)
-
-	res := Result{Coloring: chi, Diag: diag}
-	res.Stats = graph.Stats(g, chi, k)
-	if !res.Stats.StrictlyBalanced {
-		chi = c.chunkedGreedy(chi, k)
-		res.Coloring = chi
-		res.Stats = graph.Stats(g, chi, k)
-		res.UsedFallback = true
-	}
-	if err := c.run.Err(); err != nil {
-		return Result{}, err
-	}
-	if err := graph.CheckColoring(chi, k); err != nil {
-		return Result{}, fmt.Errorf("core: internal error: %w", err)
-	}
-	return res, nil
+	return RefinePipeline(opt).Run(ctx, g, opt, prior)
 }
 
 // newCtx validates options and builds the shared pipeline context. A nil
@@ -311,11 +205,18 @@ func newCtx(run context.Context, g *graph.Graph, opt Options) (*ctx, error) {
 	if run == nil {
 		run = context.Background()
 	}
+	// Stash the resolved values back into the ctx's option copy so stages
+	// (and the multilevel driver's per-level inner runs) see exactly what
+	// this run uses, not the caller's unresolved zeros.
+	opt.P = p
+	opt.Splitter = sp
+	opt.Parallelism = par
 	c := &ctx{
 		g:   g,
 		sp:  sp,
 		p:   p,
 		pi:  measure.SplittingCost(g, p, 1),
+		opt: opt,
 		par: par,
 		run: run,
 		obs: opt.Observer,

@@ -29,10 +29,11 @@ import (
 // the pool drains itself — workers stop pulling indices, so no goroutine
 // outlives the entry point's return.
 type ctx struct {
-	g  *graph.Graph
-	sp splitter.Splitter
-	p  float64
-	pi []float64 // splitting-cost measure π of Definition 10 (σ_p = 1)
+	g   *graph.Graph
+	sp  splitter.Splitter
+	p   float64
+	pi  []float64 // splitting-cost measure π of Definition 10 (σ_p = 1)
+	opt Options   // the run's options, with Splitter/Parallelism resolved
 
 	par int           // resolved Options.Parallelism (≥ 1)
 	sem chan struct{} // spare-worker tokens; nil when par == 1
@@ -40,6 +41,10 @@ type ctx struct {
 	run  context.Context // the run's context (never nil after newCtx)
 	done <-chan struct{} // run.Done(), cached; nil for un-cancellable runs
 	obs  Observer        // progress hooks; nil when unobserved
+
+	// diag collects the run's Diagnostics; set by Pipeline.Run (nil for
+	// the standalone stage entry points, which report no diagnostics).
+	diag *Diagnostics
 }
 
 // interrupted reports whether the run's context has been cancelled. It is
@@ -75,13 +80,13 @@ func (c *ctx) split(W []int32, w []float64, target float64) []int32 {
 
 // stageEnter / stageLeave / polishRound forward to the observer when one is
 // attached; nil-observer runs pay only a nil check.
-func (c *ctx) stageEnter(s Stage) {
+func (c *ctx) stageEnter(s StageName) {
 	if c.obs != nil {
 		c.obs.StageEnter(s)
 	}
 }
 
-func (c *ctx) stageLeave(s Stage, took time.Duration) {
+func (c *ctx) stageLeave(s StageName, took time.Duration) {
 	if c.obs != nil {
 		c.obs.StageLeave(s, took)
 	}

@@ -22,20 +22,62 @@ type Diagnostics struct {
 	// (Options.Parallelism after defaulting; 1 means fully sequential).
 	Parallelism int
 
-	// Durations of the three pipeline stages plus the polish pass.
+	// Levels is the number of coarsening levels the multilevel path built
+	// (0 on the direct path and whenever the graph was already at or below
+	// the coarsening floor).
+	Levels int
+
+	// Durations of the pipeline stages. On the multilevel path the classic
+	// four aggregate across every hierarchy level's inner pipeline, and
+	// Coarsen is the hierarchy construction itself.
 	MultiBalance time.Duration // Proposition 7 (or Lemma 6 under ablation)
 	AlmostStrict time.Duration // Proposition 11
 	StrictPack   time.Duration // Proposition 12 (BinPack2)
 	Polish       time.Duration
+	Coarsen      time.Duration // multilevel hierarchy construction
 	Total        time.Duration
 }
 
 // String renders a one-line summary.
 func (d Diagnostics) String() string {
-	return fmt.Sprintf("splits=%d par=%d prop7=%v prop11=%v binpack=%v polish=%v total=%v",
+	s := fmt.Sprintf("splits=%d par=%d prop7=%v prop11=%v binpack=%v polish=%v total=%v",
 		d.SplitterCalls, d.Parallelism, d.MultiBalance.Round(time.Microsecond),
 		d.AlmostStrict.Round(time.Microsecond), d.StrictPack.Round(time.Microsecond),
 		d.Polish.Round(time.Microsecond), d.Total.Round(time.Microsecond))
+	if d.Levels > 0 || d.Coarsen > 0 {
+		s += fmt.Sprintf(" levels=%d coarsen=%v", d.Levels, d.Coarsen.Round(time.Microsecond))
+	}
+	return s
+}
+
+// record accumulates one instrumented stage's wall time into its duration
+// field. Accumulation (not assignment) is what makes the multilevel path's
+// per-level inner pipelines aggregate naturally.
+func (d *Diagnostics) record(name StageName, took time.Duration) {
+	switch name {
+	case StageMultiBalance:
+		d.MultiBalance += took
+	case StageAlmostStrict:
+		d.AlmostStrict += took
+	case StageStrictPack:
+		d.StrictPack += took
+	case StagePolish:
+		d.Polish += took
+	case StageCoarsen:
+		d.Coarsen += took
+	}
+}
+
+// absorb folds an inner pipeline run's diagnostics into d — the multilevel
+// driver's accounting for the per-level Decompose/Refine runs. Parallelism,
+// Levels and Total stay the outer run's own.
+func (d *Diagnostics) absorb(inner Diagnostics) {
+	d.SplitterCalls += inner.SplitterCalls
+	d.MultiBalance += inner.MultiBalance
+	d.AlmostStrict += inner.AlmostStrict
+	d.StrictPack += inner.StrictPack
+	d.Polish += inner.Polish
+	d.Coarsen += inner.Coarsen
 }
 
 // countingSplitter decorates a Splitter with a call counter and the

@@ -1,0 +1,151 @@
+package core
+
+// This file is the multilevel (coarsen → solve → project → refine)
+// decomposition path: a single pipeline stage that builds a heavy-edge
+// coarsening hierarchy, solves the coarsest level with the direct stage
+// sequence, and projects the coloring down the hierarchy, resuming the
+// refine pipeline at every level.
+//
+// Invariants (DESIGN.md §9): the final coloring carries the identical
+// Definition 1 strict-balance guarantee as the direct path — projection
+// preserves class weights exactly, and each level's Refine re-certifies
+// the window against that level's own ‖w‖∞ before polish runs. The
+// boundary cost pays a small constant factor for solving on the proxy
+// (heavy edges are hidden inside coarse vertices, so the surviving cut
+// edges are the cheap ones); the seeded-corpus property test pins the
+// documented factor. Cancellation holds everywhere: mid-coarsening, the
+// coarsest solve, and every per-level refine all unwind to ctx.Err() with
+// no partial Result.
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/coarsen"
+	"repro/internal/graph"
+	"repro/internal/splitter"
+)
+
+// Multilevel configures the multilevel decomposition path (set it as
+// Options.Multilevel; the zero value selects every default). The defaults
+// are resolved against K, so two runs with equal (graph, K, Multilevel
+// fields) always coarsen identically — the property the serving layer's
+// cache key relies on.
+type Multilevel struct {
+	// MinVertices stops coarsening once a level has at most this many
+	// vertices. 0 defaults to max(1024, 8·K): at least eight coarse
+	// vertices per part, so the coarsest solve has room to balance.
+	MinVertices int
+	// MaxLevels caps the hierarchy depth. 0 defaults to 24.
+	MaxLevels int
+}
+
+// resolve applies the documented defaults for a K-part run.
+func (m Multilevel) resolve(k int) Multilevel {
+	if m.MinVertices <= 0 {
+		m.MinVertices = 1024
+		if 8*k > m.MinVertices {
+			m.MinVertices = 8 * k
+		}
+	}
+	if m.MaxLevels <= 0 {
+		m.MaxLevels = 24
+	}
+	return m
+}
+
+// defaultSplitterFactory mints the oracle for hierarchy levels when the
+// caller provides no Options.SplitterFactory: the FM-refined BFS prefix
+// splitter, the same default a direct run gets.
+func defaultSplitterFactory(g *graph.Graph) splitter.Splitter {
+	return splitter.NewRefined(g, splitter.NewBFS(g))
+}
+
+// multilevelStage is the driver; see the file comment.
+type multilevelStage struct{}
+
+// MultilevelStage returns the multilevel driver stage. It must be the
+// producing head of its pipeline (DecomposePipeline assembles it when
+// Options.Multilevel is set) and requires Options.Multilevel non-nil.
+func MultilevelStage() Stage { return multilevelStage{} }
+
+func (multilevelStage) Name() StageName { return StageMultilevel }
+
+func (multilevelStage) Run(c *ctx, _ []int32) ([]int32, error) {
+	if c.opt.Multilevel == nil {
+		return nil, fmt.Errorf("core: MultilevelStage requires Options.Multilevel")
+	}
+	ml := c.opt.Multilevel.resolve(c.opt.K)
+	factory := c.opt.SplitterFactory
+	if factory == nil {
+		factory = defaultSplitterFactory
+	}
+
+	// Hierarchy construction gets its own instrumented window inside the
+	// driver's StageMultilevel bracket; the per-level solves below run as
+	// inner pipelines with their own stage events and diagnostics,
+	// absorbed into this run's.
+	mark := time.Now()
+	c.stageEnter(StageCoarsen)
+	hier, err := coarsen.Build(c.run, c.g, coarsen.Options{
+		MinVertices: ml.MinVertices,
+		MaxLevels:   ml.MaxLevels,
+		// Cap coarse vertices at half a part's share: the Definition 1
+		// window is ±(1−1/k)·‖w‖∞, so letting ‖w‖∞ grow past the average
+		// class weight would make the coarsest window vacuous.
+		MaxWeight: c.g.TotalWeight() / float64(2*c.opt.K),
+	})
+	took := time.Since(mark)
+	if c.diag != nil {
+		c.diag.record(StageCoarsen, took)
+	}
+	c.stageLeave(StageCoarsen, took)
+	if err != nil {
+		return nil, err
+	}
+	if c.diag != nil {
+		c.diag.Levels = len(hier.Levels)
+	}
+
+	// Per-level options: the inner runs inherit the caller's policy but
+	// never recurse into the multilevel path, and each graph of the
+	// hierarchy gets its own factory-built oracle. The finest level reuses
+	// the run's resolved splitter — the one bound to the input graph
+	// (possibly the caller's, e.g. an exact grid oracle).
+	inner := c.opt
+	inner.Multilevel = nil
+
+	copt := inner
+	if cg := hier.Coarsest(); cg != c.g {
+		copt.Splitter = factory(cg)
+	}
+	res, err := Decompose(c.run, hier.Coarsest(), copt)
+	if err != nil {
+		return nil, err
+	}
+	if c.diag != nil {
+		c.diag.absorb(res.Diag)
+	}
+	chi := res.Coloring
+
+	for i := len(hier.Levels) - 1; i >= 0; i-- {
+		chi = hier.Levels[i].Project(chi)
+		fg := hier.Fine
+		if i > 0 {
+			fg = hier.Levels[i-1].Coarse
+		}
+		lopt := inner
+		if fg != c.g {
+			lopt.Splitter = factory(fg)
+		}
+		res, err = Refine(c.run, fg, lopt, chi)
+		if err != nil {
+			return nil, err
+		}
+		if c.diag != nil {
+			c.diag.absorb(res.Diag)
+		}
+		chi = res.Coloring
+	}
+	return chi, nil
+}

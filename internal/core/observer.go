@@ -2,23 +2,33 @@ package core
 
 import "time"
 
-// Stage identifies one pipeline stage for Observer callbacks. The values
-// match the Diagnostics duration fields: a full Decompose visits the four
-// stages in declaration order, a Refine resumes at StageAlmostStrict (or
-// straight at StagePolish when the prior coloring is still strict).
-type Stage string
+// StageName identifies one pipeline stage for Observer callbacks and
+// Diagnostics. The values match the Diagnostics duration fields: a direct
+// Decompose visits the four classic stages in declaration order, a Refine
+// resumes at StageAlmostStrict (or straight at StagePolish when the prior
+// coloring is still strict), and a multilevel Decompose opens with
+// StageCoarsen before the per-level inner pipelines replay the classic
+// stages on each graph of the hierarchy.
+type StageName string
 
 const (
 	// StageMultiBalance is Proposition 7 (or Lemma 6 under the
 	// SkipBoundaryBalance ablation): the divide-and-conquer that produces
 	// the weakly balanced coloring.
-	StageMultiBalance Stage = "multibalance"
+	StageMultiBalance StageName = "multibalance"
 	// StageAlmostStrict is Proposition 11 (shrink / direct rebalancing).
-	StageAlmostStrict Stage = "almoststrict"
+	StageAlmostStrict StageName = "almoststrict"
 	// StageStrictPack is Proposition 12 (BinPack2).
-	StageStrictPack Stage = "strictpack"
+	StageStrictPack StageName = "strictpack"
 	// StagePolish is the strictness-preserving boundary polish pass.
-	StagePolish Stage = "polish"
+	StagePolish StageName = "polish"
+	// StageCoarsen is the multilevel path's hierarchy construction
+	// (heavy-edge matching contraction, internal/coarsen).
+	StageCoarsen StageName = "coarsen"
+	// StageMultilevel brackets the whole multilevel driver: StageCoarsen
+	// and the per-level inner pipelines' stage events nest inside its
+	// enter/leave pair.
+	StageMultilevel StageName = "multilevel"
 )
 
 // Observer receives progress callbacks from a pipeline run. It is the
@@ -37,13 +47,17 @@ const (
 // concurrent run with no run identity (OracleCall totals are per-run, so
 // the merged stream is not monotonic). When per-run attribution matters,
 // attach a fresh observer per run via Options.Observer (or per session
-// via the Instance's options) instead of engine-wide.
+// via the Instance's options) instead of engine-wide. A multilevel run
+// additionally nests: after StageCoarsen, each hierarchy level replays the
+// classic stage events (and restarts its OracleCall total) on its own
+// graph — consumers that need level attribution should count StageCoarsen
+// and StageMultiBalance boundaries.
 type Observer interface {
 	// StageEnter fires when a pipeline stage begins.
-	StageEnter(s Stage)
+	StageEnter(s StageName)
 	// StageLeave fires when a pipeline stage ends (also on a cancelled
 	// stage: the pair always balances), with the stage's wall time.
-	StageLeave(s Stage, took time.Duration)
+	StageLeave(s StageName, took time.Duration)
 	// OracleCall fires after each splitting-oracle invocation with the
 	// running total of calls in this run.
 	OracleCall(total int64)
@@ -58,10 +72,10 @@ type Observer interface {
 type NopObserver struct{}
 
 // StageEnter implements Observer.
-func (NopObserver) StageEnter(Stage) {}
+func (NopObserver) StageEnter(StageName) {}
 
 // StageLeave implements Observer.
-func (NopObserver) StageLeave(Stage, time.Duration) {}
+func (NopObserver) StageLeave(StageName, time.Duration) {}
 
 // OracleCall implements Observer.
 func (NopObserver) OracleCall(int64) {}

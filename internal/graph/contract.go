@@ -1,0 +1,158 @@
+package graph
+
+// This file provides graph contraction — the quotient of a graph under a
+// vertex assignment — and the projection maps that lift colorings and fold
+// weight fields across it. It is the substrate of the multilevel
+// decomposition path (internal/coarsen builds matchings, internal/core
+// drives the solve), kept here so the maps live next to the representation
+// they index and so ContentDigest can extend to coarse graphs: a coarse
+// instance's identity is derivable from the contraction alone, with weight
+// drifts re-hashed through AggregateWeights in O(N) like any other graph.
+
+import "fmt"
+
+// Contraction is the quotient of a fine graph under a surjective vertex
+// assignment: coarse vertex weights are the sums of their fine members'
+// weights, fine edges between distinct coarse vertices collapse into one
+// coarse edge with the summed cost, and fine edges inside a coarse vertex
+// disappear. The total weight, the total cost crossing any coarse-
+// respecting cut, and in particular the boundary cost of any coloring
+// lifted through Project are preserved exactly.
+type Contraction struct {
+	// Coarse is the quotient graph.
+	Coarse *Graph
+	// Map[v] is the coarse vertex that fine vertex v collapsed into.
+	Map []int32
+}
+
+// Contract builds the quotient of g under assign, which must map every
+// fine vertex to a coarse id in [0, coarseN) with every coarse id hit
+// (surjectivity keeps the quotient free of phantom isolated vertices).
+// O(N + M) with two coarseN-sized scratch arrays — no sorting, no maps.
+func Contract(g *Graph, assign []int32, coarseN int) (*Contraction, error) {
+	n := g.N()
+	if len(assign) != n {
+		return nil, fmt.Errorf("graph: Contract assignment length %d != N %d", len(assign), n)
+	}
+	if coarseN < 0 || (n > 0 && coarseN < 1) || coarseN > n {
+		return nil, fmt.Errorf("graph: Contract coarseN %d out of range for N %d", coarseN, n)
+	}
+
+	// Coarse weights, plus the surjectivity check in the same sweep.
+	w := make([]float64, coarseN)
+	hit := make([]bool, coarseN)
+	for v, cu := range assign {
+		if cu < 0 || int(cu) >= coarseN {
+			return nil, fmt.Errorf("graph: Contract assignment of vertex %d out of range: %d", v, cu)
+		}
+		w[cu] += g.Weight[v]
+		hit[cu] = true
+	}
+	for cu, ok := range hit {
+		if !ok {
+			return nil, fmt.Errorf("graph: Contract assignment never maps to coarse vertex %d", cu)
+		}
+	}
+
+	// Member lists via counting sort: members[start[cu]:start[cu+1]] are
+	// the fine vertices of coarse vertex cu, in ascending fine id.
+	start := make([]int32, coarseN+1)
+	for _, cu := range assign {
+		start[cu+1]++
+	}
+	for cu := 0; cu < coarseN; cu++ {
+		start[cu+1] += start[cu]
+	}
+	members := make([]int32, n)
+	fill := make([]int32, coarseN)
+	for v := 0; v < n; v++ {
+		cu := assign[v]
+		members[start[cu]+fill[cu]] = int32(v)
+		fill[cu]++
+	}
+
+	// Coarse edges by a stamped neighbor scan: visiting coarse vertices in
+	// ascending id and emitting only toward larger ids counts every
+	// crossing fine edge exactly once (from its smaller coarse endpoint),
+	// deduplicated through the per-sweep slot table. The edge list comes
+	// out sorted by (u, v), and the emission order is a pure function of
+	// the input, so contraction is deterministic.
+	stamp := make([]int32, coarseN)
+	slot := make([]int32, coarseN)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	var us, vs []int32
+	var cs []float64
+	for cu := int32(0); int(cu) < coarseN; cu++ {
+		for _, v := range members[start[cu]:start[cu+1]] {
+			for _, e := range g.IncidentEdges(v) {
+				co := assign[g.Other(e, v)]
+				if co <= cu {
+					continue // internal, or counted from co's sweep
+				}
+				if stamp[co] != cu {
+					stamp[co] = cu
+					slot[co] = int32(len(us))
+					us = append(us, cu)
+					vs = append(vs, co)
+					cs = append(cs, 0)
+				}
+				cs[slot[co]] += g.Cost[e]
+			}
+		}
+	}
+
+	// Assemble directly: endpoints are ordered and deduplicated by
+	// construction, so the Builder's O(M) validation map would be pure
+	// overhead on the coarsening hot path.
+	coarse := &Graph{
+		numV:   coarseN,
+		edgeU:  us,
+		edgeV:  vs,
+		Cost:   cs,
+		Weight: w,
+	}
+	coarse.buildAdjacency()
+	return &Contraction{Coarse: coarse, Map: append([]int32(nil), assign...)}, nil
+}
+
+// Project lifts a coarse coloring to the fine graph: every fine vertex
+// takes its coarse vertex's color. Balance is preserved exactly (coarse
+// class weights are sums of fine ones) and the fine boundary cost of the
+// lifted coloring equals the coarse boundary cost (crossing fine edges are
+// exactly the fine edges under crossing coarse edges, with summed costs).
+func (c *Contraction) Project(coarse []int32) []int32 {
+	if len(coarse) != c.Coarse.N() {
+		panic(fmt.Sprintf("graph: Project coloring length %d != coarse N %d", len(coarse), c.Coarse.N()))
+	}
+	out := make([]int32, len(c.Map))
+	for v, cu := range c.Map {
+		out[v] = coarse[cu]
+	}
+	return out
+}
+
+// AggregateWeights folds a fine weight field to the coarse graph — the
+// O(N) weight half of a coarse instance's identity. Combined with Digest
+// this extends the ContentDigest split across the hierarchy: the topology
+// half is frozen once per contraction, and any reweighting of the fine
+// graph re-hashes through Digest().HashWeights(AggregateWeights(w))
+// without touching the coarse edge list again.
+func (c *Contraction) AggregateWeights(fineW []float64) []float64 {
+	if len(fineW) != len(c.Map) {
+		panic(fmt.Sprintf("graph: AggregateWeights length %d != fine N %d", len(fineW), len(c.Map)))
+	}
+	w := make([]float64, c.Coarse.N())
+	for v, cu := range c.Map {
+		w[cu] += fineW[v]
+	}
+	return w
+}
+
+// Digest returns the coarse graph's frozen topology digest (see
+// ContentDigest): compute once per contraction, then derive the coarse
+// identity of any fine reweighting via HashWeights(AggregateWeights(w)).
+func (c *Contraction) Digest() ContentDigest {
+	return NewContentDigest(c.Coarse)
+}

@@ -303,6 +303,24 @@ func (b *Builder) SetWeights(w []float64) {
 	copy(b.w, w)
 }
 
+// Grow preallocates storage for n additional edges, so a caller that
+// knows the edge count up front (e.g. Sub.InducedCopy via SizeWithin)
+// avoids the append doubling churn.
+func (b *Builder) Grow(n int) {
+	if n <= 0 || cap(b.us)-len(b.us) >= n {
+		return
+	}
+	us := make([]int32, len(b.us), len(b.us)+n)
+	copy(us, b.us)
+	b.us = us
+	vs := make([]int32, len(b.vs), len(b.vs)+n)
+	copy(vs, b.vs)
+	b.vs = vs
+	cs := make([]float64, len(b.cs), len(b.cs)+n)
+	copy(cs, b.cs)
+	b.cs = cs
+}
+
 // AddEdge adds an undirected edge {u, v} with the given cost.
 func (b *Builder) AddEdge(u, v int32, cost float64) {
 	if u > v {

@@ -3,6 +3,14 @@ package graph
 // This file provides induced-subgraph views G[W] (the paper's notation for
 // the graph induced by a vertex set W), plus BFS orders and connected
 // components, which the splitting and separator machinery is built on.
+// The traversals draw their visited state from the epoch-stamped scratch
+// pool (scratch.go): they run inside the recursion hot loop, once per
+// splitting-oracle call, and must not allocate a map each time.
+
+import (
+	"fmt"
+	"math"
+)
 
 // Sub is a lightweight view of the induced subgraph G[W]. It shares the
 // parent graph's storage; membership is tracked by a mask indexed by parent
@@ -47,15 +55,12 @@ func (s *Sub) Len() int { return len(s.Verts) }
 
 // EdgesWithin returns the edge ids of E(W) = {e : e ⊆ W}.
 func (s *Sub) EdgesWithin() []int32 {
+	sc := acquireScratch(0, s.G.M())
+	defer releaseScratch(sc)
 	var out []int32
-	seen := make(map[int32]bool)
 	for _, v := range s.Verts {
 		for _, e := range s.G.IncidentEdges(v) {
-			if seen[e] {
-				continue
-			}
-			if s.in[s.G.edgeU[e]] && s.in[s.G.edgeV[e]] {
-				seen[e] = true
+			if s.in[s.G.edgeU[e]] && s.in[s.G.edgeV[e]] && !sc.seenEdge(e) {
 				out = append(out, e)
 			}
 		}
@@ -83,18 +88,48 @@ func (s *Sub) CostWithin(f func(c float64) float64) float64 {
 }
 
 // CostNormWithin returns ‖c|W‖_p: the p-norm of the costs of edges running
-// inside W.
+// inside W, computed in two streaming passes (max for scaling, then the
+// scaled power sum — the same numerically stable scheme as PNorm) without
+// materializing the cost list.
 func (s *Sub) CostNormWithin(p float64) float64 {
-	var cs []float64
+	n := 0
+	m := 0.0
+	s.eachWithinCost(func(c float64) {
+		n++
+		if c > m {
+			m = c
+		}
+	})
+	if n == 0 {
+		return 0
+	}
+	if math.IsInf(p, 1) {
+		return m
+	}
+	if p < 1 {
+		panic(fmt.Sprintf("graph: CostNormWithin with p=%v < 1", p))
+	}
+	if m == 0 {
+		return 0
+	}
+	sum := 0.0
+	s.eachWithinCost(func(c float64) {
+		sum += math.Pow(c/m, p)
+	})
+	return m * math.Pow(sum, 1/p)
+}
+
+// eachWithinCost applies f to the cost of every edge of E(W) exactly once
+// (counted at its smaller endpoint).
+func (s *Sub) eachWithinCost(f func(c float64)) {
 	for _, v := range s.Verts {
 		for _, e := range s.G.IncidentEdges(v) {
 			u2, v2 := s.G.edgeU[e], s.G.edgeV[e]
 			if s.in[u2] && s.in[v2] && v == min32(u2, v2) {
-				cs = append(cs, s.G.Cost[e])
+				f(s.G.Cost[e])
 			}
 		}
 	}
-	return PNorm(cs, p)
 }
 
 // WeightOf returns w(W) for the view's vertex set.
@@ -127,15 +162,20 @@ func (s *Sub) BoundaryCostWithin(inU []bool) float64 {
 
 // InducedCopy materializes G[W] as a standalone Graph. It returns the new
 // graph plus the mapping newID → parent vertex id. Weights and costs carry
-// over; edges with an endpoint outside W are dropped.
+// over; edges with an endpoint outside W are dropped. The id translation
+// is a dense slice indexed by parent id (entries outside W are unused —
+// the membership mask guards every read) and the builder's edge storage is
+// preallocated from SizeWithin, so the copy allocates exactly what it
+// returns.
 func (s *Sub) InducedCopy() (*Graph, []int32) {
-	toNew := make(map[int32]int32, len(s.Verts))
+	toNew := make([]int32, s.G.N())
 	toOld := make([]int32, len(s.Verts))
 	for i, v := range s.Verts {
 		toNew[v] = int32(i)
 		toOld[i] = v
 	}
 	b := NewBuilder(len(s.Verts))
+	b.Grow(s.SizeWithin() - len(s.Verts))
 	for i, v := range s.Verts {
 		b.SetWeight(int32(i), s.G.Weight[v])
 	}
@@ -181,19 +221,27 @@ func min32(a, b int32) int32 {
 // given start vertex (which must be in W). Only vertices reachable within W
 // are returned.
 func (s *Sub) BFSOrder(start int32) []int32 {
-	visited := make(map[int32]bool, len(s.Verts))
-	order := make([]int32, 0, len(s.Verts))
-	queue := []int32{start}
-	visited[start] = true
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
-		order = append(order, v)
+	sc := acquireScratch(s.G.N(), 0)
+	defer releaseScratch(sc)
+	return s.bfsFrom(sc, start, make([]int32, 0, len(s.Verts)))
+}
+
+// bfsFrom appends the BFS order of start's component to order, using the
+// scratch's epoch stamps as visited state (shared across calls, which is
+// how Components walks every component with one workspace). The output
+// slice doubles as the FIFO queue: a vertex is enqueued exactly when it is
+// emitted, so the order is identical to a separate-queue BFS.
+func (s *Sub) bfsFrom(sc *scratch, start int32, order []int32) []int32 {
+	head := len(order)
+	sc.seen(start)
+	order = append(order, start)
+	for head < len(order) {
+		v := order[head]
+		head++
 		for _, e := range s.G.IncidentEdges(v) {
 			o := s.G.Other(e, v)
-			if s.in[o] && !visited[o] {
-				visited[o] = true
-				queue = append(queue, o)
+			if s.in[o] && !sc.seen(o) {
+				order = append(order, o)
 			}
 		}
 	}
@@ -202,17 +250,14 @@ func (s *Sub) BFSOrder(start int32) []int32 {
 
 // Components returns the connected components of G[W] as vertex lists.
 func (s *Sub) Components() [][]int32 {
-	visited := make(map[int32]bool, len(s.Verts))
+	sc := acquireScratch(s.G.N(), 0)
+	defer releaseScratch(sc)
 	var comps [][]int32
 	for _, start := range s.Verts {
-		if visited[start] {
+		if sc.stamp[start] == sc.epoch {
 			continue
 		}
-		comp := s.BFSOrder(start)
-		for _, v := range comp {
-			visited[v] = true
-		}
-		comps = append(comps, comp)
+		comps = append(comps, s.bfsFrom(sc, start, nil))
 	}
 	return comps
 }

@@ -108,6 +108,13 @@ type Profile struct {
 	// queue and exercise shedding.
 	NoCacheFraction float64 `json:"no_cache_fraction,omitempty"`
 
+	// MultilevelFraction routes roughly this fraction of partition
+	// operations through the multilevel (coarsen → solve → project →
+	// refine) path at the server's defaults. Multilevel results live under
+	// their own cache keys, so the mix exercises both pipelines and their
+	// key separation; every multilevel response passes the same certifier.
+	MultilevelFraction float64 `json:"multilevel_fraction,omitempty"`
+
 	// DriftSteps is how many distinct day/night drift positions each
 	// instance cycles through; repartition operations walk them in order.
 	DriftSteps int `json:"drift_steps"`
@@ -158,6 +165,10 @@ func Quick() Profile {
 		// seed sweeps while still catching a broken incremental path.
 		ScratchTol:  1.6,
 		BoundFactor: 20,
+		// A quarter of the partition traffic takes the multilevel path, so
+		// the quick profile certifies both pipelines and pins their cache-
+		// key separation on every CI run.
+		MultilevelFraction: 0.25,
 		// RepartitionConcurrency is raised above the client count so the
 		// quick profile never sheds on a single-core runner (shed behavior
 		// is Surge's job).
@@ -191,9 +202,15 @@ func Surge() Profile {
 	p.Name = "surge"
 	p.Mode = ModeOpen
 	p.Requests = 400
-	p.RatePerSec = 4000
+	// Retuned when the stage-pipeline PR's traversal rework sped the
+	// pipeline hot paths up ~3×: bigger instances (work per op must
+	// outrun the single-slot repartition semaphore and the depth-4
+	// queue even on a fast machine) and a rate beyond what the open
+	// loop can dispatch, or the overload this profile exists to
+	// observe never materializes.
+	p.RatePerSec = 16000
 	p.Clients = 0
-	p.MeshRows, p.MeshCols = 16, 16
+	p.MeshRows, p.MeshCols = 32, 32
 	p.DriftSteps = 12
 	p.Mix = Mix{Upload: 1, Partition: 4, Repartition: 8, Burst: 2}
 	p.NoCacheFraction = 0.75
@@ -312,6 +329,8 @@ type Request struct {
 	Burst []int `json:"burst,omitempty"`
 	// NoCache bypasses the result cache for a partition operation.
 	NoCache bool `json:"no_cache,omitempty"`
+	// Multilevel routes a partition operation through the multilevel path.
+	Multilevel bool `json:"multilevel,omitempty"`
 	// Scratch marks a repartition for post-run comparison against a
 	// from-scratch pipeline run on the same drifted instance.
 	Scratch bool `json:"scratch,omitempty"`
@@ -348,6 +367,9 @@ func buildTrace(p Profile, insts []*instance) []Request {
 			}
 			if p.NoCacheFraction > 0 && rng.Float64() < p.NoCacheFraction {
 				r.NoCache = true
+			}
+			if p.MultilevelFraction > 0 && rng.Float64() < p.MultilevelFraction {
+				r.Multilevel = true
 			}
 		case pick < p.Mix.Upload+p.Mix.Partition+p.Mix.Repartition:
 			r.Kind = KindRepartition

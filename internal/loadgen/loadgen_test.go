@@ -69,6 +69,35 @@ func TestTraceDeterministic(t *testing.T) {
 	}
 }
 
+// The quick profile's multilevel traffic mix must actually materialize in
+// the trace (deterministically, seed-driven) and stay confined to
+// partition operations.
+func TestTraceMultilevelMix(t *testing.T) {
+	p := Quick()
+	h := mustHarness(t, p)
+	ml, direct := 0, 0
+	for _, r := range h.Trace() {
+		if r.Multilevel {
+			if r.Kind != KindPartition {
+				t.Fatalf("multilevel flag on a %s operation", r.Kind)
+			}
+			ml++
+		} else if r.Kind == KindPartition {
+			direct++
+		}
+	}
+	if ml == 0 || direct == 0 {
+		t.Fatalf("quick profile mix degenerate: %d multilevel vs %d direct partitions", ml, direct)
+	}
+	// MultilevelFraction 0 keeps the trace multilevel-free.
+	p.MultilevelFraction = 0
+	for _, r := range mustHarness(t, p).Trace() {
+		if r.Multilevel {
+			t.Fatal("zero fraction produced a multilevel operation")
+		}
+	}
+}
+
 // Every generated drift-step graph must keep valid weights (the drift
 // factor is strictly positive) and a distinct content identity.
 func TestInstanceDriftSteps(t *testing.T) {

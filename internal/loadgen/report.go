@@ -23,7 +23,10 @@ import (
 // into capacity sheds (503) versus client cancellations. All /1 fields
 // are retained with unchanged meaning, so a /1 consumer that ignores
 // unknown fields reads a /2 report correctly except for the
-// failed-vs-cancelled split.
+// failed-vs-cancelled split. Within /2, profiles later gained the
+// additive "multilevel_fraction" knob (and trace requests a "multilevel"
+// flag): strictly new optional fields, so no schema bump — consumers
+// that ignore unknown fields are unaffected.
 const ReportSchema = "repro-loadgen/2"
 
 // LatencySummary is a percentile digest of successful-request latencies.

@@ -220,14 +220,14 @@ func (h *Harness) execute(t Target, r *Request, lag time.Duration, rec *recorder
 	case KindUpload:
 		h.uploadOnce(t, r.Inst, lag, rec)
 	case KindPartition:
-		h.partitionOnce(t, KindPartition, r.Inst, r.K, r.NoCache, lag, rec)
+		h.partitionOnce(t, KindPartition, r.Inst, r.K, r.NoCache, r.Multilevel, lag, rec)
 	case KindBurst:
 		var wg sync.WaitGroup
 		for _, inst := range r.Burst {
 			wg.Add(1)
 			go func(inst int) {
 				defer wg.Done()
-				h.partitionOnce(t, KindBurst, inst, r.K, false, lag, rec)
+				h.partitionOnce(t, KindBurst, inst, r.K, false, false, lag, rec)
 			}(inst)
 		}
 		wg.Wait()
@@ -263,12 +263,15 @@ func (h *Harness) uploadOnce(t Target, inst int, lag time.Duration, rec *recorde
 // partitionOnce issues one partition query and certifies a 200 response.
 // 503 is recorded as shed (open-loop overload is expected behavior, not a
 // violation); any other non-200 is a violation.
-func (h *Harness) partitionOnce(t Target, kind Kind, inst, k int, noCache bool, lag time.Duration, rec *recorder) {
+func (h *Harness) partitionOnce(t Target, kind Kind, inst, k int, noCache, multilevel bool, lag time.Duration, rec *recorder) {
 	in := h.insts[inst]
 	var resp service.PartitionResponse
+	req := service.PartitionRequest{GraphID: in.ids[0], K: k, NoCache: noCache, IncludeColoring: true}
+	if multilevel {
+		req.Multilevel = &service.MultilevelWire{}
+	}
 	start := time.Now()
-	status, err := postJSON(t, "/v1/partition",
-		service.PartitionRequest{GraphID: in.ids[0], K: k, NoCache: noCache, IncludeColoring: true}, &resp)
+	status, err := postJSON(t, "/v1/partition", req, &resp)
 	dur := time.Since(start) + lag
 	if err != nil {
 		rec.observe(kind, dur, 0)

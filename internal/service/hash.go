@@ -31,15 +31,24 @@ func GraphHash(g *graph.Graph) string {
 //
 // Parallelism is deliberately excluded: per the core.Options contract it
 // changes where the work runs, never which coloring comes out, so runs at
-// different parallelism share one cache entry. Splitter and Measures have
-// no wire representation and must be zero (the handlers never set them).
+// different parallelism share one cache entry. Splitter, SplitterFactory
+// and Measures have no wire representation and must be zero (the handlers
+// never set them). Multilevel is included as its raw field values: the
+// in-core defaults resolve against K, which is already in the key, so
+// equal keys always mean equal effective configurations (the cache-key
+// soundness rule of DESIGN.md §9); direct-path keys keep the historical
+// format, so pre-multilevel clients hash to the same entries as before.
 func OptionsKey(opt repro.Options) string {
 	p := opt.P
 	if p == 0 {
 		p = 2
 	}
-	return fmt.Sprintf("k%d;p%g;bb%t;sh%t;ps%t;po%t",
+	key := fmt.Sprintf("k%d;p%g;bb%t;sh%t;ps%t;po%t",
 		opt.K, p, opt.SkipBoundaryBalance, opt.SkipShrink, opt.PaperShrink, opt.SkipPolish)
+	if m := opt.Multilevel; m != nil {
+		key += fmt.Sprintf(";ml%d,%d", m.MinVertices, m.MaxLevels)
+	}
+	return key
 }
 
 // requestKey is the full cache/coalescing key of a partition request.

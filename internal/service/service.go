@@ -408,14 +408,24 @@ func (s *Server) resolveGraph(graphID, inline string) (*graph.Graph, string, err
 }
 
 // requestOptions validates and canonicalizes the wire-level options.
-func (s *Server) requestOptions(k int, p float64) (repro.Options, error) {
+func (s *Server) requestOptions(k int, p float64, ml *MultilevelWire) (repro.Options, error) {
 	if k < 1 || k > s.cfg.MaxK {
 		return repro.Options{}, badRequest("k must be in [1, %d], got %d", s.cfg.MaxK, k)
 	}
 	if p != 0 && (p <= 1 || math.IsNaN(p) || math.IsInf(p, 0)) {
 		return repro.Options{}, badRequest("p must be > 1 (or 0 for the default), got %v", p)
 	}
-	return repro.Options{K: k, P: p}, nil
+	opt := repro.Options{K: k, P: p}
+	if ml != nil {
+		if ml.MinVertices < 0 {
+			return repro.Options{}, badRequest("multilevel.min_vertices must be ≥ 0, got %d", ml.MinVertices)
+		}
+		if ml.MaxLevels < 0 || ml.MaxLevels > 64 {
+			return repro.Options{}, badRequest("multilevel.max_levels must be in [0, 64], got %d", ml.MaxLevels)
+		}
+		opt.Multilevel = &repro.Multilevel{MinVertices: ml.MinVertices, MaxLevels: ml.MaxLevels}
+	}
+	return opt, nil
 }
 
 // partition serves one (graph, options) query through the cache →
@@ -464,7 +474,7 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	opt, err := s.requestOptions(req.K, req.P)
+	opt, err := s.requestOptions(req.K, req.P, req.Multilevel)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -549,7 +559,7 @@ func (s *Server) handleRepartition(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("graph_id is required"))
 		return
 	}
-	opt, err := s.requestOptions(req.K, req.P)
+	opt, err := s.requestOptions(req.K, req.P, req.Multilevel)
 	if err != nil {
 		writeError(w, err)
 		return

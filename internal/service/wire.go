@@ -32,6 +32,12 @@ type PartitionRequest struct {
 	// P is the Hölder exponent (0 defaults to 2).
 	P float64 `json:"p,omitempty"`
 
+	// Multilevel, when present, routes the run through the multilevel
+	// (coarsen → solve → project → refine) path. The empty object selects
+	// every default. Multilevel results are cached under their own keys:
+	// the path changes the coloring, so it is part of result identity.
+	Multilevel *MultilevelWire `json:"multilevel,omitempty"`
+
 	// IncludeColoring adds the full per-vertex coloring to the response
 	// (omitted by default: stats are usually what dashboards want, and the
 	// coloring is N integers).
@@ -39,6 +45,15 @@ type PartitionRequest struct {
 	// NoCache bypasses the result cache (diagnostics; the run is still
 	// coalesced and cached for later requests).
 	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// MultilevelWire mirrors repro.Multilevel. Zero fields select the
+// documented defaults (which resolve against k, so the raw values plus k
+// fully determine the effective configuration — the cache-key soundness
+// rule of DESIGN.md §9).
+type MultilevelWire struct {
+	MinVertices int `json:"min_vertices,omitempty"`
+	MaxLevels   int `json:"max_levels,omitempty"`
 }
 
 // PartitionResponse answers POST /v1/partition.
@@ -81,6 +96,12 @@ type RepartitionRequest struct {
 	Weights []float64      `json:"weights,omitempty"`
 	Set     []WeightUpdate `json:"set,omitempty"`
 	Scale   []WeightUpdate `json:"scale,omitempty"`
+
+	// Multilevel scopes the drift chain to the multilevel-path session of
+	// the base instance: the incremental resume itself never re-coarsens
+	// (the prior plays the projection's role), but a cold start runs the
+	// multilevel pipeline, and results are cached under multilevel keys.
+	Multilevel *MultilevelWire `json:"multilevel,omitempty"`
 
 	IncludeColoring bool `json:"include_coloring,omitempty"`
 }
@@ -139,14 +160,17 @@ type StatsWire struct {
 	ClassBoundary      []float64 `json:"class_boundary"`
 }
 
-// DiagWire mirrors core.Diagnostics; durations are nanoseconds.
+// DiagWire mirrors core.Diagnostics; durations are nanoseconds. The
+// multilevel fields are zero (and omitted) on direct-path runs.
 type DiagWire struct {
 	SplitterCalls  int64 `json:"splitter_calls"`
 	Parallelism    int   `json:"parallelism"`
+	Levels         int   `json:"levels,omitempty"`
 	MultiBalanceNS int64 `json:"multi_balance_ns"`
 	AlmostStrictNS int64 `json:"almost_strict_ns"`
 	StrictPackNS   int64 `json:"strict_pack_ns"`
 	PolishNS       int64 `json:"polish_ns"`
+	CoarsenNS      int64 `json:"coarsen_ns,omitempty"`
 	TotalNS        int64 `json:"total_ns"`
 }
 
@@ -209,10 +233,12 @@ func diagWire(res repro.Result) DiagWire {
 	return DiagWire{
 		SplitterCalls:  d.SplitterCalls,
 		Parallelism:    d.Parallelism,
+		Levels:         d.Levels,
 		MultiBalanceNS: d.MultiBalance.Nanoseconds(),
 		AlmostStrictNS: d.AlmostStrict.Nanoseconds(),
 		StrictPackNS:   d.StrictPack.Nanoseconds(),
 		PolishNS:       d.Polish.Nanoseconds(),
+		CoarsenNS:      d.Coarsen.Nanoseconds(),
 		TotalNS:        d.Total.Nanoseconds(),
 	}
 }

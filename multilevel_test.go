@@ -1,0 +1,253 @@
+package repro
+
+// Multilevel-path coverage at the facade: the seeded-corpus property test
+// (the documented boundary factor and the exact balance guarantee), the
+// engine/option wiring, and cancellation — including mid-coarsening, with
+// a goroutine-drain check (CI runs this package under -race).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/grid"
+	"repro/internal/splitter"
+	"repro/internal/workload"
+)
+
+// MLBoundaryFactor is the documented multilevel boundary premium: on the
+// seeded corpus below, the multilevel path's max boundary stays within
+// this factor of the direct path's (DESIGN.md §9; in practice it is often
+// *below* 1 — heavy-edge coarsening hides expensive edges inside clusters
+// and polish runs at every level).
+const MLBoundaryFactor = 2.0
+
+// mlCase is one seeded instance of the property corpus.
+type mlCase struct {
+	name string
+	g    *graph.Graph
+	opt  Options
+}
+
+// mlCorpus materializes ≥ 200 fixed-seed instances across the three
+// instance families: exact grids (Section 6 oracle), climate meshes
+// (BFS+FM oracle), and random geometric workload graphs.
+func mlCorpus() []mlCase {
+	var cases []mlCase
+	// 68 grids: sides 16..32, alternating k, lognormal weights.
+	for seed := int64(1); seed <= 68; seed++ {
+		side := 16 + int(seed%3)*8
+		gr := grid.MustBox(side, side)
+		workload.ApplyFields(gr, workload.LognormalWeights(0.5), nil, seed)
+		k := 4 + int(seed%2)*4
+		cases = append(cases, mlCase{
+			name: fmt.Sprintf("grid/side=%d/k=%d/seed=%d", side, k, seed),
+			g:    gr.G,
+			opt:  Options{K: k, P: gr.P(), Splitter: splitter.NewGrid(gr)},
+		})
+	}
+	// 68 climate meshes.
+	for seed := int64(1); seed <= 68; seed++ {
+		rows := 14 + int(seed%3)*6
+		mesh := workload.ClimateMesh(rows, rows+2, 3, seed)
+		k := 4 + int(seed%3)*2
+		cases = append(cases, mlCase{
+			name: fmt.Sprintf("climate/rows=%d/k=%d/seed=%d", rows, k, seed),
+			g:    mesh,
+			opt:  Options{K: k},
+		})
+	}
+	// 68 random geometric graphs.
+	for seed := int64(1); seed <= 68; seed++ {
+		n := 400 + int(seed%4)*150
+		g := workload.RandomGeometric(n, 0.08, 8, seed)
+		cases = append(cases, mlCase{
+			name: fmt.Sprintf("geom/n=%d/seed=%d", n, seed),
+			g:    g,
+			opt:  Options{K: 6},
+		})
+	}
+	return cases
+}
+
+// TestMultilevelProperty runs the corpus through both paths and asserts,
+// per instance: the multilevel result passes Verify (completeness, strict
+// balance, boundary consistency), its balance guarantee matches the direct
+// path exactly (same Definition 1 window, both strictly inside it), and
+// its boundary stays within MLBoundaryFactor of the direct path.
+func TestMultilevelProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seeded corpus is a full-test concern")
+	}
+	cases := mlCorpus()
+	if len(cases) < 200 {
+		t.Fatalf("corpus has %d cases, want ≥ 200", len(cases))
+	}
+	eng := NewEngine()
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			opt := tc.opt
+			opt.Parallelism = 1
+			direct, err := eng.PartitionWithOptions(context.Background(), tc.g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mlOpt := opt
+			// A floor low enough that every corpus instance actually
+			// coarsens — the default floor would make small instances
+			// degenerate to the direct path and test nothing.
+			mlOpt.Multilevel = &Multilevel{MinVertices: 64}
+			ml, err := eng.PartitionWithOptions(context.Background(), tc.g, mlOpt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := Verify(tc.g, opt, ml, 20); !v.OK() {
+				t.Fatalf("multilevel result failed verification: %v", v.Errors)
+			}
+			// Balance matches the direct path exactly: identical strict
+			// window, both strictly balanced within it.
+			if ml.Stats.StrictBound != direct.Stats.StrictBound {
+				t.Fatalf("strict windows differ: ml %g vs direct %g", ml.Stats.StrictBound, direct.Stats.StrictBound)
+			}
+			if !ml.Stats.StrictlyBalanced || !direct.Stats.StrictlyBalanced {
+				t.Fatalf("strict balance: ml=%v direct=%v", ml.Stats.StrictlyBalanced, direct.Stats.StrictlyBalanced)
+			}
+			if direct.Stats.MaxBoundary > 0 && ml.Stats.MaxBoundary > MLBoundaryFactor*direct.Stats.MaxBoundary {
+				t.Fatalf("multilevel boundary %g exceeds %g× direct %g",
+					ml.Stats.MaxBoundary, MLBoundaryFactor, direct.Stats.MaxBoundary)
+			}
+		})
+	}
+}
+
+// TestMultilevelEngineOption checks WithMultilevel routing: engine-default
+// runs coarsen, per-run explicit configs win, and the coloring equals the
+// per-run variant's.
+func TestMultilevelEngineOption(t *testing.T) {
+	mesh := workload.ClimateMesh(40, 40, 4, 5)
+	eng := NewEngine(WithMultilevel(Multilevel{MinVertices: 128}))
+	res, err := eng.PartitionWithOptions(context.Background(), mesh, Options{K: 8, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diag.Levels == 0 {
+		t.Fatal("engine-wide WithMultilevel did not coarsen")
+	}
+	plain := NewEngine()
+	explicit, err := plain.PartitionWithOptions(context.Background(), mesh, Options{
+		K: 8, Parallelism: 1, Multilevel: &Multilevel{MinVertices: 128},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range res.Coloring {
+		if res.Coloring[v] != explicit.Coloring[v] {
+			t.Fatalf("engine-default and explicit multilevel colorings differ at %d", v)
+		}
+	}
+}
+
+// TestMultilevelEngineOptionSkipsMeasures pins the resolve rule: an
+// engine-wide multilevel default must not turn a Measures run (which the
+// multilevel path rejects) into an error — it falls back to the direct
+// path.
+func TestMultilevelEngineOptionSkipsMeasures(t *testing.T) {
+	mesh := workload.ClimateMesh(16, 16, 3, 6)
+	extra := make([]float64, mesh.N())
+	for v := range extra {
+		extra[v] = float64(v%4) + 1
+	}
+	eng := NewEngine(WithMultilevel(Multilevel{MinVertices: 64}))
+	res, err := eng.PartitionWithOptions(context.Background(), mesh, Options{
+		K: 4, Parallelism: 1, Measures: [][]float64{extra},
+	})
+	if err != nil {
+		t.Fatalf("Measures run on a WithMultilevel engine failed: %v", err)
+	}
+	if res.Diag.Levels != 0 {
+		t.Fatal("Measures run took the multilevel path")
+	}
+	// An explicit per-run Multilevel with Measures still errors (the core
+	// incompatibility is not silently dropped).
+	if _, err := eng.PartitionWithOptions(context.Background(), mesh, Options{
+		K: 4, Measures: [][]float64{extra}, Multilevel: &Multilevel{},
+	}); err == nil {
+		t.Fatal("explicit Multilevel+Measures accepted")
+	}
+}
+
+// TestMultilevelCancelMidCoarsening cancels the run from inside the
+// StageCoarsen observer event — the hierarchy construction is underway
+// when the context dies — and checks the run unwinds to ctx.Err() with no
+// partial result and no leaked goroutine, then repeats with async cancels
+// at increasing depths so later levels and per-level refines get hit too.
+func TestMultilevelCancelMidCoarsening(t *testing.T) {
+	gr := grid.MustBox(256, 256)
+	workload.ApplyFields(gr, workload.LognormalWeights(0.5), nil, 1)
+	base := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	obs := &funcObserver{
+		enter: func(s StageName) {
+			if s == StageCoarsen {
+				cancel()
+			}
+		},
+		leave:       func(StageName, time.Duration) {},
+		oracle:      func(int64) {},
+		polishRound: func(int, bool) {},
+	}
+	eng := NewEngine(WithObserver(obs), WithMultilevel(Multilevel{}))
+	res, err := eng.PartitionWithOptions(ctx, gr.G, Options{K: 16, P: gr.P(), Splitter: splitter.NewGrid(gr)})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Coloring != nil {
+		t.Fatal("cancelled multilevel run leaked a partial coloring")
+	}
+	cancel()
+
+	// Async cancels at varying depths (coarsening is only the first few
+	// milliseconds; later delays land in the coarsest solve and the
+	// per-level refines).
+	var oracleCalls int64
+	obs2 := &funcObserver{
+		enter:       func(StageName) {},
+		leave:       func(StageName, time.Duration) {},
+		oracle:      func(int64) { atomic.AddInt64(&oracleCalls, 1) },
+		polishRound: func(int, bool) {},
+	}
+	eng2 := NewEngine(WithObserver(obs2), WithMultilevel(Multilevel{}))
+	for _, delay := range []time.Duration{0, 2 * time.Millisecond, 10 * time.Millisecond, 30 * time.Millisecond} {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			cancel()
+		}()
+		res, err := eng2.PartitionWithOptions(ctx, gr.G, Options{K: 16, P: gr.P(), Splitter: splitter.NewGrid(gr)})
+		<-done
+		if err == nil {
+			if !res.Stats.StrictlyBalanced {
+				t.Fatalf("delay %v: uncancelled run returned non-strict result", delay)
+			}
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("delay %v: err = %v, want context.Canceled", delay, err)
+		}
+		if res.Coloring != nil {
+			t.Fatalf("delay %v: cancelled run leaked a partial coloring", delay)
+		}
+	}
+	waitGoroutines(t, base)
+}
