@@ -8,6 +8,7 @@ package repro
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -145,6 +146,103 @@ func TestCancelledRepartitionLeavesInstanceUntouched(t *testing.T) {
 	}
 	if len(inst.History()) != 1 {
 		t.Fatalf("history length %d after one adopted drift, want 1", len(inst.History()))
+	}
+}
+
+// TestCancelledTopologyRepartitionLeavesInstanceUntouched extends the
+// transactional-session invariant to topology mutations: a cancelled or
+// invalid topology delta must leave the Instance byte-identical — same
+// graph object (not a patched copy), same coloring, hash, hierarchy state
+// and history — and the session must stay fully usable.
+func TestCancelledTopologyRepartitionLeavesInstanceUntouched(t *testing.T) {
+	mesh := workload.ClimateMesh(32, 32, 4, 5)
+	eng := NewEngine()
+	inst, err := eng.NewInstance(mesh, Options{K: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Partition(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	priorGraph := inst.Graph()
+	prior := inst.Coloring()
+	priorHash := inst.Hash()
+	priorWeights := append([]float64(nil), priorGraph.Weight...)
+
+	n := int32(mesh.N())
+	mutation := Delta{
+		RemoveVertices: []int32{3, 70},
+		AddVertices:    []float64{1.5},
+		AddEdges:       []EdgeChange{{U: n, V: 0, Cost: 1}},
+	}
+
+	checkUntouched := func(label string) {
+		t.Helper()
+		if inst.Graph() != priorGraph {
+			t.Fatalf("%s: session graph was replaced", label)
+		}
+		if inst.Hash() != priorHash {
+			t.Fatalf("%s: content hash changed: %s → %s", label, priorHash, inst.Hash())
+		}
+		got := inst.Coloring()
+		if len(got) != len(prior) {
+			t.Fatalf("%s: coloring length changed: %d → %d", label, len(prior), len(got))
+		}
+		for v := range got {
+			if got[v] != prior[v] {
+				t.Fatalf("%s: coloring mutated at vertex %d", label, v)
+			}
+		}
+		for v, w := range inst.Graph().Weight {
+			if w != priorWeights[v] {
+				t.Fatalf("%s: weight of vertex %d mutated", label, v)
+			}
+		}
+		if h := inst.History(); len(h) != 0 {
+			t.Fatalf("%s: migration history grew: %v", label, h)
+		}
+	}
+
+	// A context dead on arrival: the mutation must not be applied at all.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := inst.Repartition(ctx, mutation); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled topology repartition err = %v, want context.Canceled", err)
+	}
+	checkUntouched("cancelled mutation")
+
+	// Invalid mutations of every flavor: rejected with the session intact.
+	invalid := []Delta{
+		{RemoveVertices: []int32{n}},                                    // out of range
+		{RemoveVertices: []int32{1, 1}},                                 // duplicate removal
+		{AddEdges: []EdgeChange{{U: 0, V: 1, Cost: 1}}},                 // duplicates an existing edge
+		{AddEdges: []EdgeChange{{U: 5, V: 5, Cost: 1}}},                 // self-loop
+		{AddVertices: []float64{-2}},                                    // negative weight
+		{RemoveVertices: []int32{4}, Set: []WeightChange{{V: 4, W: 1}}}, // Set on removed
+	}
+	for i, d := range invalid {
+		if _, err := inst.Repartition(context.Background(), d); err == nil {
+			t.Fatalf("invalid mutation %d accepted: %+v", i, d)
+		}
+		checkUntouched(fmt.Sprintf("invalid mutation %d", i))
+	}
+
+	// The session survives: the same mutation succeeds on a live context.
+	res, err := inst.Repartition(context.Background(), mutation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.StrictlyBalanced {
+		t.Fatal("post-cancellation mutation not strictly balanced")
+	}
+	if inst.Graph().N() != mesh.N()-1 {
+		t.Fatalf("mutated graph has %d vertices, want %d", inst.Graph().N(), mesh.N()-1)
+	}
+	if inst.Hash() != graph.ContentHash(inst.Graph()) {
+		t.Fatal("session hash diverged from the canonical content hash")
+	}
+	if len(inst.History()) != 1 {
+		t.Fatalf("history length %d after one adopted mutation, want 1", len(inst.History()))
 	}
 }
 

@@ -1,0 +1,257 @@
+package repro
+
+// This file is the Delta vocabulary of the session API: the declarative
+// description of how an Instance's graph changes between queries. A Delta
+// composes vertex-weight drifts (the paper's motivating workload) with
+// topology mutations — vertices and edges appearing and disappearing —
+// under one canonical application order, so every consumer (the session
+// handle, the serving layer's cache keying, the load-generation
+// certifier) derives the identical successor graph from the identical
+// description.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// WeightChange is one sparse vertex-weight update of a Delta.
+type WeightChange struct {
+	// V is the vertex id — a stable address (see Delta) when the delta
+	// also mutates topology.
+	V int32
+	// W is the new absolute weight (Set) or the multiplicative factor
+	// (Scale).
+	W float64
+}
+
+// EdgeChange names one edge mutation of a Delta, by its endpoints in
+// stable addresses. Cost is the inserted edge's cost for AddEdges and is
+// ignored for RemoveEdges.
+type EdgeChange struct {
+	U, V int32
+	Cost float64
+}
+
+// Delta describes how an Instance's graph changes between queries:
+// topology mutations (vertices and edges appearing and disappearing)
+// and vertex-weight drifts, applied in one canonical order:
+//
+//	RemoveEdges → RemoveVertices → AddVertices → AddEdges
+//	→ Weights → Set → Scale
+//
+// so edge removals name edges of the base topology, inserted edges see
+// the post-removal vertex set, and the weight forms act on the final
+// topology. The zero Delta is the null drift: Repartition then
+// re-polishes the current coloring in place.
+//
+// Stable addressing: every vertex reference in a topology-carrying delta
+// — edge endpoints, Set/Scale targets, Weights indices — uses the stable
+// space of the base graph: id v ∈ [0, N) names base vertex v, and
+// id N+i names the i-th entry of AddVertices. A delta therefore never
+// needs to know the renumbering it induces. (Applying the mutation
+// compacts ids: survivors below the cut N−|RemoveVertices| keep their
+// ids, surviving tail vertices fill the freed low slots in ascending
+// order, and inserted vertices take the ids from the cut up — see
+// graph.ApplyMutation.)
+//
+// The weight forms compose after the topology: Weights (full
+// replacement, length N+len(AddVertices); entries of removed vertices
+// are ignored) first, then Set (absolute per-vertex), then Scale
+// (multiplicative — the natural encoding of the climate day/night
+// drift). Set or Scale naming a removed vertex is an error; AddVertices
+// entries are the inserted vertices' initial weights.
+type Delta struct {
+	Weights []float64
+	Set     []WeightChange
+	Scale   []WeightChange
+
+	// AddVertices appends len(AddVertices) new vertices with the given
+	// initial weights; the i-th gets stable address N+i.
+	AddVertices []float64
+	// RemoveVertices deletes the named base vertices and every edge
+	// incident to them.
+	RemoveVertices []int32
+	// AddEdges inserts edges between live stable endpoints; duplicating a
+	// surviving edge (or another insert) is an error.
+	AddEdges []EdgeChange
+	// RemoveEdges deletes the named base edges. Naming an edge that
+	// vertex removal already deletes is allowed (a redundant no-op);
+	// naming a non-existent edge is an error.
+	RemoveEdges []EdgeChange
+}
+
+// HasTopology reports whether the delta mutates the vertex or edge set
+// (as opposed to weights only).
+func (d Delta) HasTopology() bool {
+	return len(d.AddVertices) > 0 || len(d.RemoveVertices) > 0 ||
+		len(d.AddEdges) > 0 || len(d.RemoveEdges) > 0
+}
+
+// Applied is the result of Delta.Apply: the successor graph plus the
+// change-tracking a warm session resumes from.
+type Applied struct {
+	// Graph is the patched graph. For a weight-only delta it shares the
+	// base topology (a weight view); with topology mutations it is a
+	// fresh graph.
+	Graph *graph.Graph
+	// Topo is the topology patch — id mapping, dirty region, digest
+	// update — or nil for a weight-only delta.
+	Topo *graph.TopologyPatch
+	// Dirty lists the patched ids whose local structure or weight
+	// changed (sorted ascending): the structural dirty region of the
+	// mutation plus every vertex a weight form touched. Nil for a
+	// weight-only delta (the weight path refines globally).
+	Dirty []int32
+}
+
+// Apply materializes the delta over g into its successor graph, leaving
+// g untouched — the single definition of topology-delta semantics, run
+// by Instance.Repartition and by the serving layer to derive a mutated
+// instance's content identity.
+func (d Delta) Apply(g *graph.Graph) (Applied, error) {
+	if !d.HasTopology() {
+		w, err := d.Materialize(g)
+		if err != nil {
+			return Applied{}, err
+		}
+		return Applied{Graph: g.WithWeights(w)}, nil
+	}
+
+	mut := graph.Mutation{
+		AddVertices:    d.AddVertices,
+		RemoveVertices: d.RemoveVertices,
+	}
+	if len(d.AddEdges) > 0 {
+		mut.AddEdges = make([]graph.EdgeInsert, len(d.AddEdges))
+		for i, e := range d.AddEdges {
+			mut.AddEdges[i] = graph.EdgeInsert{U: e.U, V: e.V, Cost: e.Cost}
+		}
+	}
+	if len(d.RemoveEdges) > 0 {
+		mut.RemoveEdges = make([]graph.EdgeRef, len(d.RemoveEdges))
+		for i, e := range d.RemoveEdges {
+			mut.RemoveEdges[i] = graph.EdgeRef{U: e.U, V: e.V}
+		}
+	}
+	p, err := graph.ApplyMutation(g, mut)
+	if err != nil {
+		return Applied{}, err
+	}
+
+	// Weight forms act in the stable space on the patched weights (the
+	// patch's weight slice is fresh, so in-place composition is safe).
+	g2 := p.Graph
+	w := g2.Weight
+	stable := g.N() + len(d.AddVertices)
+	dirty := make([]bool, g2.N())
+	for _, v := range p.Dirty {
+		dirty[v] = true
+	}
+	if d.Weights != nil {
+		if len(d.Weights) != stable {
+			return Applied{}, fmt.Errorf("repro: delta weights length %d != stable size %d (N %d + %d added)",
+				len(d.Weights), stable, g.N(), len(d.AddVertices))
+		}
+		for s := 0; s < stable; s++ {
+			nv := p.NewID(int32(s))
+			if nv < 0 {
+				continue // removed: entry ignored
+			}
+			if w[nv] != d.Weights[s] {
+				w[nv] = d.Weights[s]
+				dirty[nv] = true
+			}
+		}
+	}
+	for _, u := range d.Set {
+		nv, err := liveStable(p, u.V, stable, "set")
+		if err != nil {
+			return Applied{}, err
+		}
+		w[nv] = u.W
+		dirty[nv] = true
+	}
+	for _, u := range d.Scale {
+		nv, err := liveStable(p, u.V, stable, "scale")
+		if err != nil {
+			return Applied{}, err
+		}
+		w[nv] *= u.W
+		dirty[nv] = true
+	}
+	for v, wt := range w {
+		if wt < 0 || math.IsNaN(wt) || math.IsInf(wt, 0) {
+			return Applied{}, fmt.Errorf("repro: vertex %d has invalid weight %v after delta", v, wt)
+		}
+	}
+
+	dl := make([]int32, 0, len(p.Dirty))
+	for v := range dirty {
+		if dirty[v] {
+			dl = append(dl, int32(v))
+		}
+	}
+	return Applied{Graph: g2, Topo: p, Dirty: dl}, nil
+}
+
+// liveStable resolves a weight form's stable address to a live patched
+// id.
+func liveStable(p *graph.TopologyPatch, s int32, stable int, form string) (int32, error) {
+	if s < 0 || int(s) >= stable {
+		return -1, fmt.Errorf("repro: delta %s: vertex %d out of stable range [0, %d)", form, s, stable)
+	}
+	nv := p.NewID(s)
+	if nv < 0 {
+		return -1, fmt.Errorf("repro: delta %s: vertex %d is removed by this delta", form, s)
+	}
+	return nv, nil
+}
+
+// Materialize composes a weight-only delta over g's weights into a
+// validated weight field, leaving g untouched. It is the single
+// definition of weight-delta semantics: Instance.Repartition runs it,
+// and the serving layer uses it to derive a drifted instance's content
+// id before deciding whether a pipeline must run at all. A delta
+// carrying topology mutations is an error here — those go through Apply.
+//
+// The zero delta returns g's weight slice itself (no copy, no
+// validation): callers must treat the result as read-only and must not
+// retain it across Applies or Repartitions, which may reuse the backing
+// array for successor graphs.
+func (d Delta) Materialize(g *graph.Graph) ([]float64, error) {
+	if d.HasTopology() {
+		return nil, fmt.Errorf("repro: delta mutates topology; Materialize is weight-only (use Delta.Apply)")
+	}
+	if d.Weights == nil && len(d.Set) == 0 && len(d.Scale) == 0 {
+		return g.Weight, nil
+	}
+	w := make([]float64, g.N())
+	if d.Weights != nil {
+		if len(d.Weights) != g.N() {
+			return nil, fmt.Errorf("repro: delta weights length %d != N %d", len(d.Weights), g.N())
+		}
+		copy(w, d.Weights)
+	} else {
+		copy(w, g.Weight)
+	}
+	for _, u := range d.Set {
+		if u.V < 0 || int(u.V) >= g.N() {
+			return nil, fmt.Errorf("repro: delta set: vertex %d out of range [0, %d)", u.V, g.N())
+		}
+		w[u.V] = u.W
+	}
+	for _, u := range d.Scale {
+		if u.V < 0 || int(u.V) >= g.N() {
+			return nil, fmt.Errorf("repro: delta scale: vertex %d out of range [0, %d)", u.V, g.N())
+		}
+		w[u.V] *= u.W
+	}
+	for v, wt := range w {
+		if wt < 0 || math.IsNaN(wt) || math.IsInf(wt, 0) {
+			return nil, fmt.Errorf("repro: vertex %d has invalid weight %v after delta", v, wt)
+		}
+	}
+	return w, nil
+}

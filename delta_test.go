@@ -1,0 +1,204 @@
+package repro
+
+// End-to-end coverage of topology-mutation deltas on the session handle:
+// canonical composition semantics, hash/digest agreement with a
+// from-scratch rebuild, migration accounting, and the stable-addressing
+// rules. The seeded churn corpus and the composition-order oracle live
+// in churn_property_test.go.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+func TestRepartitionTopologyEndToEnd(t *testing.T) {
+	g := workload.ClimateMesh(16, 16, 2, 5)
+	eng := NewEngine(WithVerification(VerifyResults))
+	inst, err := eng.NewInstance(g, Options{K: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Partition(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	n := int32(g.N())
+	d := Delta{
+		RemoveVertices: []int32{7, 40},
+		AddVertices:    []float64{2, 1.5},
+		AddEdges: []EdgeChange{
+			{U: n, V: 0, Cost: 1},
+			{U: n, V: n + 1, Cost: 2},
+			{U: n + 1, V: 100, Cost: 0.5},
+		},
+		RemoveEdges: []EdgeChange{{U: 0, V: 1}},
+		Scale:       []WeightChange{{V: 3, W: 2}},
+	}
+	res, err := inst.Repartition(context.Background(), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := inst.Graph()
+	if g2.N() != g.N() {
+		t.Fatalf("N = %d, want %d (two removed, two added)", g2.N(), g.N())
+	}
+	if err := graph.CheckColoring(res.Coloring, 6); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.StrictlyBalanced {
+		t.Fatal("mutated repartition not strictly balanced")
+	}
+	// The patched hash must be the canonical content hash of the graph the
+	// session now holds — a fresh rebuild agrees with the incremental path.
+	if got, want := inst.Hash(), graph.ContentHash(g2); got != want {
+		t.Fatalf("patched hash %s != from-scratch %s", got, want)
+	}
+	if inst.Hash() == graph.ContentHash(g) {
+		t.Fatal("hash did not change under a topology mutation")
+	}
+	hist := inst.History()
+	if len(hist) != 1 {
+		t.Fatalf("history length %d, want 1", len(hist))
+	}
+	// Both inserted vertices migrated by definition; survivors may add more.
+	if hist[0].Vertices < 2 {
+		t.Fatalf("migration counted %d vertices, want ≥ 2", hist[0].Vertices)
+	}
+	// The session stays serviceable: a follow-up weight drift over the
+	// mutated topology must resolve against the new vertex space.
+	if _, err := inst.Repartition(context.Background(), Delta{Scale: []WeightChange{{V: int32(g2.N() - 1), W: 3}}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepartitionTopologyMultilevelSession(t *testing.T) {
+	g := workload.ClimateMesh(40, 40, 2, 11)
+	eng := NewEngine(WithVerification(VerifyResults), WithMultilevel(Multilevel{MinVertices: 64}))
+	inst, err := eng.NewInstance(g, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Partition(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	n := int32(g.N())
+	res, err := inst.Repartition(context.Background(), Delta{
+		RemoveVertices: []int32{33},
+		AddVertices:    []float64{1},
+		AddEdges:       []EdgeChange{{U: n, V: 2, Cost: 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.StrictlyBalanced {
+		t.Fatal("not strict after mutation on a multilevel session")
+	}
+	if got, want := inst.Hash(), graph.ContentHash(inst.Graph()); got != want {
+		t.Fatalf("hash %s != canonical %s", got, want)
+	}
+}
+
+func TestDeltaApplyStableAddressing(t *testing.T) {
+	g := graph.Path(10)
+	// Remove vertex 2; set the weight of base vertex 9 (renumbered into
+	// the freed slot) and of the inserted vertex N+0, both by stable id.
+	d := Delta{
+		RemoveVertices: []int32{2},
+		AddVertices:    []float64{1},
+		AddEdges:       []EdgeChange{{U: 10, V: 0, Cost: 1}},
+		Set:            []WeightChange{{V: 9, W: 7}, {V: 10, W: 5}},
+	}
+	ap, err := d.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv9 := ap.Topo.NewID(9)
+	if nv9 == 9 || nv9 < 0 {
+		t.Fatalf("vertex 9 should be renumbered into the freed slot, got %d", nv9)
+	}
+	if ap.Graph.Weight[nv9] != 7 {
+		t.Fatalf("stable Set on renumbered vertex: weight %g, want 7", ap.Graph.Weight[nv9])
+	}
+	if nv10 := ap.Topo.NewID(10); ap.Graph.Weight[nv10] != 5 {
+		t.Fatalf("stable Set on inserted vertex: weight %g, want 5", ap.Graph.Weight[nv10])
+	}
+}
+
+func TestDeltaApplyRejectsWeightFormsOnRemoved(t *testing.T) {
+	g := graph.Path(6)
+	for _, d := range []Delta{
+		{RemoveVertices: []int32{2}, Set: []WeightChange{{V: 2, W: 1}}},
+		{RemoveVertices: []int32{2}, Scale: []WeightChange{{V: 2, W: 1}}},
+		{RemoveVertices: []int32{2}, Weights: []float64{1, 1, 1, 1, 1}}, // wrong stable size (want 6)
+		{AddVertices: []float64{1}, Set: []WeightChange{{V: 9, W: 1}}},  // out of stable range
+	} {
+		if _, err := d.Apply(g); err == nil {
+			t.Fatalf("Apply accepted invalid delta %+v", d)
+		}
+	}
+}
+
+func TestDeltaWeightsIgnoresRemovedEntries(t *testing.T) {
+	g := graph.Path(4)
+	w := []float64{10, 20, -1, 40} // stable entry of the removed vertex: ignored even if invalid
+	ap, err := Delta{RemoveVertices: []int32{2}, Weights: w}.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, want := range map[int32]float64{0: 10, 1: 20, 3: 40} {
+		if got := ap.Graph.Weight[ap.Topo.NewID(s)]; got != want {
+			t.Fatalf("weight of stable %d = %g, want %g", s, got, want)
+		}
+	}
+}
+
+func TestMaterializeRejectsTopology(t *testing.T) {
+	g := graph.Path(4)
+	if _, err := (Delta{AddVertices: []float64{1}}).Materialize(g); err == nil {
+		t.Fatal("Materialize accepted a topology delta")
+	}
+}
+
+func TestMaterializeZeroDeltaAliases(t *testing.T) {
+	g := graph.Path(4)
+	w, err := Delta{}.Materialize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &w[0] != &g.Weight[0] {
+		t.Fatal("zero delta should return the graph's weight slice without copying")
+	}
+	// Any non-empty form still returns a private copy.
+	w2, err := Delta{Set: []WeightChange{{V: 0, W: 2}}}.Materialize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &w2[0] == &g.Weight[0] {
+		t.Fatal("non-zero delta must not alias the graph's weights")
+	}
+}
+
+func TestMigrationAcrossCountsInsertedNotRemoved(t *testing.T) {
+	g := graph.Path(4)
+	ap, err := Delta{RemoveVertices: []int32{1}, AddVertices: []float64{2}, AddEdges: []EdgeChange{{U: 4, V: 0, Cost: 1}}}.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prior := []int32{0, 1, 0, 1}
+	next := make([]int32, ap.Graph.N())
+	for ov, nv := range ap.Topo.OldToNew {
+		if nv >= 0 {
+			next[nv] = prior[ov] // survivors keep their class
+		}
+	}
+	next[ap.Topo.NewID(4)] = 0
+	m := MigrationAcross(ap.Graph, ap.Topo.OldToNew, prior, next)
+	if m.Vertices != 1 {
+		t.Fatalf("migrated %d vertices, want 1 (the inserted one)", m.Vertices)
+	}
+	if m.Weight != 2 {
+		t.Fatalf("migrated weight %g, want 2", m.Weight)
+	}
+}

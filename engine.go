@@ -148,6 +148,18 @@ func NewEngine(opts ...EngineOption) *Engine {
 	return e
 }
 
+// splitterFor mints the graph-bound splitting oracle for g from the
+// engine's factory, defaulting to the FM-refined BFS prefix splitter —
+// the single definition shared by NewInstance and the topology-mutation
+// path of Instance.Repartition, which must rebind the oracle to each
+// successor graph (oracles are graph-bound, Definition 3).
+func (e *Engine) splitterFor(g *graph.Graph) splitter.Splitter {
+	if e.factory != nil {
+		return e.factory(g)
+	}
+	return splitter.NewRefined(g, splitter.NewBFS(g))
+}
+
 // resolve fills a run's options from the engine's policy: parallelism
 // default, observer default, and a factory-built oracle when none is set.
 func (e *Engine) resolve(g *graph.Graph, opt Options) Options {

@@ -6,21 +6,25 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/coarsen"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/grid"
 	"repro/internal/splitter"
 )
 
-// Instance is a long-lived handle for repeated queries against one graph
-// topology — the session shape of the drift workload the paper motivates
-// (a mesh whose vertex weights change "tremendously depending on
-// day-time", re-decomposed continuously). It owns the per-graph state
-// that the stateless free functions recompute on every call:
+// Instance is a long-lived handle for repeated queries against one
+// evolving graph — the session shape of the drift workload the paper
+// motivates (a mesh whose vertex weights change "tremendously depending
+// on day-time", re-decomposed continuously), extended to topology churn:
+// deltas may also add and remove vertices and edges (mesh refinement,
+// region failure, nodes joining and leaving). It owns the per-graph
+// state that the stateless free functions recompute on every call:
 //
 //   - the graph and its canonical SHA-256 content hash, with the
-//     topology half of the hash frozen at construction so a weight drift
-//     re-hashes O(N) weights instead of O(M log M) edges;
+//     topology half of the hash kept as an incrementally patchable digest
+//     so a weight drift re-hashes O(N) weights and a topology mutation
+//     re-hashes O(|mutation|) edges instead of O(M);
 //   - the splitting oracle, built once from the engine's factory;
 //   - the current session coloring, which each Repartition resumes from;
 //   - the migration history of the session's drift chain.
@@ -50,6 +54,18 @@ type Instance struct {
 	hash     string
 	coloring []int32 // current session coloring; nil until first success
 	history  []Migration
+
+	// hier caches the multilevel hierarchy for the current graph when the
+	// session runs the multilevel path: built once by Partition, then
+	// maintained across deltas with coarsen.Update (reweighted in O(N) per
+	// level, re-matched only around a topology mutation's dirty region).
+	// hierBuilt marks a hierarchy produced by a from-scratch Build for the
+	// current graph — the only kind Partition itself will consume, so a
+	// full Partition stays bit-identical to a fresh one-shot run;
+	// Update-derived hierarchies serve only cold Repartition starts (the
+	// DESIGN.md §9 reproducibility carve-out for repartition paths).
+	hier      *coarsen.Hierarchy
+	hierBuilt bool
 }
 
 // NewInstance mints a session handle for g under the given options. The
@@ -63,7 +79,7 @@ func (e *Engine) NewInstance(g *graph.Graph, opt Options) (*Instance, error) {
 	}
 	opt = e.resolve(g, opt)
 	if opt.Splitter == nil {
-		opt.Splitter = splitter.NewRefined(g, splitter.NewBFS(g))
+		opt.Splitter = e.splitterFor(g)
 	}
 	digest := graph.NewContentDigest(g)
 	return &Instance{
@@ -148,8 +164,25 @@ func (in *Instance) Partition(ctx context.Context) (Result, error) {
 	defer in.runMu.Unlock()
 	in.mu.Lock()
 	g := in.g
+	hier, hierBuilt := in.hier, in.hierBuilt
 	in.mu.Unlock()
-	res, err := core.Decompose(ctx, g, in.opt)
+	opt := in.opt
+	if opt.Multilevel != nil {
+		// Build (or reuse) the session hierarchy and hand it to the run.
+		// Build here uses the identical CoarsenOptions the in-run
+		// construction would, so the result is bit-identical either way;
+		// the session just keeps the hierarchy for later deltas.
+		if hier == nil || !hierBuilt || hier.Fine != g {
+			var err error
+			hier, err = coarsen.Build(ctx, g, opt.Multilevel.CoarsenOptions(g, opt.K))
+			if err != nil {
+				return Result{}, err
+			}
+			hierBuilt = true
+		}
+		opt.Hierarchy = hier
+	}
+	res, err := core.Decompose(ctx, g, opt)
 	if err != nil {
 		return Result{}, err
 	}
@@ -161,23 +194,35 @@ func (in *Instance) Partition(ctx context.Context) (Result, error) {
 	// the session prior must stay immutable (accessors and resumes rely
 	// on it).
 	in.coloring = append([]int32(nil), res.Coloring...)
+	if opt.Multilevel != nil {
+		in.hier, in.hierBuilt = hier, hierBuilt
+	}
 	in.mu.Unlock()
 	return res, nil
 }
 
-// Repartition applies a weight drift and resumes the pipeline from the
-// current session coloring — the incremental serving path. The drifted
-// graph shares the session topology (no clone) and its content hash is
-// recomputed from the frozen topology digest (O(N), not O(M log M)); both
-// savings compound over a drift chain.
+// Repartition applies a delta — a vertex-weight drift, topology
+// mutations (vertices and edges appearing and disappearing), or both —
+// and resumes the pipeline from the current session coloring: the
+// incremental serving path. A weight-only delta shares the session
+// topology (no clone) and re-hashes from the frozen topology digest in
+// O(N); a topology delta patches the graph, the digest (O(|mutation|)
+// amortized, see graph.ContentDigest.Patch) and the session's multilevel
+// hierarchy incrementally, rebinds the splitting oracle to the patched
+// graph via the engine's factory (graph-specific oracles supplied at
+// NewInstance do not carry across topology changes), and resumes with
+// the prior coloring transported onto the survivors — removed vertices
+// drop out, inserted ones adopt the lightest adjacent class — refining
+// FM/polish work restricted to the mutation's dirty region.
 //
 // With no prior coloring (no successful run yet) the full pipeline runs
-// instead, so a cold handle still answers. On success the instance adopts
-// the drifted graph, hash and coloring, and appends the migration versus
-// the prior coloring to the session history. On error — cancellation
-// included — nothing is adopted: the prior coloring is never mutated
-// (Refine works on a private copy), and the handle still answers for the
-// pre-drift graph.
+// instead, so a cold handle still answers. On success the instance
+// adopts the new graph, hash and coloring, and appends the migration
+// versus the prior coloring to the session history (for a topology delta
+// every inserted vertex counts as migrated; removed vertices never do).
+// On error — cancellation and invalid mutations included — nothing is
+// adopted: the prior coloring is never mutated (refines work on private
+// copies), and the handle still answers for the pre-delta graph.
 func (in *Instance) Repartition(ctx context.Context, d Delta) (Result, error) {
 	in.runMu.Lock()
 	defer in.runMu.Unlock()
@@ -186,16 +231,51 @@ func (in *Instance) Repartition(ctx context.Context, d Delta) (Result, error) {
 	// this run's commit (seeding is last-writer-wins by design). Neither
 	// slice is mutated in place anywhere, so the snapshot stays coherent.
 	in.mu.Lock()
-	g, prior := in.g, in.coloring
+	g, prior, hier := in.g, in.coloring, in.hier
 	in.mu.Unlock()
+	if d.HasTopology() {
+		return in.repartitionTopology(ctx, d, g, prior, hier)
+	}
+	return in.repartitionWeights(ctx, d, g, prior, hier)
+}
+
+// updateHierarchy advances the cached multilevel hierarchy onto g2, or
+// returns nil when the session has none to advance. A failed update is
+// non-fatal unless it is the run's cancellation: the cache is dropped
+// and a later Partition rebuilds from scratch.
+func (in *Instance) updateHierarchy(ctx context.Context, hier *coarsen.Hierarchy, g2 *graph.Graph, oldToNew, dirty []int32) (*coarsen.Hierarchy, error) {
+	if in.opt.Multilevel == nil || hier == nil {
+		return nil, nil
+	}
+	h2, _, err := coarsen.Update(ctx, hier, g2, oldToNew, dirty, in.opt.Multilevel.CoarsenOptions(g2, in.opt.K))
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	return h2, nil
+}
+
+// repartitionWeights is the weight-only Repartition path; see
+// Repartition.
+func (in *Instance) repartitionWeights(ctx context.Context, d Delta, g *graph.Graph, prior []int32, hier *coarsen.Hierarchy) (Result, error) {
 	w2, err := d.Materialize(g)
 	if err != nil {
 		return Result{}, err
 	}
 	g2 := g.WithWeights(w2)
+	hier2, err := in.updateHierarchy(ctx, hier, g2, nil, nil)
+	if err != nil {
+		return Result{}, err
+	}
 	var res Result
 	if prior == nil {
-		res, err = core.Decompose(ctx, g2, in.opt)
+		opt := in.opt
+		if hier2 != nil {
+			opt.Hierarchy = hier2
+		}
+		res, err = core.Decompose(ctx, g2, opt)
 	} else {
 		res, err = core.Refine(ctx, g2, in.opt, prior)
 	}
@@ -216,62 +296,97 @@ func (in *Instance) Repartition(ctx context.Context, d Delta) (Result, error) {
 	// returned slice.
 	in.coloring = append([]int32(nil), res.Coloring...)
 	in.history = append(in.history, mig)
+	// The reweighted hierarchy is Update-derived (fresh matching under the
+	// drifted weight cap could differ), so it serves repartitions only.
+	in.hier, in.hierBuilt = hier2, false
 	in.mu.Unlock()
 	return res, nil
 }
 
-// WeightChange is one sparse vertex-weight update of a Delta.
-type WeightChange struct {
-	// V is the vertex id.
-	V int32
-	// W is the new absolute weight (Set) or the multiplicative factor
-	// (Scale).
-	W float64
-}
-
-// Delta describes a vertex-weight drift for Instance.Repartition. The
-// forms compose in order: Weights (full replacement) first, then Set
-// (absolute per-vertex), then Scale (multiplicative per-vertex — the
-// natural encoding of the climate day/night drift). Edge costs and
-// topology never change within a session. The zero Delta is the null
-// drift: Repartition then re-polishes the current coloring in place.
-type Delta struct {
-	Weights []float64
-	Set     []WeightChange
-	Scale   []WeightChange
-}
-
-// Materialize composes the delta over g's weights into a fresh, validated
-// weight field, leaving g untouched. It is the single definition of delta
-// semantics: Instance.Repartition runs it, and the serving layer uses it
-// to derive a drifted instance's content id before deciding whether a
-// pipeline must run at all.
-func (d Delta) Materialize(g *graph.Graph) ([]float64, error) {
-	w := make([]float64, g.N())
-	if d.Weights != nil {
-		if len(d.Weights) != g.N() {
-			return nil, fmt.Errorf("repro: delta weights length %d != N %d", len(d.Weights), g.N())
+// repartitionTopology is the topology-mutating Repartition path; see
+// Repartition.
+func (in *Instance) repartitionTopology(ctx context.Context, d Delta, g *graph.Graph, prior []int32, hier *coarsen.Hierarchy) (Result, error) {
+	ap, err := d.Apply(g)
+	if err != nil {
+		return Result{}, err
+	}
+	g2 := ap.Graph
+	opt2 := in.opt
+	opt2.Splitter = in.eng.splitterFor(g2)
+	hier2, err := in.updateHierarchy(ctx, hier, g2, ap.Topo.OldToNew, ap.Topo.Dirty)
+	if err != nil {
+		return Result{}, err
+	}
+	var res Result
+	if prior == nil {
+		if hier2 != nil {
+			opt2.Hierarchy = hier2
 		}
-		copy(w, d.Weights)
+		res, err = core.Decompose(ctx, g2, opt2)
 	} else {
-		copy(w, g.Weight)
+		seed := seedAcross(g2, ap.Topo, prior, opt2.K)
+		res, err = core.RefineLocal(ctx, g2, opt2, seed, ap.Dirty)
 	}
-	for _, u := range d.Set {
-		if u.V < 0 || int(u.V) >= g.N() {
-			return nil, fmt.Errorf("repro: delta set: vertex %d out of range [0, %d)", u.V, g.N())
+	if err != nil {
+		return Result{}, err
+	}
+	if err := in.eng.audit(g2, opt2, res); err != nil {
+		return Result{}, err
+	}
+	var mig Migration
+	if prior != nil {
+		mig = MigrationAcross(g2, ap.Topo.OldToNew, prior, res.Coloring)
+	}
+	in.mu.Lock()
+	in.g = g2
+	in.digest = in.digest.Patch(ap.Topo)
+	in.hash = in.digest.HashWeights(g2.Weight)
+	in.opt.Splitter = opt2.Splitter
+	in.coloring = append([]int32(nil), res.Coloring...)
+	in.history = append(in.history, mig)
+	in.hier, in.hierBuilt = hier2, false
+	in.mu.Unlock()
+	return res, nil
+}
+
+// seedAcross transports a prior coloring of the base graph onto the
+// patched graph: survivors keep their class, and inserted vertices
+// (ascending id) adopt the lightest class among their already-colored
+// neighbors — lightest class overall when isolated — so the seed starts
+// both complete and as balanced as a local rule can make it before
+// RefineLocal re-certifies the Definition 1 window globally.
+func seedAcross(g2 *graph.Graph, p *graph.TopologyPatch, prior []int32, k int) []int32 {
+	seed := make([]int32, g2.N())
+	for i := range seed {
+		seed[i] = -1
+	}
+	cw := make([]float64, k)
+	for ov, nv := range p.OldToNew {
+		if nv >= 0 {
+			c := prior[ov]
+			seed[nv] = c
+			cw[c] += g2.Weight[nv]
 		}
-		w[u.V] = u.W
 	}
-	for _, u := range d.Scale {
-		if u.V < 0 || int(u.V) >= g.N() {
-			return nil, fmt.Errorf("repro: delta scale: vertex %d out of range [0, %d)", u.V, g.N())
+	for v := int32(p.Survivors); int(v) < g2.N(); v++ {
+		best := int32(-1)
+		bw := math.Inf(1)
+		for _, e := range g2.IncidentEdges(v) {
+			o := g2.Other(e, v)
+			if c := seed[o]; c >= 0 && cw[c] < bw {
+				best, bw = c, cw[c]
+			}
 		}
-		w[u.V] *= u.W
-	}
-	for v, wt := range w {
-		if wt < 0 || math.IsNaN(wt) || math.IsInf(wt, 0) {
-			return nil, fmt.Errorf("repro: vertex %d has invalid weight %v after delta", v, wt)
+		if best < 0 {
+			best = 0
+			for c := int32(1); int(c) < k; c++ {
+				if cw[c] < cw[best] {
+					best = c
+				}
+			}
 		}
+		seed[v] = best
+		cw[best] += g2.Weight[v]
 	}
-	return w, nil
+	return seed
 }

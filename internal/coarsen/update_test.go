@@ -1,0 +1,188 @@
+package coarsen
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// pairedPath builds a path 0-1-…-(n-1) whose matching is forced into the
+// pairs (2i, 2i+1): heavy cost 10 inside a pair, cheap cost 1 between
+// pairs. The deterministic pairing makes stamp-preservation assertions
+// exact.
+func pairedPath(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		c := 1.0
+		if i%2 == 0 {
+			c = 10
+		}
+		b.AddEdge(int32(i), int32(i+1), c)
+	}
+	return b.MustBuild()
+}
+
+// A pure reweighting reuses every level as a weight view: topology
+// digests and stamps unchanged, weights re-aggregated exactly.
+func TestUpdateReweightReusesEveryLevel(t *testing.T) {
+	g := workload.ClimateMesh(40, 40, 3, 7)
+	opt := Options{MinVertices: 32}
+	h, err := Build(context.Background(), g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2 := make([]float64, g.N())
+	for v := range w2 {
+		w2[v] = g.Weight[v] * (1.5 + float64(v%5))
+	}
+	g2 := g.WithWeights(w2)
+	h2, stats, err := Update(context.Background(), h, g2, nil, nil, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.StampsKept != len(h.Levels) || len(h2.Levels) != len(h.Levels) {
+		t.Fatalf("reweight kept %d of %d stamps", stats.StampsKept, len(h.Levels))
+	}
+	w := w2
+	for i := range h.Levels {
+		if h2.Stamps[i] != h.Stamps[i] {
+			t.Fatalf("level %d stamp changed on reweight", i)
+		}
+		old, nu := h.Levels[i].Coarse, h2.Levels[i].Coarse
+		if graph.NewContentDigest(old) != graph.NewContentDigest(nu) {
+			t.Fatalf("level %d topology changed on reweight", i)
+		}
+		w = h.Levels[i].AggregateWeights(w)
+		for v := range w {
+			if nu.Weight[v] != w[v] {
+				t.Fatalf("level %d weight[%d] = %g, want %g", i, v, nu.Weight[v], w[v])
+			}
+		}
+	}
+}
+
+// After a structural mutation, the updated hierarchy must be a valid
+// contraction chain of the mutated graph, reusing groups away from the
+// dirty region.
+func TestUpdateAfterMutationIsValidChain(t *testing.T) {
+	g := workload.ClimateMesh(40, 40, 3, 9)
+	opt := Options{MinVertices: 32}
+	h, err := Build(context.Background(), g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := graph.ApplyMutation(g, graph.Mutation{
+		RemoveVertices: []int32{100, 101, 140},
+		AddVertices:    []float64{2, 3},
+		AddEdges: []graph.EdgeInsert{
+			{U: int32(g.N()), V: 0, Cost: 1},
+			{U: int32(g.N()), V: int32(g.N()) + 1, Cost: 2},
+			{U: int32(g.N()) + 1, V: 50, Cost: 1},
+		},
+		RemoveEdges: []graph.EdgeRef{{U: 200, V: 201}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, stats, err := Update(context.Background(), h, p.Graph, p.OldToNew, p.Dirty, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h2.Levels) != len(h.Levels) {
+		t.Fatalf("depth changed: %d → %d", len(h.Levels), len(h2.Levels))
+	}
+	cur := p.Graph
+	for i, con := range h2.Levels {
+		if len(con.Map) != cur.N() {
+			t.Fatalf("level %d map length %d != N %d", i, len(con.Map), cur.N())
+		}
+		if err := con.Coarse.Validate(); err != nil {
+			t.Fatalf("level %d coarse invalid: %v", i, err)
+		}
+		cur = con.Coarse
+	}
+	if got, want := cur.TotalWeight(), p.Graph.TotalWeight(); got < want-1e-6 || got > want+1e-6 {
+		t.Fatalf("coarsest weight %g != fine %g", got, want)
+	}
+	if stats.ReusedGroups == 0 {
+		t.Fatal("no groups reused for a localized mutation")
+	}
+	if stats.Rematched > p.Graph.N()/4 {
+		t.Fatalf("rematched %d of %d vertices for a 6-vertex-region mutation", stats.Rematched, p.Graph.N())
+	}
+}
+
+// A mutation whose rematches reproduce the old pairs keeps every level's
+// stamp, even though the coarse graphs themselves change (the inserted
+// edge's cost folds through the chain).
+func TestUpdateKeepsStampsAwayFromChurn(t *testing.T) {
+	g := pairedPath(64)
+	opt := Options{MinVertices: 4, MaxLevels: 3}
+	h, err := Build(context.Background(), g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Levels) == 0 {
+		t.Fatal("no levels")
+	}
+	// A cheap extra edge between two pairs: its endpoints go dirty and
+	// rematch, but cost 0.5 < 10 keeps the heavy-edge choice unchanged.
+	p, err := graph.ApplyMutation(g, graph.Mutation{
+		AddEdges: []graph.EdgeInsert{{U: 10, V: 21, Cost: 0.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, stats, err := Update(context.Background(), h, p.Graph, p.OldToNew, p.Dirty, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.StampsKept != len(h.Levels) {
+		t.Fatalf("kept %d of %d stamps; stats %+v", stats.StampsKept, len(h.Levels), stats)
+	}
+	for i := range h.Levels {
+		if h2.Stamps[i] != h.Stamps[i] {
+			t.Fatalf("level %d stamp changed", i)
+		}
+	}
+	// The mutation still reached the coarse topology.
+	if graph.NewContentDigest(h2.Levels[0].Coarse) == graph.NewContentDigest(h.Levels[0].Coarse) {
+		t.Fatal("inserted edge vanished from the coarse graph")
+	}
+}
+
+// A removal dissolves the groups it touches; everything else is reused.
+func TestUpdateRemovalDissolvesTouchedGroupsOnly(t *testing.T) {
+	g := pairedPath(64)
+	opt := Options{MinVertices: 8, MaxLevels: 1}
+	h, err := Build(context.Background(), g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := graph.ApplyMutation(g, graph.Mutation{RemoveVertices: []int32{30}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, stats, err := Update(context.Background(), h, p.Graph, p.OldToNew, p.Dirty, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty: neighbors 29 and 31 → groups (28,29), (30,31) dissolved; 30's
+	// own group too (member removed). Pool after removal: 28? no — group
+	// (28,29) has dirty member 29 → dissolved, so {28, 29, 31} rematch
+	// (31's partner 30 is gone). Everything else: 30 groups reused.
+	if stats.ReusedGroups != 30 {
+		t.Fatalf("reused %d groups, want 30 (stats %+v)", stats.ReusedGroups, stats)
+	}
+	if stats.Rematched != 3 {
+		t.Fatalf("rematched %d vertices, want 3", stats.Rematched)
+	}
+	if err := h2.Levels[0].Coarse.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := h2.Levels[0].Coarse.TotalWeight(), p.Graph.TotalWeight(); got != want {
+		t.Fatalf("weight %g != %g", got, want)
+	}
+}

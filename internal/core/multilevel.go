@@ -54,6 +54,22 @@ func (m Multilevel) resolve(k int) Multilevel {
 	return m
 }
 
+// CoarsenOptions resolves the hierarchy-construction knobs a K-part run
+// uses for g — the single definition shared by the in-run Build below and
+// by session holders (repro.Instance) that prebuild a hierarchy for
+// Options.Hierarchy or maintain one across mutations with coarsen.Update.
+// The weight cap is half a part's share: the Definition 1 window is
+// ±(1−1/k)·‖w‖∞, so letting ‖w‖∞ grow past the average class weight would
+// make the coarsest window vacuous.
+func (m Multilevel) CoarsenOptions(g *graph.Graph, k int) coarsen.Options {
+	r := m.resolve(k)
+	return coarsen.Options{
+		MinVertices: r.MinVertices,
+		MaxLevels:   r.MaxLevels,
+		MaxWeight:   g.TotalWeight() / float64(2*k),
+	}
+}
+
 // defaultSplitterFactory mints the oracle for hierarchy levels when the
 // caller provides no Options.SplitterFactory: the FM-refined BFS prefix
 // splitter, the same default a direct run gets.
@@ -87,14 +103,16 @@ func (multilevelStage) Run(c *ctx, _ []int32) ([]int32, error) {
 	// absorbed into this run's.
 	mark := time.Now()
 	c.stageEnter(StageCoarsen)
-	hier, err := coarsen.Build(c.run, c.g, coarsen.Options{
-		MinVertices: ml.MinVertices,
-		MaxLevels:   ml.MaxLevels,
-		// Cap coarse vertices at half a part's share: the Definition 1
-		// window is ±(1−1/k)·‖w‖∞, so letting ‖w‖∞ grow past the average
-		// class weight would make the coarsest window vacuous.
-		MaxWeight: c.g.TotalWeight() / float64(2*c.opt.K),
-	})
+	var hier *coarsen.Hierarchy
+	var err error
+	if c.opt.Hierarchy != nil && c.opt.Hierarchy.Fine == c.g {
+		// A session-supplied hierarchy for exactly this graph (pointer
+		// identity: coarse weights are baked in, so a stale fine graph
+		// would silently solve the wrong instance) skips construction.
+		hier = c.opt.Hierarchy
+	} else {
+		hier, err = coarsen.Build(c.run, c.g, ml.CoarsenOptions(c.g, c.opt.K))
+	}
 	took := time.Since(mark)
 	if c.diag != nil {
 		c.diag.record(StageCoarsen, took)

@@ -90,6 +90,13 @@ func RefinePipeline(opt Options) *Pipeline {
 	return NewPipeline(UnlessStrict(AlmostStrictStage(), StrictPackStage()), PolishStage())
 }
 
+// RefineLocalPipeline assembles the dirty-region resume path behind
+// RefineLocal: the same strictness-guarded rebalancing stages, but polish
+// sweeps only the dirty region's closed neighborhood.
+func RefineLocalPipeline(opt Options, dirty []int32) *Pipeline {
+	return NewPipeline(UnlessStrict(AlmostStrictStage(), StrictPackStage()), LocalPolishStage(dirty))
+}
+
 // Run executes the pipeline on g under opt. prior seeds the working
 // coloring (copied, never mutated); nil starts the pipeline empty, which
 // only producing assemblies (DecomposePipeline) accept. The driver owns
@@ -249,6 +256,32 @@ func (polishStage) Name() StageName { return StagePolish }
 func (polishStage) Run(c *ctx, chi []int32) ([]int32, error) {
 	if !c.opt.SkipPolish && graph.IsStrictlyBalanced(c.g, chi, c.opt.K) {
 		return c.polish(chi, c.opt.K, 3), nil
+	}
+	return chi, nil
+}
+
+// localPolishStage is the localized variant of the polish pass: the
+// candidate sweep is restricted to the closed neighborhood of the dirty
+// vertex set while balance feasibility stays global. It is the polish
+// half of the dirty-region Refine contract (RefineLocal): a topology
+// mutation touches a bounded region, so only that region's border can
+// have gained boundary cost worth polishing away. It reports as
+// StagePolish, so observers and diagnostics see the usual pipeline shape.
+type localPolishStage struct {
+	dirty []int32
+}
+
+// LocalPolishStage returns a polish stage restricted to the closed
+// neighborhood of dirty (vertex ids of the stage's graph).
+func LocalPolishStage(dirty []int32) Stage {
+	return localPolishStage{dirty: append([]int32(nil), dirty...)}
+}
+
+func (localPolishStage) Name() StageName { return StagePolish }
+
+func (s localPolishStage) Run(c *ctx, chi []int32) ([]int32, error) {
+	if !c.opt.SkipPolish && graph.IsStrictlyBalanced(c.g, chi, c.opt.K) {
+		return c.polishLocal(chi, c.opt.K, 3, s.dirty), nil
 	}
 	return chi, nil
 }

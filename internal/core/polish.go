@@ -18,20 +18,56 @@ type polishState struct {
 	cw  []float64 // class weights
 	cb  []float64 // class boundary costs
 
+	// active, when non-nil, restricts the sweep to a vertex subset (the
+	// localized-refine path): only active vertices are considered as move
+	// or swap candidates. Class weights and boundaries stay global, so
+	// feasibility and improvement are judged against the whole coloring.
+	active     []bool
+	activeList []int32
+
 	avg, window, tol float64
 }
 
 func (c *ctx) polish(chi []int32, k int, rounds int) []int32 {
+	return c.polishRegion(chi, k, rounds, nil)
+}
+
+// polishLocal is the localized polish pass: candidates are restricted to
+// the closed neighborhood of the dirty vertex set (the changed region of a
+// topology mutation plus its border, where new boundary costs can appear),
+// while balance feasibility stays global. With an empty dirty set it
+// degenerates to a no-op sweep.
+func (c *ctx) polishLocal(chi []int32, k int, rounds int, dirty []int32) []int32 {
+	g := c.g
+	active := make([]bool, g.N())
+	for _, v := range dirty {
+		active[v] = true
+		for _, e := range g.IncidentEdges(v) {
+			active[g.Other(e, v)] = true
+		}
+	}
+	return c.polishRegion(chi, k, rounds, active)
+}
+
+func (c *ctx) polishRegion(chi []int32, k int, rounds int, active []bool) []int32 {
 	if k <= 1 || rounds <= 0 {
 		return append([]int32(nil), chi...)
 	}
 	g := c.g
 	ps := &polishState{
-		c:   c,
-		k:   k,
-		out: append([]int32(nil), chi...),
-		cw:  g.ClassWeights(chi, k),
-		cb:  g.ClassBoundaryCosts(chi, k),
+		c:      c,
+		k:      k,
+		out:    append([]int32(nil), chi...),
+		cw:     g.ClassWeights(chi, k),
+		cb:     g.ClassBoundaryCosts(chi, k),
+		active: active,
+	}
+	if active != nil {
+		for v, a := range active {
+			if a {
+				ps.activeList = append(ps.activeList, int32(v))
+			}
+		}
 	}
 	total := totalOf(g.Weight)
 	maxw := maxOf(g.Weight)
@@ -105,16 +141,30 @@ func (ps *polishState) round() bool {
 	if maxB <= 0 {
 		return false
 	}
-	// Border vertices per class (those with at least one cut edge).
+	// Border vertices per class (those with at least one cut edge). The
+	// localized path scans only the active vertices' incidence lists and
+	// admits only active border vertices as candidates.
 	border := make([][]int32, k)
 	isBorder := make([]bool, g.N())
-	for e := 0; e < g.M(); e++ {
-		u, v := g.Endpoints(int32(e))
-		if ps.out[u] != ps.out[v] {
-			for _, x := range []int32{u, v} {
-				if !isBorder[x] {
+	if ps.active == nil {
+		for e := 0; e < g.M(); e++ {
+			u, v := g.Endpoints(int32(e))
+			if ps.out[u] != ps.out[v] {
+				for _, x := range []int32{u, v} {
+					if !isBorder[x] {
+						isBorder[x] = true
+						border[ps.out[x]] = append(border[ps.out[x]], x)
+					}
+				}
+			}
+		}
+	} else {
+		for _, x := range ps.activeList {
+			for _, e := range g.IncidentEdges(x) {
+				if ps.out[g.Other(e, x)] != ps.out[x] {
 					isBorder[x] = true
 					border[ps.out[x]] = append(border[ps.out[x]], x)
+					break
 				}
 			}
 		}

@@ -10,20 +10,32 @@ import (
 // This file defines the canonical content identity of a graph instance —
 // the fingerprint the serving layer uses as a cache key and the Instance
 // session API exposes as its handle id. Two graphs hash equal iff they
-// have the same vertex count, the same weights, and the same sorted
-// (u, v, cost) edge list; construction order never matters.
+// have the same vertex count, the same weights, and the same (u, v, cost)
+// edge multiset; construction order never matters.
 //
 // The hash is split into two halves so repartition chains pay only for
-// what changed: ContentDigest freezes the topology half (vertex/edge
-// counts, sorted edge list with costs — immutable under weight drift) and
-// HashWeights folds a weight field over it. A drift step re-hashes O(N)
-// weights instead of re-sorting and re-hashing O(M log M) edges.
+// what changed: ContentDigest holds the topology half (vertex/edge counts
+// plus an edge-set accumulator) and HashWeights folds a weight field over
+// it. A weight drift re-hashes O(N) weights; a topology mutation patches
+// the accumulator in O(|touched edges|) via Patch.
+//
+// The topology half is an XOR-multiset accumulator: the XOR of the
+// per-edge SHA-256 hashes of every (u, v, cost) triple. XOR is commutative
+// and self-inverse, so the accumulator is order-free (no edge sorting, a
+// win over the previous sequential scheme) and incrementally updatable —
+// removing an edge XORs its hash back out, adding one XORs it in. The
+// price is collision resistance against *adversarial* edge sets (an
+// XOR-multiset is linear over GF(2)); the digest is a cache/content
+// address for cooperating clients, not a cryptographic commitment, and
+// the serving layer's caches are per-content-id, so a colliding pair can
+// only alias a client's own instances.
 
-// ContentDigest is the frozen topology half of a graph's content hash.
-// The zero value is invalid; build one with NewContentDigest.
+// ContentDigest is the topology half of a graph's content hash.
+// The zero value is only valid for the empty graph; build one with
+// NewContentDigest and derive mutated ones with Patch.
 type ContentDigest struct {
-	n, m  int
-	edges [sha256.Size]byte
+	n, m int
+	acc  [sha256.Size]byte
 }
 
 func writeU64(h interface{ Write([]byte) (int, error) }, x uint64) {
@@ -32,22 +44,56 @@ func writeU64(h interface{ Write([]byte) (int, error) }, x uint64) {
 	h.Write(buf[:])
 }
 
-// NewContentDigest hashes g's weight-independent content: N, M and the
-// sorted (u, v, cost) edge list. O(N + M log M); compute once per
-// topology and reuse across reweightings.
-func NewContentDigest(g *Graph) ContentDigest {
-	h := sha256.New()
-	writeU64(h, uint64(g.N()))
-	writeU64(h, uint64(g.M()))
-	us, vs, cs := g.SortedEdgeList()
-	for i := range us {
-		writeU64(h, uint64(uint32(us[i])))
-		writeU64(h, uint64(uint32(vs[i])))
-		writeU64(h, math.Float64bits(cs[i]))
+// edgeDigest hashes one (u, v, cost) triple with u < v — the unit the
+// XOR-multiset accumulator is built from.
+func edgeDigest(u, v int32, cost float64) [sha256.Size]byte {
+	var buf [16]byte
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(u))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(v))
+	binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(cost))
+	return sha256.Sum256(buf[:])
+}
+
+func xorInto(dst *[sha256.Size]byte, src [sha256.Size]byte) {
+	for i := range dst {
+		dst[i] ^= src[i]
 	}
+}
+
+// NewContentDigest accumulates g's weight-independent content: N, M and
+// the XOR of the per-edge hashes. O(N + M), edge order irrelevant; compute
+// once per topology and reuse across reweightings (or patch across
+// mutations — see Patch).
+func NewContentDigest(g *Graph) ContentDigest {
 	d := ContentDigest{n: g.N(), m: g.M()}
-	copy(d.edges[:], h.Sum(nil))
+	for e := 0; e < g.M(); e++ {
+		xorInto(&d.acc, edgeDigest(g.edgeU[e], g.edgeV[e], g.Cost[e]))
+	}
 	return d
+}
+
+// Patch derives the digest of a mutated topology from the base digest in
+// O(|touched edges|): the patch's precomputed XOR delta folds the removed
+// and renumbered edges out of the accumulator and the inserted and
+// renumbered ones in. Past the patcher's churn threshold (see
+// TopologyPatch.Incremental) the delta was not tracked and Patch falls
+// back to a full O(M) re-accumulation over the patched graph; both paths
+// produce the identical digest, because XOR composition is order-free.
+//
+// d must be the digest of the exact base graph the patch was computed
+// from; Patch panics on a vertex/edge-count mismatch (the cheap half of
+// that contract).
+func (d ContentDigest) Patch(p *TopologyPatch) ContentDigest {
+	if d.n != p.baseN || d.m != p.baseM {
+		panic(fmt.Sprintf("graph: Patch digest mismatch (digest N=%d M=%d, patch base N=%d M=%d)",
+			d.n, d.m, p.baseN, p.baseM))
+	}
+	if !p.Incremental {
+		return NewContentDigest(p.Graph)
+	}
+	out := ContentDigest{n: p.Graph.N(), m: p.Graph.M(), acc: d.acc}
+	xorInto(&out.acc, p.delta)
+	return out
 }
 
 // HashWeights returns the full content hash of the digested topology under
@@ -59,7 +105,9 @@ func (d ContentDigest) HashWeights(weights []float64) string {
 		panic(fmt.Sprintf("graph: HashWeights length %d != digested N %d", len(weights), d.n))
 	}
 	h := sha256.New()
-	h.Write(d.edges[:])
+	writeU64(h, uint64(d.n))
+	writeU64(h, uint64(d.m))
+	h.Write(d.acc[:])
 	for _, w := range weights {
 		writeU64(h, math.Float64bits(w))
 	}

@@ -1,0 +1,343 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// referenceMutate materializes a mutation from scratch via the documented
+// stable-addressing and tail-compaction contracts, independently of the
+// patcher: compute the id mapping per the rule, collect the surviving and
+// inserted edges, and rebuild with FromEdges. It is the oracle the
+// incremental patcher is checked against (and the same reconstruction the
+// loadgen certifier performs).
+func referenceMutate(t *testing.T, g *Graph, mut Mutation) (*Graph, []int32) {
+	t.Helper()
+	nOld := g.N()
+	removed := make(map[int32]bool, len(mut.RemoveVertices))
+	for _, r := range mut.RemoveVertices {
+		removed[r] = true
+	}
+	cut := nOld - len(removed)
+	// Tail compaction: survivors < cut keep ids; surviving tail vertices
+	// fill the freed slots below cut, ascending onto ascending.
+	var slots, tails []int32
+	for _, r := range mut.RemoveVertices {
+		if int(r) < cut {
+			slots = append(slots, r)
+		}
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	for v := int32(cut); int(v) < nOld; v++ {
+		if !removed[v] {
+			tails = append(tails, v)
+		}
+	}
+	mapping := make([]int32, nOld)
+	for v := int32(0); int(v) < nOld; v++ {
+		switch {
+		case removed[v]:
+			mapping[v] = -1
+		case int(v) < cut:
+			mapping[v] = v
+		}
+	}
+	for i, v := range tails {
+		mapping[v] = slots[i]
+	}
+	stable := func(s int32) int32 {
+		if int(s) < nOld {
+			return mapping[s]
+		}
+		return int32(cut) + s - int32(nOld)
+	}
+
+	dropped := make(map[[2]int32]bool, len(mut.RemoveEdges))
+	for _, er := range mut.RemoveEdges {
+		u, v := er.U, er.V
+		if u > v {
+			u, v = v, u
+		}
+		dropped[[2]int32{u, v}] = true
+	}
+	var us, vs []int32
+	var cs []float64
+	for e := int32(0); int(e) < g.M(); e++ {
+		u, v := g.Endpoints(e)
+		if dropped[[2]int32{u, v}] || removed[u] || removed[v] {
+			continue
+		}
+		us = append(us, mapping[u])
+		vs = append(vs, mapping[v])
+		cs = append(cs, g.Cost[e])
+	}
+	for _, ei := range mut.AddEdges {
+		us = append(us, stable(ei.U))
+		vs = append(vs, stable(ei.V))
+		cs = append(cs, ei.Cost)
+	}
+	w := make([]float64, cut+len(mut.AddVertices))
+	for v := int32(0); int(v) < nOld; v++ {
+		if mapping[v] >= 0 {
+			w[mapping[v]] = g.Weight[v]
+		}
+	}
+	copy(w[cut:], mut.AddVertices)
+	ref, err := FromEdges(cut+len(mut.AddVertices), us, vs, cs, w)
+	if err != nil {
+		t.Fatalf("reference reconstruction: %v", err)
+	}
+	return ref, mapping
+}
+
+// randomMutation draws a structurally valid mutation for g: a few vertex
+// removals, edge removals among surviving edges, appended vertices, and
+// new edges that avoid duplicates.
+func randomMutation(rng *rand.Rand, g *Graph) Mutation {
+	var mut Mutation
+	n := g.N()
+	removed := make(map[int32]bool)
+	for i := 0; i < rng.Intn(3); i++ {
+		r := int32(rng.Intn(n))
+		if !removed[r] && len(removed) < n-2 {
+			removed[r] = true
+			mut.RemoveVertices = append(mut.RemoveVertices, r)
+		}
+	}
+	seenDrop := make(map[[2]int32]bool)
+	for i := 0; i < rng.Intn(3) && g.M() > 0; i++ {
+		e := int32(rng.Intn(g.M()))
+		u, v := g.Endpoints(e)
+		if seenDrop[[2]int32{u, v}] {
+			continue
+		}
+		seenDrop[[2]int32{u, v}] = true
+		mut.RemoveEdges = append(mut.RemoveEdges, EdgeRef{U: v, V: u}) // order-free
+	}
+	nAdd := rng.Intn(3)
+	for i := 0; i < nAdd; i++ {
+		mut.AddVertices = append(mut.AddVertices, rng.Float64()+0.1)
+	}
+	alive := func(s int32) bool { return int(s) >= n || !removed[s] }
+	seenAdd := make(map[[2]int32]bool)
+	for i := 0; i < rng.Intn(4); i++ {
+		u := int32(rng.Intn(n + nAdd))
+		v := int32(rng.Intn(n + nAdd))
+		if u == v || !alive(u) || !alive(v) {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seenAdd[[2]int32{u, v}] {
+			continue
+		}
+		if int(u) < n && int(v) < n {
+			if e := g.FindEdge(u, v); e >= 0 {
+				eu, ev := g.Endpoints(e)
+				if !seenDrop[[2]int32{eu, ev}] {
+					continue
+				}
+			}
+		}
+		seenAdd[[2]int32{u, v}] = true
+		mut.AddEdges = append(mut.AddEdges, EdgeInsert{U: u, V: v, Cost: rng.Float64()})
+	}
+	return mut
+}
+
+// Property: the patcher agrees with the from-scratch oracle — same graph
+// content, same mapping, and a patched digest identical to a fresh digest
+// of the patched graph, on both sides of the churn threshold.
+func TestApplyMutationMatchesReference(t *testing.T) {
+	for seed := int64(1); seed <= 120; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 8+rng.Intn(24), rng.Intn(20))
+		base := NewContentDigest(g)
+		mut := randomMutation(rng, g)
+		p, err := ApplyMutation(g, mut)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := p.Graph.Validate(); err != nil {
+			t.Fatalf("seed %d: patched graph invalid: %v", seed, err)
+		}
+		ref, mapping := referenceMutate(t, g, mut)
+		if got, want := ContentHash(p.Graph), ContentHash(ref); got != want {
+			t.Fatalf("seed %d: patched hash %s != reference %s", seed, got, want)
+		}
+		for v := range mapping {
+			if mapping[v] != p.OldToNew[v] {
+				t.Fatalf("seed %d: OldToNew[%d] = %d, reference %d", seed, v, p.OldToNew[v], mapping[v])
+			}
+		}
+		patched := base.Patch(p)
+		if got, want := patched.HashWeights(p.Graph.Weight), ContentHash(p.Graph); got != want {
+			t.Fatalf("seed %d: patched digest %s != fresh digest %s (incremental=%v)",
+				seed, got, want, p.Incremental)
+		}
+	}
+}
+
+// The incremental digest path and the full-rehash fallback must agree:
+// force both by patching a large graph with a tiny mutation (incremental)
+// and a tiny graph with a sweeping one (fallback).
+func TestPatchDigestThresholdPaths(t *testing.T) {
+	big := Path(4000)
+	small := Path(6)
+
+	tiny := Mutation{AddEdges: []EdgeInsert{{U: 0, V: 2000, Cost: 0.5}}}
+	p, err := ApplyMutation(big, tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Incremental {
+		t.Fatalf("tiny mutation on %d-edge graph not incremental", big.M())
+	}
+	if got, want := NewContentDigest(big).Patch(p).HashWeights(p.Graph.Weight), ContentHash(p.Graph); got != want {
+		t.Fatalf("incremental patch digest %s != fresh %s", got, want)
+	}
+
+	sweeping := Mutation{
+		RemoveVertices: []int32{0, 2, 4},
+		AddVertices:    []float64{1, 1},
+		AddEdges:       []EdgeInsert{{U: 1, V: 6, Cost: 2}, {U: 3, V: 7, Cost: 2}},
+	}
+	p, err = ApplyMutation(small, sweeping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Incremental {
+		t.Fatalf("sweeping mutation on %d-edge graph unexpectedly incremental", small.M())
+	}
+	if got, want := NewContentDigest(small).Patch(p).HashWeights(p.Graph.Weight), ContentHash(p.Graph); got != want {
+		t.Fatalf("fallback patch digest %s != fresh %s", got, want)
+	}
+}
+
+// Tail compaction moves only tail survivors: removing {1, 8} from a
+// 10-vertex graph keeps 0,2..7 in place and drops 9 into slot 1.
+func TestTailCompactionMapping(t *testing.T) {
+	g := Path(10)
+	p, err := ApplyMutation(g, Mutation{RemoveVertices: []int32{8, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{0, -1, 2, 3, 4, 5, 6, 7, -1, 1}
+	for v, nv := range p.OldToNew {
+		if nv != want[v] {
+			t.Fatalf("OldToNew[%d] = %d, want %d", v, nv, want[v])
+		}
+	}
+	if p.Survivors != 8 || p.Graph.N() != 8 {
+		t.Fatalf("Survivors=%d N=%d, want 8/8", p.Survivors, p.Graph.N())
+	}
+}
+
+// Dirty must cover exactly the structurally changed region: edge
+// endpoints, surviving neighbors of removed vertices, inserted vertices.
+func TestDirtyRegion(t *testing.T) {
+	g := Path(10) // 0-1-...-9
+	p, err := ApplyMutation(g, Mutation{
+		RemoveVertices: []int32{5},
+		AddVertices:    []float64{2},
+		AddEdges:       []EdgeInsert{{U: 0, V: 10, Cost: 1}},
+		RemoveEdges:    []EdgeRef{{U: 8, V: 9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mapping: 5 removed → cut 9; tail survivor 9 → slot 5. New vertex →
+	// id 9. Dirty: neighbors of removed 5 (4, 6), endpoints of removed
+	// edge (8, old 9 → new 5), endpoint 0 of the added edge, new vertex 9.
+	want := []int32{0, 4, 5, 6, 8, 9}
+	if len(p.Dirty) != len(want) {
+		t.Fatalf("Dirty = %v, want %v", p.Dirty, want)
+	}
+	for i := range want {
+		if p.Dirty[i] != want[i] {
+			t.Fatalf("Dirty = %v, want %v", p.Dirty, want)
+		}
+	}
+}
+
+func TestApplyMutationValidation(t *testing.T) {
+	g := Path(6)
+	cases := []struct {
+		name string
+		mut  Mutation
+	}{
+		{"remove out of range", Mutation{RemoveVertices: []int32{6}}},
+		{"remove negative", Mutation{RemoveVertices: []int32{-1}}},
+		{"remove twice", Mutation{RemoveVertices: []int32{2, 2}}},
+		{"remove missing edge", Mutation{RemoveEdges: []EdgeRef{{U: 0, V: 3}}}},
+		{"remove edge twice", Mutation{RemoveEdges: []EdgeRef{{U: 0, V: 1}, {U: 1, V: 0}}}},
+		{"add self-loop", Mutation{AddEdges: []EdgeInsert{{U: 2, V: 2, Cost: 1}}}},
+		{"add duplicate of base", Mutation{AddEdges: []EdgeInsert{{U: 1, V: 2, Cost: 1}}}},
+		{"add duplicate insert", Mutation{AddEdges: []EdgeInsert{{U: 0, V: 2, Cost: 1}, {U: 2, V: 0, Cost: 2}}}},
+		{"add to removed", Mutation{RemoveVertices: []int32{3}, AddEdges: []EdgeInsert{{U: 0, V: 3, Cost: 1}}}},
+		{"add out of range", Mutation{AddEdges: []EdgeInsert{{U: 0, V: 6, Cost: 1}}}},
+		{"bad cost", Mutation{AddEdges: []EdgeInsert{{U: 0, V: 2, Cost: math.NaN()}}}},
+		{"bad weight", Mutation{AddVertices: []float64{-1}}},
+	}
+	for _, tc := range cases {
+		if _, err := ApplyMutation(g, tc.mut); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	// Removing an edge that vertex removal also kills is explicitly fine.
+	if _, err := ApplyMutation(g, Mutation{
+		RemoveVertices: []int32{1}, RemoveEdges: []EdgeRef{{U: 0, V: 1}},
+	}); err != nil {
+		t.Errorf("redundant edge removal rejected: %v", err)
+	}
+}
+
+// Re-adding a removed edge with a different cost must flow through the
+// digest (a (u,v,cost) triple is the hash unit).
+func TestPatchDigestSeesCostChange(t *testing.T) {
+	g := Path(50)
+	base := NewContentDigest(g)
+	p1, err := ApplyMutation(g, Mutation{
+		RemoveEdges: []EdgeRef{{U: 10, V: 11}},
+		AddEdges:    []EdgeInsert{{U: 10, V: 11, Cost: 7}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p1.Incremental {
+		t.Fatal("expected incremental path")
+	}
+	d1 := base.Patch(p1)
+	if d1.HashWeights(p1.Graph.Weight) == base.HashWeights(g.Weight) {
+		t.Fatal("cost change did not change the digest")
+	}
+	if got, want := d1.HashWeights(p1.Graph.Weight), ContentHash(p1.Graph); got != want {
+		t.Fatalf("patched digest %s != fresh %s", got, want)
+	}
+}
+
+func TestNewIDStableAddressing(t *testing.T) {
+	g := Path(10)
+	p, err := ApplyMutation(g, Mutation{RemoveVertices: []int32{1, 8}, AddVertices: []float64{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.NewID(10); got != 8 {
+		t.Fatalf("NewID(10) = %d, want 8", got)
+	}
+	if got := p.NewID(11); got != 9 {
+		t.Fatalf("NewID(11) = %d, want 9", got)
+	}
+	if got := p.NewID(1); got != -1 {
+		t.Fatalf("NewID(1) = %d, want -1", got)
+	}
+	if got := p.NewID(9); got != 1 {
+		t.Fatalf("NewID(9) = %d, want 1", got)
+	}
+	if got := p.NewID(12); got != -1 {
+		t.Fatalf("NewID(12) = %d, want -1", got)
+	}
+}

@@ -31,8 +31,10 @@ const maxViolationSamples = 16
 //  2. The reported max boundary matches the recomputed one (the server
 //     cannot misstate its own quality).
 //  3. Derived-instance identity: the graph id the server assigns to a
-//     drifted instance equals the content hash the harness computed
-//     independently from the same delta.
+//     drifted or topology-mutated instance equals the content hash the
+//     harness computed independently from the same delta (for churn, by
+//     materializing the mutated graph from scratch — never through the
+//     library's incremental patcher).
 //  4. On G̃ copies instances, the executable Lemma 40 counting argument:
 //     every per-copy grouping respects the ≤ 2/3 side-weight
 //     precondition, the coloring is roughly balanced, and the certified
@@ -78,7 +80,10 @@ func (c *Certifier) violate(format string, args ...any) {
 
 // certifyColoring runs invariants 1, 2 and 4 on one served coloring of the
 // materialized graph g (instance in, drift step known to the caller).
-func (c *Certifier) certifyColoring(g *graph.Graph, in *instance, k int, coloring []int32, reportedMaxBoundary float64, label string) {
+// lemma40 gates invariant 4: topology churn breaks the disjoint-copies
+// structure the counting argument needs, so churned colorings get
+// invariants 1 and 2 only.
+func (c *Certifier) certifyColoring(g *graph.Graph, in *instance, k int, coloring []int32, reportedMaxBoundary float64, lemma40 bool, label string) {
 	c.mu.Lock()
 	c.checked++
 	c.mu.Unlock()
@@ -96,7 +101,7 @@ func (c *Certifier) certifyColoring(g *graph.Graph, in *instance, k int, colorin
 		c.mu.Unlock()
 	}
 
-	if in.copies < 2 {
+	if !lemma40 || in.copies < 2 {
 		return
 	}
 	// Lemma 40 certificate on G̃: per-copy grouping plus the counting
@@ -142,7 +147,7 @@ func (c *Certifier) certifyPartition(in *instance, instIdx, k int, resp *service
 		c.violate("%s: served graph id %s, expected %s", label, resp.GraphID, in.ids[0])
 		return
 	}
-	c.certifyColoring(in.steps[0], in, k, resp.Coloring, resp.Stats.MaxBoundary, label)
+	c.certifyColoring(in.steps[0], in, k, resp.Coloring, resp.Stats.MaxBoundary, true, label)
 }
 
 // certifyRepartition checks one repartition response against the
@@ -166,7 +171,34 @@ func (c *Certifier) certifyRepartition(in *instance, instIdx, step, k int, resp 
 		c.violate("%s: cold start reported nonzero migration (%d vertices)", label, resp.Migration.Vertices)
 		return
 	}
-	c.certifyColoring(in.steps[step], in, k, resp.Coloring, resp.Stats.MaxBoundary, label)
+	c.certifyColoring(in.steps[step], in, k, resp.Coloring, resp.Stats.MaxBoundary, true, label)
+}
+
+// certifyChurn checks one topology-mutation response against the
+// independently materialized mutated graph: derived-id identity
+// (invariant 3 — the server's incremental digest patch must agree with a
+// from-scratch content hash of the mutated graph), coloring guarantees on
+// the mutated topology, and migration sanity. Lemma 40 is skipped: churn
+// breaks the G̃ disjoint-copies structure.
+func (c *Certifier) certifyChurn(in *instance, instIdx, step, k int, resp *service.RepartitionResponse) {
+	label := fmt.Sprintf("churn inst=%d step=%d k=%d", instIdx, step, k)
+	if resp.GraphID != in.churnIDs[step-1] {
+		c.violate("%s: derived graph id %s, expected content hash %s", label, resp.GraphID, in.churnIDs[step-1])
+		return
+	}
+	if resp.PriorGraphID != in.ids[0] {
+		c.violate("%s: prior graph id %s, expected %s", label, resp.PriorGraphID, in.ids[0])
+		return
+	}
+	if resp.Migration.Fraction < 0 || resp.Migration.Fraction > 1 {
+		c.violate("%s: migration fraction %g outside [0, 1]", label, resp.Migration.Fraction)
+		return
+	}
+	if resp.ColdStart && resp.Migration.Vertices != 0 {
+		c.violate("%s: cold start reported nonzero migration (%d vertices)", label, resp.Migration.Vertices)
+		return
+	}
+	c.certifyColoring(in.churn[step-1], in, k, resp.Coloring, resp.Stats.MaxBoundary, false, label)
 }
 
 // certifyUpload checks an upload echo against the instance identity.

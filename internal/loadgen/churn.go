@@ -1,0 +1,224 @@
+package loadgen
+
+// Topology-churn traffic: deterministic mutation chains per instance,
+// cycling three serving scenarios — mesh-refinement growth (new vertices
+// stitched onto live ones), region failure (a contiguous block of
+// vertices disappears), and node join/leave (single vertices swap in and
+// out, with an edge rewire). Every chain step is expressed as one
+// cumulative, base-relative topology block, so churn requests are
+// independent of each other (any arrival order against the always-
+// registered base id is valid) and idempotent (same step ⇒ same derived
+// id ⇒ cache hit). The expected mutated graph of every step is
+// materialized independently here — by the documented stable-address
+// mapping rule and a full rebuild, never by the library's incremental
+// path — so the certifier's identity check pins the server's digest
+// patching end-to-end.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/service"
+)
+
+// churnMutations generates an instance's cumulative mutation chain:
+// steps[j] (0-based) is the base-relative topology block of churn step
+// j+1. The chain is a pure function of (g, steps, seed).
+func churnMutations(g *graph.Graph, steps int, seed int64) []service.TopologyWire {
+	rng := rand.New(rand.NewSource(seed))
+	n := int32(g.N())
+	removed := make(map[int32]bool)
+	edgeUsed := make(map[[2]int32]bool) // cumulative inserted pairs (stable)
+	var addedW []float64
+	var added []service.EdgeWire
+	var dropped []service.EdgeRefWire
+	droppedSet := make(map[[2]int32]bool)
+
+	pair := func(u, v int32) [2]int32 {
+		if u > v {
+			u, v = v, u
+		}
+		return [2]int32{u, v}
+	}
+	liveBase := func() int32 {
+		for {
+			v := int32(rng.Intn(int(n)))
+			if !removed[v] {
+				return v
+			}
+		}
+	}
+	attach := func(nv int32, fanout int) {
+		for f := 0; f < fanout; f++ {
+			u := liveBase()
+			if p := pair(u, nv); !edgeUsed[p] {
+				edgeUsed[p] = true
+				added = append(added, service.EdgeWire{U: u, V: nv, Cost: 1 + rng.Float64()})
+			}
+		}
+	}
+
+	us, vs, _ := g.SortedEdgeList()
+	out := make([]service.TopologyWire, steps)
+	for j := 0; j < steps; j++ {
+		switch j % 3 {
+		case 0: // mesh-refinement growth: two new vertices, stitched in
+			for t := 0; t < 2; t++ {
+				nv := n + int32(len(addedW))
+				addedW = append(addedW, 0.5+rng.Float64())
+				attach(nv, 2)
+			}
+		case 1: // region failure: a contiguous block of base vertices dies
+			// Cap cumulative removals at ~10% of N so Definition 1 stays
+			// comfortably satisfiable.
+			if len(removed) < int(n)/10 {
+				start := int32(rng.Intn(int(n)))
+				for d := int32(0); d < 3; d++ {
+					v := (start + d) % n
+					if removed[v] {
+						continue
+					}
+					removed[v] = true
+					// Scrub cumulative inserts that referenced the dead vertex:
+					// a base-relative block must never name a dead endpoint.
+					kept := added[:0]
+					for _, e := range added {
+						if e.U == v || e.V == v {
+							delete(edgeUsed, pair(e.U, e.V))
+							continue
+						}
+						kept = append(kept, e)
+					}
+					added = kept
+				}
+			}
+		default: // join/leave: one vertex out, one in, one base edge dropped
+			v := liveBase()
+			removed[v] = true
+			kept := added[:0]
+			for _, e := range added {
+				if e.U == v || e.V == v {
+					delete(edgeUsed, pair(e.U, e.V))
+					continue
+				}
+				kept = append(kept, e)
+			}
+			added = kept
+			nv := n + int32(len(addedW))
+			addedW = append(addedW, 0.5+rng.Float64())
+			attach(nv, 2)
+			// Drop one still-present base edge between surviving vertices.
+			for probe := 0; probe < 64; probe++ {
+				ei := rng.Intn(len(us))
+				p := pair(us[ei], vs[ei])
+				if removed[p[0]] || removed[p[1]] || droppedSet[p] {
+					continue
+				}
+				droppedSet[p] = true
+				dropped = append(dropped, service.EdgeRefWire{U: p[0], V: p[1]})
+				break
+			}
+		}
+		// Snapshot the cumulative state (deep copies: later steps mutate).
+		tw := service.TopologyWire{
+			AddVertices: append([]float64(nil), addedW...),
+			AddEdges:    append([]service.EdgeWire(nil), added...),
+			RemoveEdges: append([]service.EdgeRefWire(nil), dropped...),
+		}
+		for v := int32(0); v < n; v++ {
+			if removed[v] {
+				tw.RemoveVertices = append(tw.RemoveVertices, v)
+			}
+		}
+		out[j] = tw
+	}
+	return out
+}
+
+// materializeChurn rebuilds the mutated graph a topology block denotes,
+// independently of the library's incremental patcher: the documented
+// mapping (survivors below the cut N−|removed| keep their ids, surviving
+// tail vertices fill the freed slots ascending, inserted vertices take
+// ids from the cut up) plus a from-scratch Builder pass.
+func materializeChurn(g *graph.Graph, t *service.TopologyWire) (*graph.Graph, error) {
+	n := g.N()
+	removed := make([]bool, n)
+	for _, v := range t.RemoveVertices {
+		removed[v] = true
+	}
+	cut := n - len(t.RemoveVertices)
+	o2n := make([]int32, n)
+	var slots []int32
+	for v := 0; v < cut; v++ {
+		if removed[v] {
+			slots = append(slots, int32(v))
+		}
+	}
+	si := 0
+	for v := 0; v < n; v++ {
+		switch {
+		case removed[v]:
+			o2n[v] = -1
+		case v < cut:
+			o2n[v] = int32(v)
+		default:
+			o2n[v] = slots[si]
+			si++
+		}
+	}
+	stable := func(s int32) (int32, error) {
+		if int(s) < n {
+			if o2n[s] < 0 {
+				return -1, fmt.Errorf("loadgen: churn block names removed vertex %d", s)
+			}
+			return o2n[s], nil
+		}
+		if int(s)-n >= len(t.AddVertices) {
+			return -1, fmt.Errorf("loadgen: churn block names out-of-range vertex %d", s)
+		}
+		return int32(cut) + s - int32(n), nil
+	}
+
+	b := graph.NewBuilder(cut + len(t.AddVertices))
+	w := make([]float64, cut+len(t.AddVertices))
+	for v := 0; v < n; v++ {
+		if o2n[v] >= 0 {
+			w[o2n[v]] = g.Weight[v]
+		}
+	}
+	copy(w[cut:], t.AddVertices)
+
+	drop := make(map[[2]int32]bool, len(t.RemoveEdges))
+	for _, e := range t.RemoveEdges {
+		u, v := e.U, e.V
+		if u > v {
+			u, v = v, u
+		}
+		drop[[2]int32{u, v}] = true
+	}
+	us, vs, cs := g.SortedEdgeList()
+	for i := range us {
+		u, v := us[i], vs[i]
+		if u > v {
+			u, v = v, u
+		}
+		if drop[[2]int32{u, v}] || o2n[u] < 0 || o2n[v] < 0 {
+			continue
+		}
+		b.AddEdge(o2n[u], o2n[v], cs[i])
+	}
+	for _, e := range t.AddEdges {
+		nu, err := stable(e.U)
+		if err != nil {
+			return nil, err
+		}
+		nv, err := stable(e.V)
+		if err != nil {
+			return nil, err
+		}
+		b.AddEdge(nu, nv, e.Cost)
+	}
+	b.SetWeights(w)
+	return b.Build()
+}

@@ -5,7 +5,7 @@
 // climate-mesh instances (optionally the G̃ disjoint-copies construction of
 // Lemma 40, which makes every served coloring lower-bound certifiable), a
 // deterministic request trace mixing upload / partition / repartition /
-// burst operations, and a dispatch mode — open loop (Poisson arrivals) or
+// churn / burst operations, and a dispatch mode — open loop (Poisson arrivals) or
 // closed loop (N looping clients). The same seed always yields the same
 // trace (same operations, same instances, same drift steps, same arrival
 // offsets); only wall-clock measurements vary between runs.
@@ -58,6 +58,10 @@ const (
 	// KindBurst fires several distinct partition queries concurrently —
 	// the batch scheduler's coalescing-and-draining exercise.
 	KindBurst Kind = "burst"
+	// KindChurn pushes one topology-mutation step of an instance through
+	// the repartition path: vertices and edges appear and disappear, and
+	// the server must derive the mutated instance's canonical identity.
+	KindChurn Kind = "churn"
 )
 
 // Mix is the relative operation weighting of the measured trace body.
@@ -66,6 +70,7 @@ type Mix struct {
 	Partition   int `json:"partition"`
 	Repartition int `json:"repartition"`
 	Burst       int `json:"burst"`
+	Churn       int `json:"churn,omitempty"`
 }
 
 // Profile is a complete, reproducible load experiment description.
@@ -118,6 +123,12 @@ type Profile struct {
 	// DriftSteps is how many distinct day/night drift positions each
 	// instance cycles through; repartition operations walk them in order.
 	DriftSteps int `json:"drift_steps"`
+	// ChurnSteps is how many cumulative topology-mutation steps each
+	// instance's churn chain holds (mesh-refinement growth, region
+	// failure, and join/leave scenarios, cycling); churn operations walk
+	// them in order. Every step is base-relative, so churn requests are
+	// order-independent and idempotent under concurrency.
+	ChurnSteps int `json:"churn_steps,omitempty"`
 	// BurstWidth is how many concurrent partitions one burst issues.
 	BurstWidth int `json:"burst_width"`
 
@@ -148,7 +159,7 @@ func Quick() Profile {
 		Mode:         ModeClosed,
 		Requests:     160,
 		Clients:      4,
-		Mix:          Mix{Upload: 1, Partition: 6, Repartition: 4, Burst: 1},
+		Mix:          Mix{Upload: 1, Partition: 6, Repartition: 4, Burst: 1, Churn: 2},
 		Instances:    6,
 		MeshRows:     12,
 		MeshCols:     12,
@@ -157,6 +168,7 @@ func Quick() Profile {
 		K:            8,
 		AltK:         4,
 		DriftSteps:   4,
+		ChurnSteps:   3,
 		BurstWidth:   4,
 		ScratchEvery: 4,
 		// The 96×96 acceptance mesh pins 1.25 (cmd/reprosrv); these 12×12
@@ -245,13 +257,15 @@ func (p Profile) validate() error {
 		return fmt.Errorf("loadgen: K must be ≥ 2, got %d", p.K)
 	case p.DriftSteps < 1 && p.Mix.Repartition > 0:
 		return fmt.Errorf("loadgen: repartition operations need DriftSteps ≥ 1")
+	case p.ChurnSteps < 1 && p.Mix.Churn > 0:
+		return fmt.Errorf("loadgen: churn operations need ChurnSteps ≥ 1")
 	case p.Mode == ModeOpen && p.RatePerSec <= 0:
 		return fmt.Errorf("loadgen: open-loop mode needs RatePerSec > 0")
 	case p.Mode == ModeClosed && p.Clients < 1:
 		return fmt.Errorf("loadgen: closed-loop mode needs Clients ≥ 1")
 	case p.Mode != ModeOpen && p.Mode != ModeClosed:
 		return fmt.Errorf("loadgen: unknown mode %q", p.Mode)
-	case p.Mix.Upload+p.Mix.Partition+p.Mix.Repartition+p.Mix.Burst <= 0:
+	case p.Mix.Upload+p.Mix.Partition+p.Mix.Repartition+p.Mix.Burst+p.Mix.Churn <= 0:
 		return fmt.Errorf("loadgen: the operation mix is empty")
 	case p.Mix.Burst > 0 && p.BurstWidth < 1:
 		return fmt.Errorf("loadgen: burst operations need BurstWidth ≥ 1")
@@ -268,6 +282,14 @@ type instance struct {
 	steps  []*graph.Graph // steps[0] is the uploaded original
 	ids    []string       // ids[j] = service.GraphHash(steps[j])
 	upload []byte         // marshaled steps[0] body
+
+	// Churn chain: churnMuts[j-1] is churn step j's cumulative base-
+	// relative topology block, churn[j-1] the independently materialized
+	// mutated graph it denotes, churnIDs[j-1] its canonical identity —
+	// the value the server's incremental digest patch must reproduce.
+	churnMuts []service.TopologyWire
+	churn     []*graph.Graph
+	churnIDs  []string
 }
 
 // driftFactor is the deterministic day/night modulation of drift step j:
@@ -306,6 +328,21 @@ func buildInstances(p Profile) []*instance {
 		for j, sg := range in.steps {
 			in.ids[j] = service.GraphHash(sg)
 		}
+		if p.ChurnSteps > 0 {
+			in.churnMuts = churnMutations(g, p.ChurnSteps, p.Seed+104729*int64(i)+13)
+			in.churn = make([]*graph.Graph, p.ChurnSteps)
+			in.churnIDs = make([]string, p.ChurnSteps)
+			for j := range in.churnMuts {
+				mg, err := materializeChurn(g, &in.churnMuts[j])
+				if err != nil {
+					// The generator only emits valid blocks; a failure here is
+					// a bug in the harness itself.
+					panic(fmt.Sprintf("loadgen: churn chain materialization: %v", err))
+				}
+				in.churn[j] = mg
+				in.churnIDs[j] = service.GraphHash(mg)
+			}
+		}
 		in.upload = graph.Marshal(g)
 		out[i] = in
 	}
@@ -319,7 +356,8 @@ type Request struct {
 	Kind  Kind `json:"kind"`
 	// Inst is the instance-pool index this operation targets.
 	Inst int `json:"inst"`
-	// Step is the drift step of a repartition (1-based).
+	// Step is the drift step of a repartition, or the churn-chain step of
+	// a churn operation (1-based in both cases).
 	Step int `json:"step,omitempty"`
 	K    int `json:"k"`
 	// ArrivalNS is the open-loop arrival offset from the start of the
@@ -341,8 +379,9 @@ type Request struct {
 // the trace is a pure function of the profile.
 func buildTrace(p Profile, insts []*instance) []Request {
 	rng := rand.New(rand.NewSource(p.Seed ^ 0x5eed10ad))
-	total := p.Mix.Upload + p.Mix.Partition + p.Mix.Repartition + p.Mix.Burst
+	total := p.Mix.Upload + p.Mix.Partition + p.Mix.Repartition + p.Mix.Burst + p.Mix.Churn
 	driftAt := make([]int, len(insts)) // next drift step per instance
+	churnAt := make([]int, len(insts)) // next churn step per instance
 	repartitions := 0
 	var arrival float64
 
@@ -380,13 +419,18 @@ func buildTrace(p Profile, insts []*instance) []Request {
 			if p.ScratchEvery > 0 && repartitions%p.ScratchEvery == 0 {
 				r.Scratch = true
 			}
-		default:
+		case pick < p.Mix.Upload+p.Mix.Partition+p.Mix.Repartition+p.Mix.Burst:
 			r.Kind = KindBurst
 			r.Inst = rng.Intn(len(insts))
 			r.Burst = make([]int, p.BurstWidth)
 			for b := range r.Burst {
 				r.Burst[b] = rng.Intn(len(insts))
 			}
+		default:
+			r.Kind = KindChurn
+			r.Inst = rng.Intn(len(insts))
+			r.Step = churnAt[r.Inst]%p.ChurnSteps + 1
+			churnAt[r.Inst]++
 		}
 		trace[i] = r
 	}

@@ -118,6 +118,76 @@ func TestInstanceDriftSteps(t *testing.T) {
 	}
 }
 
+// Every churn-chain graph must be valid (positive weights, built cleanly)
+// with a content identity distinct from the base and from every other
+// step, and churn trace operations must walk the chain within range.
+func TestInstanceChurnChain(t *testing.T) {
+	h := mustHarness(t, testProfile())
+	sawChurn := false
+	for _, r := range h.Trace() {
+		if r.Kind == KindChurn {
+			sawChurn = true
+			if r.Step < 1 || r.Step > h.Profile().ChurnSteps {
+				t.Fatalf("churn step %d outside [1, %d]", r.Step, h.Profile().ChurnSteps)
+			}
+		}
+	}
+	if !sawChurn {
+		t.Fatal("a profile with churn in the mix generated no churn operations")
+	}
+	for i, in := range h.insts {
+		if len(in.churn) != h.Profile().ChurnSteps || len(in.churnIDs) != h.Profile().ChurnSteps {
+			t.Fatalf("instance %d: churn chain has %d graphs, %d ids, want %d",
+				i, len(in.churn), len(in.churnIDs), h.Profile().ChurnSteps)
+		}
+		seen := map[string]bool{in.ids[0]: true}
+		for j, g := range in.churn {
+			if seen[in.churnIDs[j]] {
+				t.Fatalf("instance %d: churn step %d repeats an earlier content hash", i, j+1)
+			}
+			seen[in.churnIDs[j]] = true
+			for v, w := range g.Weight {
+				if w <= 0 {
+					t.Fatalf("instance %d churn step %d vertex %d: non-positive weight %g", i, j+1, v, w)
+				}
+			}
+		}
+	}
+}
+
+// A served churn response must certify clean against the independently
+// materialized mutated graph, and a tampered derived id must be caught.
+func TestChurnDerivedIdentity(t *testing.T) {
+	h := mustHarness(t, testProfile())
+	srv := service.New(h.Profile().Service)
+	t.Cleanup(srv.Close)
+	tgt := NewHandlerTarget(srv.Handler())
+	if err := h.setup(tgt); err != nil {
+		t.Fatal(err)
+	}
+	in := h.insts[0]
+	k := h.Profile().K
+	mut := in.churnMuts[0]
+	var resp service.RepartitionResponse
+	status, err := postJSON(tgt, "/v1/repartition", service.RepartitionRequest{
+		GraphID: in.ids[0], K: k, Topology: &mut, IncludeColoring: true,
+	}, &resp)
+	if err != nil || status != 200 {
+		t.Fatalf("churn request: status %d err %v", status, err)
+	}
+	base := h.cert.summary().Violations
+	h.cert.certifyChurn(in, 0, 1, k, &resp)
+	if got := h.cert.summary(); got.Violations != base {
+		t.Fatalf("valid churn response flagged: %v", got.ViolationSamples)
+	}
+	bad := resp
+	bad.GraphID = "g-deadbeef"
+	h.cert.certifyChurn(in, 0, 1, k, &bad)
+	if h.cert.summary().Violations != base+1 {
+		t.Fatal("tampered churn derived id not detected")
+	}
+}
+
 func TestClosedLoopEndToEnd(t *testing.T) {
 	h := mustHarness(t, testProfile())
 	r := runInProcess(t, h)
@@ -142,6 +212,13 @@ func TestClosedLoopEndToEnd(t *testing.T) {
 	}
 	if r.Migration.Repartitions == 0 || r.Migration.TotalVertices == 0 {
 		t.Fatalf("no incremental traffic measured: %+v", r.Migration)
+	}
+	if r.Requests.ByKind[string(KindChurn)] == 0 || r.Migration.TopologyMutations == 0 {
+		t.Fatalf("no topology churn measured: %+v %+v", r.Requests.ByKind, r.Migration)
+	}
+	if r.Migration.TopologyMutations > r.Migration.Repartitions {
+		t.Fatalf("topology mutations %d exceed total repartitions %d",
+			r.Migration.TopologyMutations, r.Migration.Repartitions)
 	}
 	if r.Cache.Hits == 0 {
 		t.Fatal("a mixed trace with repeats produced no cache hits")
@@ -282,6 +359,13 @@ func TestReportJSONContract(t *testing.T) {
 	if _, ok := cert["max_certificate_gap"]; !ok {
 		t.Error("certification lost max_certificate_gap")
 	}
+	mig, ok := m["migration"].(map[string]any)
+	if !ok {
+		t.Fatal("migration section is not an object")
+	}
+	if _, ok := mig["topology_mutations"]; !ok {
+		t.Error("migration lost topology_mutations (schema /3)")
+	}
 	if m["schema"] != ReportSchema {
 		t.Fatalf("schema %v, want %q", m["schema"], ReportSchema)
 	}
@@ -299,6 +383,7 @@ func TestProfileValidation(t *testing.T) {
 		func(p *Profile) { p.Clients = 0 },
 		func(p *Profile) { p.Mix = Mix{} },
 		func(p *Profile) { p.Mix = Mix{Burst: 1}; p.BurstWidth = 0 },
+		func(p *Profile) { p.Mix = Mix{Churn: 1}; p.ChurnSteps = 0 },
 	}
 	for i, mutate := range bad {
 		p := testProfile()

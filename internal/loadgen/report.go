@@ -27,7 +27,18 @@ import (
 // additive "multilevel_fraction" knob (and trace requests a "multilevel"
 // flag): strictly new optional fields, so no schema bump — consumers
 // that ignore unknown fields are unaffected.
-const ReportSchema = "repro-loadgen/2"
+//
+// Compatibility note — repro-loadgen/3 (vs /2): the trace gained the
+// "churn" operation kind (topology-mutation repartitions: vertices and
+// edges appearing and disappearing within a session), so "by_kind" and
+// "latency_by_kind_ms" can carry a "churn" entry, profiles gained the
+// "churn" mix weight and "churn_steps" knob, and the migration section
+// gained the "topology_mutations" counter (successful topology-mutation
+// repartitions; these are also included in "repartitions" and the
+// migration aggregates). All /2 fields are retained with unchanged
+// meaning, so a /2 consumer that ignores unknown fields and map keys
+// reads a /3 report correctly.
+const ReportSchema = "repro-loadgen/3"
 
 // LatencySummary is a percentile digest of successful-request latencies.
 type LatencySummary struct {
@@ -68,11 +79,14 @@ type CacheSummary struct {
 // MigrationSummary aggregates the data-movement cost of the incremental
 // path over the run.
 type MigrationSummary struct {
-	Repartitions  int     `json:"repartitions"`
-	ColdStarts    int     `json:"cold_starts"`
-	TotalVertices int64   `json:"total_vertices"`
-	MeanFraction  float64 `json:"mean_fraction"`
-	MaxFraction   float64 `json:"max_fraction"`
+	Repartitions int `json:"repartitions"`
+	ColdStarts   int `json:"cold_starts"`
+	// TopologyMutations counts the successful topology-mutation
+	// repartitions among Repartitions (schema /3).
+	TopologyMutations int     `json:"topology_mutations"`
+	TotalVertices     int64   `json:"total_vertices"`
+	MeanFraction      float64 `json:"mean_fraction"`
+	MaxFraction       float64 `json:"max_fraction"`
 }
 
 // Report is the machine-readable outcome of one Run — the record written
@@ -175,10 +189,11 @@ func (h *Harness) report(rec *recorder, pre, post service.StatsResponse, wall ti
 	}
 
 	mig := MigrationSummary{
-		Repartitions:  rec.repartitions,
-		ColdStarts:    rec.coldStarts,
-		TotalVertices: rec.migVertices,
-		MaxFraction:   rec.migFracMax,
+		Repartitions:      rec.repartitions,
+		ColdStarts:        rec.coldStarts,
+		TopologyMutations: rec.topoMuts,
+		TotalVertices:     rec.migVertices,
+		MaxFraction:       rec.migFracMax,
 	}
 	if rec.repartitions > 0 {
 		mig.MeanFraction = rec.migFracSum / float64(rec.repartitions)
@@ -228,8 +243,8 @@ func (r *Report) Summary() string {
 		r.LatencyMS.P50MS, r.LatencyMS.P95MS, r.LatencyMS.P99MS, r.LatencyMS.MaxMS)
 	fmt.Fprintf(&sb, "  cache        hit rate %.3f (%d hits / %d misses), coalesced %d, pipeline runs %d\n",
 		r.Cache.HitRate, r.Cache.Hits, r.Cache.Misses, r.Cache.Coalesced, r.Cache.PipelineRuns)
-	fmt.Fprintf(&sb, "  migration    %d repartitions, mean fraction %.4f, max %.4f\n",
-		r.Migration.Repartitions, r.Migration.MeanFraction, r.Migration.MaxFraction)
+	fmt.Fprintf(&sb, "  migration    %d repartitions (%d topology mutations), mean fraction %.4f, max %.4f\n",
+		r.Migration.Repartitions, r.Migration.TopologyMutations, r.Migration.MeanFraction, r.Migration.MaxFraction)
 	fmt.Fprintf(&sb, "  certified    %d responses checked, %d Lemma 40 certificates, max gap %.3f, scratch ratio ≤ %.3f\n",
 		r.Certification.Checked, r.Certification.Certificates,
 		r.Certification.MaxCertificateGap, r.Certification.MaxScratchRatio)

@@ -63,6 +63,7 @@ type recorder struct {
 
 	repartitions int
 	coldStarts   int
+	topoMuts     int
 	migVertices  int64
 	migFracSum   float64
 	migFracMax   float64
@@ -233,6 +234,8 @@ func (h *Harness) execute(t Target, r *Request, lag time.Duration, rec *recorder
 		wg.Wait()
 	case KindRepartition:
 		h.repartitionOnce(t, r, lag, rec)
+	case KindChurn:
+		h.churnOnce(t, r, lag, rec)
 	}
 }
 
@@ -339,5 +342,51 @@ func (h *Harness) repartitionOnce(t Target, r *Request, lag time.Duration, rec *
 	case http.StatusServiceUnavailable:
 	default:
 		h.cert.violate("repartition inst=%d step=%d: unexpected status %d", r.Inst, r.Step, status)
+	}
+}
+
+// churnOnce pushes one topology-mutation step through the repartition
+// path. The request is base-relative (cumulative mutation against the
+// always-registered step-0 id), so churn operations are valid in any
+// arrival order and idempotent: a repeated step is a pure cache hit.
+func (h *Harness) churnOnce(t Target, r *Request, lag time.Duration, rec *recorder) {
+	in := h.insts[r.Inst]
+	mut := in.churnMuts[r.Step-1]
+	var resp service.RepartitionResponse
+	start := time.Now()
+	status, err := postJSON(t, "/v1/repartition", service.RepartitionRequest{
+		GraphID:         in.ids[0],
+		K:               r.K,
+		Topology:        &mut,
+		IncludeColoring: true,
+	}, &resp)
+	dur := time.Since(start) + lag
+	if err != nil {
+		rec.observe(KindChurn, dur, 0)
+		h.cert.violate("churn inst=%d step=%d: transport error: %v", r.Inst, r.Step, err)
+		return
+	}
+	rec.observe(KindChurn, dur, status)
+	switch status {
+	case http.StatusOK:
+		rec.mu.Lock()
+		rec.repartitions++
+		rec.topoMuts++
+		if resp.Cached {
+			rec.cached++
+		}
+		if resp.ColdStart {
+			rec.coldStarts++
+		}
+		rec.migVertices += int64(resp.Migration.Vertices)
+		rec.migFracSum += resp.Migration.Fraction
+		if resp.Migration.Fraction > rec.migFracMax {
+			rec.migFracMax = resp.Migration.Fraction
+		}
+		rec.mu.Unlock()
+		h.cert.certifyChurn(in, r.Inst, r.Step, r.K, &resp)
+	case http.StatusServiceUnavailable:
+	default:
+		h.cert.violate("churn inst=%d step=%d: unexpected status %d", r.Inst, r.Step, status)
 	}
 }

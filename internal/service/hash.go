@@ -87,5 +87,26 @@ func deltaDigest(req *RepartitionRequest) string {
 		u64(uint64(uint32(u.V)))
 		f64(u.W)
 	}
+	if t := req.Topology; t != nil {
+		section('V', len(t.AddVertices))
+		for _, wt := range t.AddVertices {
+			f64(wt)
+		}
+		section('R', len(t.RemoveVertices))
+		for _, v := range t.RemoveVertices {
+			u64(uint64(uint32(v)))
+		}
+		section('E', len(t.AddEdges))
+		for _, e := range t.AddEdges {
+			u64(uint64(uint32(e.U)))
+			u64(uint64(uint32(e.V)))
+			f64(e.Cost)
+		}
+		section('F', len(t.RemoveEdges))
+		for _, e := range t.RemoveEdges {
+			u64(uint64(uint32(e.U)))
+			u64(uint64(uint32(e.V)))
+		}
+	}
 	return fmt.Sprintf("d-%x", h.Sum(nil)[:16])
 }

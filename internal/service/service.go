@@ -11,10 +11,13 @@
 //     an LRU keyed by graph-hash × options; concurrent identical misses
 //     are coalesced into one pipeline run; distinct misses are
 //     admission-queued and drained batch-wise onto Engine.Batch.
-//   - POST /v1/repartition — incremental path: a vertex-weight delta
-//     against a cached instance resumes the pipeline through a per-
-//     (graph, options) repro.Instance session, which carries the drift
-//     chain's coloring and topology hash digest across requests.
+//   - POST /v1/repartition — incremental path: a delta against a cached
+//     instance — vertex weights, topology mutations (vertices and edges
+//     appearing and disappearing), or both — resumes the pipeline through
+//     a per-(graph, options) repro.Instance session, which carries the
+//     drift chain's coloring and topology hash digest across requests.
+//     Topology deltas continue the chain under the mutated instance's
+//     derived id (the base session stays bound to the base topology).
 //   - GET /v1/stats, /v1/healthz — observability.
 //
 // Serving invariants:
@@ -465,7 +468,12 @@ func (s *Server) maxJSONBody() int64 { return 2*s.cfg.MaxGraphBytes + 1<<20 }
 // handlePartition serves POST /v1/partition.
 func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 	var req PartitionRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxJSONBody())).Decode(&req); err != nil {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxJSONBody()))
+	// Unknown fields are a 400, not silently dropped: a misspelled option
+	// must never quietly select different semantics (and then get cached
+	// under the key of what the client thought it asked for).
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
 		writeError(w, badRequest("decoding request: %v", err))
 		return
 	}
@@ -551,7 +559,11 @@ func (s *Server) session(sessKey, baseID string, base *graph.Graph, opt repro.Op
 func (s *Server) handleRepartition(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	var req RepartitionRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxJSONBody())).Decode(&req); err != nil {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.maxJSONBody()))
+	// Strict decoding, like the partition path: an unknown field (e.g. a
+	// misspelled topology key) is a 400, never a silent no-op.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
 		writeError(w, badRequest("decoding request: %v", err))
 		return
 	}
@@ -565,6 +577,10 @@ func (s *Server) handleRepartition(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sessKey := requestKey(req.GraphID, opt)
+	if req.Topology != nil && !topoEmpty(req.Topology) {
+		s.handleTopologyRepartition(w, ctx, &req, opt, sessKey)
+		return
+	}
 
 	// Fast path: an identical delta against the same base was seen before
 	// and its result is still cached — answer without materializing
@@ -674,6 +690,145 @@ func (s *Server) handleRepartition(w http.ResponseWriter, r *http.Request) {
 	var mig repro.Migration
 	if prior != nil && len(prior) == next.N() {
 		mig = repro.MigrationOf(next, prior, res.Coloring)
+	}
+	resp := RepartitionResponse{
+		GraphID:      nextID,
+		PriorGraphID: req.GraphID,
+		K:            req.K,
+		Cached:       cached,
+		ColdStart:    coldStart,
+		Migration:    MigrationWire{Vertices: mig.Vertices, Weight: mig.Weight, Fraction: mig.Fraction},
+		UsedFallback: res.UsedFallback,
+		Stats:        statsWire(res.Stats),
+		Diag:         diagWire(res),
+	}
+	if req.IncludeColoring {
+		resp.Coloring = res.Coloring
+	}
+	writeJSON(w, resp)
+}
+
+// topoEmpty reports whether a topology block mutates nothing.
+func topoEmpty(t *TopologyWire) bool {
+	return len(t.AddVertices) == 0 && len(t.RemoveVertices) == 0 &&
+		len(t.AddEdges) == 0 && len(t.RemoveEdges) == 0
+}
+
+// topologyDelta converts a topology-carrying repartition request to the
+// repro.Delta it denotes — the same single definition of delta semantics
+// (canonical composition order, stable addressing) the session API runs.
+func topologyDelta(req *RepartitionRequest) repro.Delta {
+	t := req.Topology
+	d := repro.Delta{
+		Weights:        req.Weights,
+		AddVertices:    t.AddVertices,
+		RemoveVertices: t.RemoveVertices,
+	}
+	for _, u := range req.Set {
+		d.Set = append(d.Set, repro.WeightChange{V: u.V, W: u.W})
+	}
+	for _, u := range req.Scale {
+		d.Scale = append(d.Scale, repro.WeightChange{V: u.V, W: u.W})
+	}
+	for _, e := range t.AddEdges {
+		d.AddEdges = append(d.AddEdges, repro.EdgeChange{U: e.U, V: e.V, Cost: e.Cost})
+	}
+	for _, e := range t.RemoveEdges {
+		d.RemoveEdges = append(d.RemoveEdges, repro.EdgeChange{U: e.U, V: e.V})
+	}
+	return d
+}
+
+// handleTopologyRepartition serves the topology-mutating half of POST
+// /v1/repartition. It differs from the weight path in three load-bearing
+// ways. First, the derived id comes from patching the base instance's
+// topology digest (O(|mutation|) amortized) and must equal the canonical
+// content hash of the mutated graph — the cache stays content-addressed.
+// Second, the base-keyed session is never advanced: its coloring lives in
+// the base vertex space, and later weight deltas against the base id must
+// keep resolving there. Instead a fresh instance seeded from the base
+// prior absorbs the mutation and is stored under the derived id, so
+// further deltas chaining off the response's graph_id resume warm.
+// Third, invalid mutations (or cancellation) are rejected before — or
+// unwound without — touching any stored state: sessions, graphs and
+// digests are untouched on every non-200.
+func (s *Server) handleTopologyRepartition(w http.ResponseWriter, ctx context.Context, req *RepartitionRequest, opt repro.Options, sessKey string) {
+	base, ok := s.graphs.get(req.GraphID)
+	if !ok {
+		writeError(w, &httpError{http.StatusNotFound,
+			fmt.Sprintf("unknown graph_id %q (uploads are LRU-evicted; re-upload)", req.GraphID)})
+		return
+	}
+	d := topologyDelta(req)
+	ap, err := d.Apply(base)
+	if err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
+	next := ap.Graph
+	nextDigest := s.digestOf(req.GraphID, base).Patch(ap.Topo)
+	nextID := nextDigest.HashWeights(next.Weight)
+
+	// The migration prior: the base session's current coloring, or the
+	// cached base result a fresh session would adopt.
+	var prior []int32
+	if inst, ok := s.sessions.peek(sessKey); ok {
+		prior = inst.Coloring()
+	}
+	if prior == nil {
+		if res, ok := s.cache.peek(requestKey(req.GraphID, opt)); ok {
+			prior = res.Coloring
+		}
+	}
+	coldStart := prior == nil
+
+	key := requestKey(nextID, opt)
+	res, cached := s.cache.get(key)
+	if !cached {
+		res, err, _ = s.flight.do(ctx, key, func(execCtx context.Context) (repro.Result, error) {
+			select {
+			case s.repartSem <- struct{}{}:
+				defer func() { <-s.repartSem }()
+			default:
+				return repro.Result{}, errQueueFull
+			}
+			// A fresh instance bound to the base graph: the base-keyed
+			// session must stay on the base topology.
+			inst, err := s.eng.NewInstance(base, opt)
+			if err != nil {
+				return repro.Result{}, err
+			}
+			if prior != nil {
+				// Adoption failure just means a cold start, as in session().
+				_ = inst.AdoptColoring(prior)
+			}
+			out, err := inst.Repartition(execCtx, d)
+			if err != nil {
+				// Cancelled or failed: nothing was stored (invariant 5), and
+				// the base session was never involved.
+				return repro.Result{}, err
+			}
+			atomic.AddInt64(&s.pipelineRuns, 1)
+			s.cache.put(key, out)
+			// The mutated session continues the chain under the derived id.
+			s.sessions.put(requestKey(nextID, opt), inst)
+			return out, nil
+		})
+		if err != nil {
+			writeError(w, preferCallerCtxErr(ctx, err))
+			return
+		}
+	}
+
+	// Register the mutated instance under the id we hand out, with its
+	// patched digest, so chains and follow-up queries keep resolving after
+	// upload evictions — same rule as the weight path.
+	s.graphs.put(nextID, next)
+	s.digests.put(nextID, nextDigest)
+
+	var mig repro.Migration
+	if prior != nil && len(prior) == base.N() {
+		mig = repro.MigrationAcross(next, ap.Topo.OldToNew, prior, res.Coloring)
 	}
 	resp := RepartitionResponse{
 		GraphID:      nextID,

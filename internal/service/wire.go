@@ -81,11 +81,51 @@ type WeightUpdate struct {
 	W float64 `json:"w"`
 }
 
-// RepartitionRequest is the body of POST /v1/repartition: a weight delta
-// against a cached instance. The delta forms compose in order: Weights
-// (full replacement) first, then Set (absolute per-vertex), then Scale
-// (multiplicative per-vertex — the natural encoding of the climate
-// day/night drift). Edge costs are unchanged; topology never changes.
+// EdgeWire is one edge insertion: endpoints in stable addresses (base
+// ids, or n+i for the i-th added vertex) and the new edge's cost.
+type EdgeWire struct {
+	U    int32   `json:"u"`
+	V    int32   `json:"v"`
+	Cost float64 `json:"cost"`
+}
+
+// EdgeRefWire names one base edge by its endpoints.
+type EdgeRefWire struct {
+	U int32 `json:"u"`
+	V int32 `json:"v"`
+}
+
+// TopologyWire is the topology-mutation block of a repartition request,
+// mirroring repro.Delta's topology forms: applied before the weight
+// forms, in the canonical order remove_edges → remove_vertices →
+// add_vertices → add_edges. All vertex references — edge endpoints and
+// the weight forms of the enclosing request — use stable addresses:
+// v ∈ [0, n) names a base vertex and n+i names the i-th entry of
+// add_vertices, so a request never depends on the renumbering its own
+// mutation induces. Validation is strict: removals must name live
+// vertices / present edges, insertions must not duplicate surviving
+// edges, weights and costs must be finite and non-negative; any
+// violation is a 400 and leaves every session untouched.
+type TopologyWire struct {
+	// AddVertices appends new vertices with the given initial weights.
+	AddVertices []float64 `json:"add_vertices,omitempty"`
+	// RemoveVertices deletes the named base vertices and their edges.
+	RemoveVertices []int32 `json:"remove_vertices,omitempty"`
+	// AddEdges inserts edges between live stable endpoints.
+	AddEdges []EdgeWire `json:"add_edges,omitempty"`
+	// RemoveEdges deletes the named base edges.
+	RemoveEdges []EdgeRefWire `json:"remove_edges,omitempty"`
+}
+
+// RepartitionRequest is the body of POST /v1/repartition: a delta
+// against a cached instance — vertex weights, topology mutations, or
+// both. The forms compose in one canonical order: the topology block
+// first (see TopologyWire), then Weights (full replacement in the
+// stable space, length n + len(add_vertices) when topology is present;
+// entries of removed vertices are ignored), then Set (absolute
+// per-vertex), then Scale (multiplicative per-vertex — the natural
+// encoding of the climate day/night drift). Set or Scale naming a
+// removed vertex is a 400.
 type RepartitionRequest struct {
 	// GraphID names the base instance (required).
 	GraphID string `json:"graph_id"`
@@ -96,6 +136,13 @@ type RepartitionRequest struct {
 	Weights []float64      `json:"weights,omitempty"`
 	Set     []WeightUpdate `json:"set,omitempty"`
 	Scale   []WeightUpdate `json:"scale,omitempty"`
+
+	// Topology, when present and non-empty, mutates the vertex/edge set.
+	// The response's graph_id then names the mutated instance (derived
+	// via an incremental digest patch, so it equals the canonical content
+	// hash an independent rebuild would compute), and further deltas can
+	// chain off it.
+	Topology *TopologyWire `json:"topology,omitempty"`
 
 	// Multilevel scopes the drift chain to the multilevel-path session of
 	// the base instance: the incremental resume itself never re-coarsens

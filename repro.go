@@ -195,3 +195,37 @@ func MigrationOf(g *graph.Graph, prior, next []int32) Migration {
 	}
 	return m
 }
+
+// MigrationAcross compares a coloring of a base graph with one of its
+// topology-patched successor g2: a surviving vertex migrates when its
+// class changed across the patch, an inserted vertex always migrates (it
+// has no prior placement), and a removed vertex never does (it has no
+// destination). oldToNew is the patch's id mapping (−1 for removed);
+// Weight and Fraction are measured on g2. It panics on length
+// mismatches, like MigrationOf.
+func MigrationAcross(g2 *graph.Graph, oldToNew []int32, prior, next []int32) Migration {
+	if len(prior) != len(oldToNew) || len(next) != g2.N() {
+		panic(fmt.Sprintf("repro: MigrationAcross length mismatch (prior %d, oldToNew %d, next %d, N=%d)",
+			len(prior), len(oldToNew), len(next), g2.N()))
+	}
+	moved := make([]bool, g2.N())
+	for i := range moved {
+		moved[i] = true // inserted vertices count unless mapped below
+	}
+	for ov, nv := range oldToNew {
+		if nv >= 0 {
+			moved[nv] = prior[ov] != next[nv]
+		}
+	}
+	var m Migration
+	for v, mv := range moved {
+		if mv {
+			m.Vertices++
+			m.Weight += g2.Weight[v]
+		}
+	}
+	if tw := g2.TotalWeight(); tw > 0 {
+		m.Fraction = m.Weight / tw
+	}
+	return m
+}
