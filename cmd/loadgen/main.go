@@ -8,11 +8,23 @@
 //	loadgen -profile soak -seed 7             # named profile with overrides
 //	loadgen -profile surge -target http://127.0.0.1:8080
 //	loadgen -quick -trace                     # also dump the request trace (stderr)
+//	loadgen -quick -restart                   # certified kill-and-restart scenario
+//	loadgen -quick -persist=false             # measure without the durable store
 //
 // Without -target the command builds an in-process service.Server with the
 // profile's configuration and drives its handler directly — no sockets, so
-// the run measures the serving subsystem, not the loopback stack. With
-// -target it load-tests a live reprosrv over HTTP.
+// the run measures the serving subsystem, not the loopback stack. By
+// default that server is backed by a durable store (DESIGN.md §11) in a
+// scratch directory, so the report reflects serving costs with
+// persistence on; -persist=false measures the in-memory-only path and
+// -data-dir pins the directory. With -target it load-tests a live
+// reprosrv over HTTP.
+//
+// -restart runs the certified kill-and-restart scenario instead of a
+// profile trace: phase 1 drives half of every drift/churn chain, the
+// server is SIGKILL-ed (the op-log buffer dropped), and a restarted
+// server must finish the chains from recovered state with zero
+// re-uploads and zero cold starts.
 //
 // The same seed always produces the same request trace (the report records
 // its digest). Every 200 response is certified: strict balance and
@@ -24,6 +36,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -33,6 +46,7 @@ import (
 
 	"repro/internal/loadgen"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -54,6 +68,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	target := fs.String("target", "", "live base URL to drive (empty = in-process server)")
 	out := fs.String("out", "BENCH_service.json", "report output path (empty = skip writing)")
 	dumpTrace := fs.Bool("trace", false, "dump the generated request trace to stderr")
+	persist := fs.Bool("persist", true, "back the in-process server with a durable store (ignored with -target)")
+	dataDir := fs.String("data-dir", "", "durable state directory (empty = scratch dir, removed afterwards)")
+	restart := fs.Bool("restart", false, "run the certified kill-and-restart scenario instead of a profile trace")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -84,6 +101,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		prof.Mode = loadgen.Mode(*mode)
 	}
 
+	if *restart {
+		return runRestart(prof, *dataDir, stdout, stderr)
+	}
+
 	h, err := loadgen.New(prof)
 	if err != nil {
 		fmt.Fprintf(stderr, "loadgen: %v\n", err)
@@ -99,7 +120,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *target != "" {
 		tgt = loadgen.NewHTTPTarget(strings.TrimRight(*target, "/"))
 	} else {
-		srv := service.New(prof.Service)
+		cfg := prof.Service
+		if *persist {
+			dir, cleanup, err := stateDir(*dataDir)
+			if err != nil {
+				fmt.Fprintf(stderr, "loadgen: %v\n", err)
+				return 1
+			}
+			defer cleanup()
+			st, err := store.Open(store.Options{Dir: dir})
+			if err != nil {
+				fmt.Fprintf(stderr, "loadgen: %v\n", err)
+				return 1
+			}
+			defer st.Close()
+			cfg.Store = st
+		}
+		srv := service.New(cfg)
 		defer srv.Close()
 		tgt = loadgen.NewHandlerTarget(srv.Handler())
 	}
@@ -121,6 +158,50 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "loadgen: %d certifier violations\n", report.Certification.Violations)
 		return 1
 	}
+	return 0
+}
+
+// stateDir resolves the durable-state directory: the explicit one (kept)
+// or a scratch dir removed by cleanup.
+func stateDir(explicit string) (string, func(), error) {
+	if explicit != "" {
+		return explicit, func() {}, nil
+	}
+	dir, err := os.MkdirTemp("", "loadgen-state-")
+	if err != nil {
+		return "", nil, err
+	}
+	return dir, func() { os.RemoveAll(dir) }, nil
+}
+
+// runRestart executes the kill-and-restart scenario and writes its
+// report to stdout. An explicit -data-dir is preserved (CI uploads it as
+// an artifact on failure); a scratch dir is removed only on success.
+func runRestart(prof loadgen.Profile, dataDir string, stdout, stderr io.Writer) int {
+	dir, cleanup, err := stateDir(dataDir)
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 1
+	}
+	rep, err := loadgen.RunKillRestart(prof, dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "loadgen: restart scenario: %v\n", err)
+		return 1
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintf(stderr, "loadgen: %v\n", err)
+		return 1
+	}
+	if !rep.OK() {
+		fmt.Fprintf(stderr, "loadgen: restart scenario: %d violations (state kept in %s)\n", rep.Violations, dir)
+		for _, s := range rep.ViolationSamples {
+			fmt.Fprintf(stderr, "  %s\n", s)
+		}
+		return 1
+	}
+	cleanup()
 	return 0
 }
 

@@ -9,17 +9,26 @@
 // an expired deadline cancels its decomposition mid-run (answered 499/504
 // and counted separately from capacity sheds).
 //
+// With -data-dir the server is durable (DESIGN.md §11): every upload,
+// partition result and repartition delta is appended to a CRC-framed
+// operation log and compacted into periodic snapshots, and a restart —
+// graceful or SIGKILL — replays snapshot-then-log-tail so the process
+// comes back warm: graphs resolvable, results cached, repartition
+// sessions resumable with their digest chains and migration histories
+// intact, zero re-uploads required.
+//
 // Usage:
 //
 //	reprosrv [-addr :8080] [-cache 256] [-graphs 64] [-max-batch 32]
 //	         [-batch-window 2ms] [-queue 256] [-par 0] [-req-timeout 0]
+//	         [-data-dir ""] [-snapshot-interval 1m] [-fsync batch]
 //
 // Endpoints:
 //
 //	POST /v1/graphs       upload a graph (textual format of internal/graph/io)
 //	POST /v1/partition    {"graph_id": "...", "k": 16}
 //	POST /v1/repartition  {"graph_id": "...", "k": 16, "scale": [{"v":0,"w":2}]}
-//	GET  /v1/stats        cache/coalescing/scheduler counters
+//	GET  /v1/stats        cache/coalescing/scheduler/persistence counters
 //	GET  /v1/healthz      liveness
 package main
 
@@ -36,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -47,9 +57,12 @@ func main() {
 	queue := flag.Int("queue", 256, "admission-queue depth (overflow is 503)")
 	par := flag.Int("par", 0, "pipeline worker-pool bound (0 = GOMAXPROCS)")
 	reqTimeout := flag.Duration("req-timeout", 0, "server-side per-request deadline; expiry cancels the pipeline and answers 504 (0 = unlimited)")
+	dataDir := flag.String("data-dir", "", "durable state directory: op-log + snapshots, recovered on boot (empty = in-memory only)")
+	snapInterval := flag.Duration("snapshot-interval", time.Minute, "compacting-snapshot period when -data-dir is set")
+	fsync := flag.String("fsync", "batch", "op-log durability: batch (group commit), always (fsync per record), none")
 	flag.Parse()
 
-	srv := service.New(service.Config{
+	cfg := service.Config{
 		CacheSize:      *cache,
 		GraphStoreSize: *graphs,
 		MaxBatch:       *maxBatch,
@@ -57,7 +70,31 @@ func main() {
 		QueueDepth:     *queue,
 		Parallelism:    *par,
 		RequestTimeout: *reqTimeout,
-	})
+	}
+
+	var st *store.Store
+	if *dataDir != "" {
+		mode, err := store.ParseFsyncMode(*fsync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reprosrv: %v\n", err)
+			os.Exit(2)
+		}
+		st, err = store.Open(store.Options{
+			Dir:              *dataDir,
+			Fsync:            mode,
+			SnapshotInterval: *snapInterval,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "reprosrv: opening %s: %v\n", *dataDir, err)
+			os.Exit(1)
+		}
+		ri := st.Recovery()
+		log.Printf("reprosrv: recovered %s: %d graphs, %d results, %d sessions (snapshot seq %d, %d replayed, %d skipped, %d B truncated, clean=%v)",
+			*dataDir, ri.Graphs, ri.Results, ri.Sessions, ri.SnapshotSeq, ri.Replayed, ri.Skipped, ri.TruncatedBytes, ri.CleanShutdown)
+		cfg.Store = st
+	}
+
+	srv := service.New(cfg)
 	defer srv.Close()
 
 	hs := &http.Server{
@@ -67,7 +104,8 @@ func main() {
 	}
 
 	// Graceful shutdown on SIGINT/SIGTERM: stop accepting, drain in-flight
-	// requests, then stop the batch scheduler (deferred Close).
+	// requests, stop the batch scheduler, then seal the durable log with a
+	// final snapshot — the next boot recovers without replay.
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	done := make(chan error, 1)
@@ -86,5 +124,13 @@ func main() {
 	if err := <-done; err != nil {
 		fmt.Fprintf(os.Stderr, "reprosrv: shutdown: %v\n", err)
 		os.Exit(1)
+	}
+	srv.Close()
+	if st != nil {
+		if err := st.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "reprosrv: sealing log: %v\n", err)
+			os.Exit(1)
+		}
+		log.Printf("reprosrv: sealed %s", *dataDir)
 	}
 }

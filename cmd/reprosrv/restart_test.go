@@ -1,0 +1,231 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/graph"
+	"repro/internal/service"
+	"repro/internal/workload"
+)
+
+// Kill-and-restart acceptance at the process level: build the real
+// binary, drive a session, SIGKILL mid-flight state, restart on the same
+// data dir, and require the pre-restart session to continue with zero
+// re-uploads — derived ids matching the pre-restart digest chain and a
+// live, Verify-clean coloring.
+
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "reprosrv")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func freePort(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	return l.Addr().String()
+}
+
+type proc struct {
+	cmd *exec.Cmd
+	url string
+}
+
+func startServer(t *testing.T, bin, addr, dataDir string) *proc {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", addr, "-data-dir", dataDir, "-fsync", "always")
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	p := &proc{cmd: cmd, url: "http://" + addr}
+	t.Cleanup(func() {
+		if p.cmd.Process != nil {
+			p.cmd.Process.Kill()
+			p.cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		r, err := http.Get(p.url + "/v1/healthz")
+		if err == nil {
+			r.Body.Close()
+			if r.StatusCode == http.StatusOK {
+				return p
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("server on %s never became healthy", addr)
+	return nil
+}
+
+func postJSON(t *testing.T, url string, req, out any) int {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer r.Body.Close()
+	if out != nil && r.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(r.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r.StatusCode
+}
+
+func getStats(t *testing.T, url string) service.StatsResponse {
+	t.Helper()
+	r, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var st service.StatsResponse
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestKillAndRestartWarm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and forks the real binary")
+	}
+	bin := buildBinary(t)
+	dataDir := t.TempDir()
+	addr := freePort(t)
+
+	// Phase 1: upload, partition, drift, churn. -fsync always means every
+	// acknowledged response is durable before SIGKILL.
+	p1 := startServer(t, bin, addr, dataDir)
+	g := workload.ClimateMesh(12, 12, 1, 1)
+	r, err := http.Post(p1.url+"/v1/graphs", "text/plain", bytes.NewReader(graph.Marshal(g)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up service.UploadResponse
+	if err := json.NewDecoder(r.Body).Decode(&up); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+
+	var part service.PartitionResponse
+	if code := postJSON(t, p1.url+"/v1/partition", service.PartitionRequest{GraphID: up.GraphID, K: 4}, &part); code != http.StatusOK {
+		t.Fatalf("partition status %d", code)
+	}
+	drift := service.RepartitionRequest{GraphID: up.GraphID, K: 4,
+		Scale: []service.WeightUpdate{{V: 0, W: 2}, {V: 9, W: 0.5}}}
+	var d1 service.RepartitionResponse
+	if code := postJSON(t, p1.url+"/v1/repartition", drift, &d1); code != http.StatusOK {
+		t.Fatalf("drift status %d", code)
+	}
+	churn := service.RepartitionRequest{GraphID: up.GraphID, K: 4,
+		Topology: &service.TopologyWire{RemoveEdges: []service.EdgeRefWire{{U: 0, V: 1}}}}
+	var c1 service.RepartitionResponse
+	if code := postJSON(t, p1.url+"/v1/repartition", churn, &c1); code != http.StatusOK {
+		t.Fatalf("churn status %d", code)
+	}
+
+	// SIGKILL: no graceful shutdown, no seal, no final snapshot.
+	if err := p1.cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	p1.cmd.Wait()
+
+	// Phase 2: restart on the same dir and continue without re-uploading.
+	addr2 := freePort(t)
+	p2 := startServer(t, bin, addr2, dataDir)
+	st := getStats(t, p2.url)
+	if st.RecoveredSessions != 2 {
+		t.Errorf("recovered_sessions = %d, want 2", st.RecoveredSessions)
+	}
+	if st.Snapshots < 1 {
+		t.Errorf("snapshots = %d, want ≥ 1 (crash recovery snapshots on boot)", st.Snapshots)
+	}
+
+	// The identical drift delta reproduces the pre-restart derived id —
+	// the digest chain survived the kill.
+	var d2 service.RepartitionResponse
+	if code := postJSON(t, p2.url+"/v1/repartition", drift, &d2); code != http.StatusOK {
+		t.Fatalf("post-restart drift status %d (zero re-uploads expected)", code)
+	}
+	if d2.GraphID != d1.GraphID {
+		t.Errorf("post-restart drift id %s, want pre-restart %s", d2.GraphID, d1.GraphID)
+	}
+	if d2.ColdStart {
+		t.Error("post-restart drift must resume the recovered session warm")
+	}
+
+	// A new step on the churned chain, with the coloring checked live.
+	next := service.RepartitionRequest{GraphID: c1.GraphID, K: 4,
+		Scale:           []service.WeightUpdate{{V: 3, W: 3}},
+		IncludeColoring: true}
+	var c2 service.RepartitionResponse
+	if code := postJSON(t, p2.url+"/v1/repartition", next, &c2); code != http.StatusOK {
+		t.Fatalf("churn-chain continuation status %d", code)
+	}
+	if c2.ColdStart {
+		t.Error("churn chain must resume warm after restart")
+	}
+	if c2.PriorGraphID != c1.GraphID {
+		t.Errorf("continuation prior %s, want %s", c2.PriorGraphID, c1.GraphID)
+	}
+	// Verify the served coloring against the oracle topology: the churn
+	// delta applied locally, then the drift's weight rescale.
+	ap, err := repro.Delta{RemoveEdges: []repro.EdgeChange{{U: 0, V: 1}}}.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := repro.Delta{Scale: []repro.WeightChange{{V: 3, W: 3}}}.Materialize(ap.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := ap.Graph.WithWeights(w)
+	v := repro.Verify(final, repro.Options{K: 4}, repro.Result{Coloring: c2.Coloring}, 2)
+	if !v.Complete || !v.StrictBalance {
+		t.Errorf("post-restart coloring fails Verify: %+v", v.Errors)
+	}
+
+	if st2 := getStats(t, p2.url); st2.LogRecords == 0 {
+		t.Error("log_records stayed zero after post-restart traffic")
+	}
+
+	// Graceful SIGTERM seals the log; a third boot reads it clean.
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.cmd.Wait(); err != nil {
+		t.Fatalf("graceful shutdown exit: %v", err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dataDir, "wal-*.log"))
+	snaps, _ := filepath.Glob(filepath.Join(dataDir, "snap-*.snap"))
+	if len(segs) == 0 || len(snaps) == 0 {
+		t.Errorf("data dir after graceful shutdown: %d segments, %d snapshots", len(segs), len(snaps))
+	}
+}

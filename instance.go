@@ -156,6 +156,17 @@ func (in *Instance) AdoptColoring(chi []int32) error {
 	return nil
 }
 
+// AdoptHistory seeds the session's migration history without running
+// the pipeline — the recovery counterpart of AdoptColoring, for serving
+// layers restoring a session from a durable log so History() after a
+// restart reports the same drift chain it did before. The slice is
+// copied; it replaces any existing history.
+func (in *Instance) AdoptHistory(h []Migration) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.history = append([]Migration(nil), h...)
+}
+
 // Partition runs the full pipeline on the instance's current graph and
 // adopts the coloring as the new session state. ctx cancels the run; on
 // any error the previous session state is kept untouched.

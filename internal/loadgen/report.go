@@ -37,7 +37,11 @@ import (
 // repartitions; these are also included in "repartitions" and the
 // migration aggregates). All /2 fields are retained with unchanged
 // meaning, so a /2 consumer that ignores unknown fields and map keys
-// reads a /3 report correctly.
+// reads a /3 report correctly. Within /3, the embedded server snapshot
+// later gained the durable-state counters "log_records", "snapshots",
+// "recovered_sessions" and "persist_errors" (DESIGN.md §11; zero when
+// the server runs without a store): strictly new additive fields, so no
+// schema bump — consumers that ignore unknown fields are unaffected.
 const ReportSchema = "repro-loadgen/3"
 
 // LatencySummary is a percentile digest of successful-request latencies.

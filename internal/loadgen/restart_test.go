@@ -1,0 +1,25 @@
+package loadgen
+
+import "testing"
+
+// The certified kill-and-restart scenario on a scaled-down profile: the
+// restarted server must finish every chain warm with zero violations.
+func TestKillRestartScenario(t *testing.T) {
+	p := testProfile()
+	rep, err := RunKillRestart(p, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("restart scenario: %d violations: %v", rep.Violations, rep.ViolationSamples)
+	}
+	if rep.Phase2ColdStarts != 0 {
+		t.Errorf("phase-2 cold starts = %d", rep.Phase2ColdStarts)
+	}
+	if int(rep.RecoveredSessions) < p.Instances {
+		t.Errorf("recovered_sessions = %d, want ≥ %d", rep.RecoveredSessions, p.Instances)
+	}
+	if rep.Snapshots < 1 || rep.LogRecords == 0 {
+		t.Errorf("counters: snapshots=%d log_records=%d", rep.Snapshots, rep.LogRecords)
+	}
+}

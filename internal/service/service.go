@@ -55,6 +55,7 @@ import (
 
 	"repro"
 	"repro/internal/graph"
+	"repro/internal/store"
 )
 
 // statusClientClosedRequest is the nginx-convention status for a request
@@ -108,6 +109,15 @@ type Config struct {
 	// metrics exporters attach to. Must be cheap and concurrency-safe; see
 	// repro.Observer.
 	Observer repro.Observer
+	// Store, when non-nil, is the durability subsystem (DESIGN.md §11):
+	// uploads, partition results and repartition deltas are appended to
+	// its operation log as they succeed, and New replays its recovered
+	// state — graphs, digests, cached results, and repartition sessions
+	// with their colorings and migration histories — before serving, so
+	// a restarted server answers pre-restart drift chains warm, with
+	// zero re-uploads. The caller owns the Store's lifecycle (Close it
+	// after the server).
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -179,6 +189,13 @@ type Server struct {
 
 	pipelineRuns int64
 
+	// Persistence accounting (atomic; exported via Stats): sessions
+	// rebuilt from the store at boot, and append failures (the serving
+	// path never fails a request over a persistence error — this counter
+	// is the operator's signal).
+	recoveredSessions int64
+	persistErrors     int64
+
 	// Request accounting (atomic; exported via Stats): every request that
 	// reaches a handler, how many were shed with 503 (capacity), how many
 	// ended 499/504 (client-cancelled or deadline-exceeded), and the
@@ -208,6 +225,12 @@ func New(cfg Config) *Server {
 		digests:   newLRU[graph.ContentDigest](cfg.GraphStoreSize),
 		repartSem: make(chan struct{}, cfg.RepartitionConcurrency),
 		deltaMemo: newLRU[string](cfg.CacheSize),
+	}
+	if cfg.Store != nil {
+		// Synchronous warm-up: by the time New returns, every recovered
+		// graph, result and session is addressable — the first request
+		// after a restart already sees the pre-restart state.
+		s.warmFromStore()
 	}
 	s.mux.HandleFunc("POST /v1/graphs", s.instrument(s.handleUpload))
 	s.mux.HandleFunc("POST /v1/partition", s.instrument(s.handlePartition))
@@ -318,12 +341,15 @@ func writeError(w http.ResponseWriter, err error) {
 }
 
 // storeGraph registers g under its content hash, retaining the topology
-// digest so later reweightings of the same instance re-hash in O(N).
-func (s *Server) storeGraph(g *graph.Graph) string {
+// digest so later reweightings of the same instance re-hash in O(N),
+// and logs the ingestion (src is the raw textual-format payload — the
+// bytes the durable record carries).
+func (s *Server) storeGraph(g *graph.Graph, src []byte) string {
 	d := graph.NewContentDigest(g)
 	id := d.HashWeights(g.Weight)
 	s.graphs.put(id, g)
 	s.digests.put(id, d)
+	s.persistUpload(id, src, g, d)
 	return id
 }
 
@@ -376,7 +402,7 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, UploadResponse{GraphID: s.storeGraph(g), N: g.N(), M: g.M()})
+	writeJSON(w, UploadResponse{GraphID: s.storeGraph(g, body), N: g.N(), M: g.M()})
 }
 
 // resolveGraph returns the instance a request names, storing inline
@@ -397,7 +423,7 @@ func (s *Server) resolveGraph(graphID, inline string) (*graph.Graph, string, err
 		if err := checkFinite(g); err != nil {
 			return nil, "", err
 		}
-		return g, s.storeGraph(g), nil
+		return g, s.storeGraph(g, []byte(inline)), nil
 	case graphID != "":
 		g, ok := s.graphs.get(graphID)
 		if !ok {
@@ -456,6 +482,7 @@ func (s *Server) partition(ctx context.Context, g *graph.Graph, id string, opt r
 		}
 		atomic.AddInt64(&s.pipelineRuns, 1)
 		s.cache.put(key, j.res)
+		s.persistResult(id, opt, j.res)
 		return j.res, nil
 	})
 	return res, false, coalesced, err
@@ -513,6 +540,17 @@ func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
 // *named base instance*, so request meaning never depends on what the
 // session has absorbed since). The base graph is never touched.
 func deltaWeights(base *graph.Graph, req *RepartitionRequest) ([]float64, error) {
+	w, err := weightDelta(req).Materialize(base)
+	if err != nil {
+		return nil, badRequest("%v", err)
+	}
+	return w, nil
+}
+
+// weightDelta converts the weight forms of a repartition request to the
+// repro.Delta they denote — also the client-relative delta the durable
+// log records (O(|delta|), never a graph re-marshal).
+func weightDelta(req *RepartitionRequest) repro.Delta {
 	d := repro.Delta{Weights: req.Weights}
 	for _, u := range req.Set {
 		d.Set = append(d.Set, repro.WeightChange{V: u.V, W: u.W})
@@ -520,11 +558,7 @@ func deltaWeights(base *graph.Graph, req *RepartitionRequest) ([]float64, error)
 	for _, u := range req.Scale {
 		d.Scale = append(d.Scale, repro.WeightChange{V: u.V, W: u.W})
 	}
-	w, err := d.Materialize(base)
-	if err != nil {
-		return nil, badRequest("%v", err)
-	}
-	return w, nil
+	return d
 }
 
 // session returns the repartition Instance for (base graph × options),
@@ -658,6 +692,11 @@ func (s *Server) handleRepartition(w http.ResponseWriter, r *http.Request) {
 			if err != nil {
 				return repro.Result{}, err
 			}
+			// Snapshot the session prior this run resumes from: the durable
+			// record must carry the migration entry the session itself
+			// appends, which is measured against this coloring (identical
+			// weights and topology, so MigrationOf agrees bit-for-bit).
+			runPrior := inst.Coloring()
 			out, err := inst.Repartition(execCtx, repro.Delta{Weights: targetW})
 			if err != nil {
 				// Cancelled or failed: the session kept its prior state and
@@ -666,6 +705,14 @@ func (s *Server) handleRepartition(w http.ResponseWriter, r *http.Request) {
 			}
 			atomic.AddInt64(&s.pipelineRuns, 1)
 			s.cache.put(key, out)
+			var runMig repro.Migration
+			if runPrior != nil && len(runPrior) == next.N() {
+				runMig = repro.MigrationOf(next, runPrior, out.Coloring)
+			}
+			// Leader-only (inside the flight), so coalesced followers and
+			// cached repeats never double-log.
+			s.persistRepart(req.GraphID, opt, weightDelta(&req), nextID, next,
+				s.digestOf(req.GraphID, base), out, runMig)
 			return out, nil
 		})
 		if err != nil {
@@ -812,6 +859,13 @@ func (s *Server) handleTopologyRepartition(w http.ResponseWriter, ctx context.Co
 			s.cache.put(key, out)
 			// The mutated session continues the chain under the derived id.
 			s.sessions.put(requestKey(nextID, opt), inst)
+			var runMig repro.Migration
+			if prior != nil && len(prior) == base.N() {
+				// The same expression the fresh instance just committed to
+				// its history — the durable record restates it verbatim.
+				runMig = repro.MigrationAcross(next, ap.Topo.OldToNew, prior, out.Coloring)
+			}
+			s.persistRepart(req.GraphID, opt, d, nextID, next, nextDigest, out, runMig)
 			return out, nil
 		})
 		if err != nil {
@@ -852,7 +906,7 @@ func (s *Server) handleTopologyRepartition(w http.ResponseWriter, ctx context.Co
 // them without an HTTP round trip.
 func (s *Server) Stats() StatsResponse {
 	hits, misses, evictions := s.cache.counters()
-	return StatsResponse{
+	st := StatsResponse{
 		CacheHits:         hits,
 		CacheMisses:       misses,
 		CacheEvictions:    evictions,
@@ -868,7 +922,15 @@ func (s *Server) Stats() StatsResponse {
 		RequestsShed:      atomic.LoadInt64(&s.requestsShed),
 		RequestsCancelled: atomic.LoadInt64(&s.requestsCancelled),
 		BusyNS:            atomic.LoadInt64(&s.busyNS),
+		RecoveredSessions: atomic.LoadInt64(&s.recoveredSessions),
+		PersistErrors:     atomic.LoadInt64(&s.persistErrors),
 	}
+	if s.cfg.Store != nil {
+		m := s.cfg.Store.Metrics()
+		st.LogRecords = m.Records
+		st.Snapshots = m.Snapshots
+	}
+	return st
 }
 
 // handleStats serves GET /v1/stats.

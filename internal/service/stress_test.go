@@ -44,7 +44,7 @@ func TestStressCoalesceAndEvict(t *testing.T) {
 	gs := stressGraphs(4)
 	ids := make([]string, len(gs))
 	for i, g := range gs {
-		ids[i] = s.storeGraph(g)
+		ids[i] = s.storeGraph(g, nil)
 	}
 
 	const workers = 16
@@ -111,7 +111,7 @@ func TestStressShutdownWhileDraining(t *testing.T) {
 		gs := stressGraphs(6)
 		ids := make([]string, len(gs))
 		for i, g := range gs {
-			ids[i] = s.storeGraph(g)
+			ids[i] = s.storeGraph(g, nil)
 		}
 
 		const workers = 12
@@ -165,7 +165,7 @@ func TestStressRepartitionConcurrent(t *testing.T) {
 		s.Close()
 	}()
 	g := workload.ClimateMesh(8, 8, 2, 7)
-	id := s.storeGraph(g)
+	id := s.storeGraph(g, nil)
 	// Warm the prior.
 	resp, err := http.Post(ts.URL+"/v1/partition", "application/json",
 		strBody(fmt.Sprintf(`{"graph_id":%q,"k":4}`, id)))

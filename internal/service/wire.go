@@ -255,6 +255,19 @@ type StatsResponse struct {
 	// BusyNS is the summed work-handler occupancy in nanoseconds, measured
 	// with the configured Clock.
 	BusyNS int64 `json:"busy_ns"`
+	// LogRecords counts records appended to the durable op-log over the
+	// store's lifetime, recovered records included. Zero when the server
+	// runs without persistence.
+	LogRecords int64 `json:"log_records"`
+	// Snapshots counts snapshots written by the store this process,
+	// the post-recovery snapshot included.
+	Snapshots int64 `json:"snapshots"`
+	// RecoveredSessions counts repartition sessions rebuilt warm from
+	// durable state at boot.
+	RecoveredSessions int64 `json:"recovered_sessions"`
+	// PersistErrors counts op-log appends that failed. The serving path
+	// never fails a request over persistence; this counter is the signal.
+	PersistErrors int64 `json:"persist_errors"`
 }
 
 // statsWire converts coloring statistics to the wire form.

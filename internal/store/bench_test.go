@@ -1,0 +1,133 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/graph"
+)
+
+// BenchmarkStoreAppend measures the hot-path cost of logging one
+// repartition record at the quick-profile scale the service benchmarks
+// run (≈9.2k vertices, like ClimateMesh 96×96): encode + shadow apply +
+// buffered write, with the group-commit fsync off the critical path
+// (FsyncBatch). The acceptance bar is <10% of the repartition pipeline
+// itself (tens of milliseconds at this size — see BENCH_service.json).
+func BenchmarkStoreAppend(b *testing.B) {
+	for _, size := range []int{1024, 9216} {
+		b.Run(fmt.Sprintf("n=%d", size), func(b *testing.B) {
+			g := graph.NearRegular(size, 4, 1)
+			d := graph.NewContentDigest(g)
+			id := d.HashWeights(g.Weight)
+			s, err := Open(Options{Dir: b.TempDir()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			up := &Op{Type: TypeUpload, Upload: &UploadRec{GraphID: id, Graph: graph.Marshal(g)}}
+			up.Memoize(g, d)
+			if err := s.Append(up); err != nil {
+				b.Fatal(err)
+			}
+			coloring := make([]int32, size)
+			for v := range coloring {
+				coloring[v] = int32(v % 16)
+			}
+
+			// Each iteration logs one drift step, like the serving path.
+			// The chain toggles vertex 0 by exact powers of two so the
+			// digest chain cycles between two states and the shadow state
+			// stays bounded however long the benchmark runs.
+			up2 := repro.Delta{Scale: []repro.WeightChange{{V: 0, W: 2}}}
+			down2 := repro.Delta{Scale: []repro.WeightChange{{V: 0, W: 0.5}}}
+			ids := [2]string{id, ""}
+			graphs := [2]*graph.Graph{g, nil}
+			{
+				w, err := up2.Materialize(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				graphs[1] = g.WithWeights(w)
+				ids[1] = d.HashWeights(w)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				from, to, delta := i%2, 1-i%2, up2
+				if from == 1 {
+					delta = down2
+				}
+				op := &Op{Type: TypeRepart, Repart: &RepartRec{
+					BaseID: ids[from], Opt: OptionsRec{K: 16, P: 2},
+					Delta:  NewDeltaRec(delta),
+					NextID: ids[to], Coloring: coloring,
+				}}
+				op.Memoize(graphs[to], d)
+				if err := s.Append(op); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+		})
+	}
+}
+
+// BenchmarkStoreAppendFsyncAlways is the durable-every-record variant —
+// the cost ceiling an operator opts into with -fsync always.
+func BenchmarkStoreAppendFsyncAlways(b *testing.B) {
+	g := graph.NearRegular(1024, 4, 1)
+	d := graph.NewContentDigest(g)
+	id := d.HashWeights(g.Weight)
+	s, err := Open(Options{Dir: b.TempDir(), Fsync: FsyncAlways})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	up := &Op{Type: TypeUpload, Upload: &UploadRec{GraphID: id, Graph: graph.Marshal(g)}}
+	up.Memoize(g, d)
+	if err := s.Append(up); err != nil {
+		b.Fatal(err)
+	}
+	coloring := make([]int32, g.N())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		op := &Op{Type: TypeResult, Result: &ResultRec{
+			GraphID: id, Opt: OptionsRec{K: 2 + i%64, P: 2}, Coloring: coloring,
+		}}
+		if err := s.Append(op); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshot measures a full compacting snapshot at the same
+// scale, the periodic background cost.
+func BenchmarkSnapshot(b *testing.B) {
+	g := graph.NearRegular(9216, 4, 1)
+	d := graph.NewContentDigest(g)
+	id := d.HashWeights(g.Weight)
+	s, err := Open(Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	up := &Op{Type: TypeUpload, Upload: &UploadRec{GraphID: id, Graph: graph.Marshal(g)}}
+	up.Memoize(g, d)
+	if err := s.Append(up); err != nil {
+		b.Fatal(err)
+	}
+	coloring := make([]int32, g.N())
+	for k := 2; k <= 17; k++ {
+		if err := s.Append(&Op{Type: TypeResult, Result: &ResultRec{
+			GraphID: id, Opt: OptionsRec{K: k, P: 2}, Coloring: coloring,
+		}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Snapshot(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

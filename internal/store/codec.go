@@ -1,0 +1,305 @@
+// Package store is the durability subsystem of the serving layer
+// (DESIGN.md §11): an append-only, CRC-framed, fsync-batched operation
+// log plus periodic compacting snapshots, and a recovery path that
+// replays snapshot-then-log-tail into the warm shadow state a restarted
+// service.Server resumes from.
+//
+// The log records the serving layer's three state-bearing operations —
+// graph upload, partition result, repartition delta — in the same
+// canonical encodings the wire and session APIs already define, so a
+// record is O(|delta| + N) (client delta plus result coloring), never a
+// graph re-marshal. Snapshots serialize the full shadow state (graphs in
+// the canonical textual format, result colorings, session colorings and
+// migration histories) and absorb the log prefix they cover: recovery
+// loads the newest valid snapshot, replays the log tail, and tolerates a
+// torn final record by truncating it (crash consistency contract, §11).
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+
+	"repro"
+)
+
+// Record types. Seal marks a clean shutdown: Close writes it as the last
+// frame of the active segment after the final snapshot, so recovery can
+// tell a graceful exit from a crash.
+const (
+	TypeUpload = "upload"
+	TypeResult = "result"
+	TypeRepart = "repart"
+	TypeSeal   = "seal"
+)
+
+// File headers. A segment or snapshot that does not start with its magic
+// line is treated as corrupt, never misparsed.
+const (
+	logMagic  = "reprowal/1\n"
+	snapMagic = "reprosnap/1\n"
+)
+
+// MaxRecordBytes bounds a single frame's payload: a declared length
+// beyond it is treated as corruption, so a garbage length field can
+// never drive an allocation. It comfortably exceeds the largest legal
+// record (the serving layer caps graph payloads at 64 MiB).
+const MaxRecordBytes = 256 << 20
+
+// frameHeaderLen is the per-frame prefix: u32 payload length, u32 CRC.
+const frameHeaderLen = 8
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on the
+// platforms the daemon targets.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt marks a frame whose bytes are structurally invalid: bad
+// CRC, oversize length, or an undecodable payload. ErrShort marks a
+// frame cut off mid-write — the torn-tail shape recovery truncates.
+var (
+	ErrCorrupt = fmt.Errorf("store: corrupt record")
+	ErrShort   = fmt.Errorf("store: short record")
+)
+
+// Op is one log record. Exactly one of the typed bodies is set,
+// matching Type; Seal records carry none.
+type Op struct {
+	// Seq is the record's log sequence number, assigned by Append:
+	// strictly increasing across segments, never reused.
+	Seq  uint64 `json:"seq"`
+	Type string `json:"type"`
+
+	Upload *UploadRec `json:"upload,omitempty"`
+	Result *ResultRec `json:"result,omitempty"`
+	Repart *RepartRec `json:"repart,omitempty"`
+
+	// memo carries the already-materialized artifacts of the live
+	// operation (parsed graph, content digest), so the in-process shadow
+	// apply never recomputes what the server just built. Never
+	// serialized; disk replay recomputes from the record. Defined in
+	// state.go, populated via Memoize.
+	memo *opMemo
+}
+
+// UploadRec logs one graph ingestion: the canonical content id plus the
+// raw textual-format bytes (the only place the log stores a whole
+// graph — uploads are the operations whose payload IS the graph).
+type UploadRec struct {
+	GraphID string `json:"graph_id"`
+	Graph   []byte `json:"graph"`
+}
+
+// OptionsRec is the durable form of the result-relevant options — the
+// exact fields the serving wire can express (K, Hölder exponent with
+// the p=0 default normalized to 2, optional multilevel knobs). It is
+// comparable, so it keys the shadow maps directly.
+type OptionsRec struct {
+	K int     `json:"k"`
+	P float64 `json:"p"`
+	// ML marks the multilevel path; the knob fields are meaningful only
+	// when it is set (raw values, resolved against K downstream — the
+	// cache-key soundness rule of DESIGN.md §9).
+	ML            bool `json:"ml,omitempty"`
+	MLMinVertices int  `json:"ml_min_vertices,omitempty"`
+	MLMaxLevels   int  `json:"ml_max_levels,omitempty"`
+}
+
+// ResultRec logs one completed partition: the coloring the cache serves
+// for (graph × options).
+type ResultRec struct {
+	GraphID      string     `json:"graph_id"`
+	Opt          OptionsRec `json:"opt"`
+	Coloring     []int32    `json:"coloring"`
+	UsedFallback bool       `json:"used_fallback,omitempty"`
+}
+
+// WeightChangeRec mirrors repro.WeightChange.
+type WeightChangeRec struct {
+	V int32   `json:"v"`
+	W float64 `json:"w"`
+}
+
+// EdgeChangeRec mirrors repro.EdgeChange.
+type EdgeChangeRec struct {
+	U    int32   `json:"u"`
+	V    int32   `json:"v"`
+	Cost float64 `json:"cost,omitempty"`
+}
+
+// DeltaRec is the durable form of repro.Delta — the client's own delta,
+// in the session API's canonical composition order and stable
+// addressing, so replay derives the successor graph through the same
+// single definition the live path ran.
+type DeltaRec struct {
+	Weights        []float64         `json:"weights,omitempty"`
+	Set            []WeightChangeRec `json:"set,omitempty"`
+	Scale          []WeightChangeRec `json:"scale,omitempty"`
+	AddVertices    []float64         `json:"add_vertices,omitempty"`
+	RemoveVertices []int32           `json:"remove_vertices,omitempty"`
+	AddEdges       []EdgeChangeRec   `json:"add_edges,omitempty"`
+	RemoveEdges    []EdgeChangeRec   `json:"remove_edges,omitempty"`
+}
+
+// NewDeltaRec converts a session delta to its durable form.
+func NewDeltaRec(d repro.Delta) DeltaRec {
+	r := DeltaRec{
+		Weights:        d.Weights,
+		AddVertices:    d.AddVertices,
+		RemoveVertices: d.RemoveVertices,
+	}
+	for _, u := range d.Set {
+		r.Set = append(r.Set, WeightChangeRec{V: u.V, W: u.W})
+	}
+	for _, u := range d.Scale {
+		r.Scale = append(r.Scale, WeightChangeRec{V: u.V, W: u.W})
+	}
+	for _, e := range d.AddEdges {
+		r.AddEdges = append(r.AddEdges, EdgeChangeRec{U: e.U, V: e.V, Cost: e.Cost})
+	}
+	for _, e := range d.RemoveEdges {
+		r.RemoveEdges = append(r.RemoveEdges, EdgeChangeRec{U: e.U, V: e.V})
+	}
+	return r
+}
+
+// Delta converts back to the session form.
+func (r DeltaRec) Delta() repro.Delta {
+	d := repro.Delta{
+		Weights:        r.Weights,
+		AddVertices:    r.AddVertices,
+		RemoveVertices: r.RemoveVertices,
+	}
+	for _, u := range r.Set {
+		d.Set = append(d.Set, repro.WeightChange{V: u.V, W: u.W})
+	}
+	for _, u := range r.Scale {
+		d.Scale = append(d.Scale, repro.WeightChange{V: u.V, W: u.W})
+	}
+	for _, e := range r.AddEdges {
+		d.AddEdges = append(d.AddEdges, repro.EdgeChange{U: e.U, V: e.V, Cost: e.Cost})
+	}
+	for _, e := range r.RemoveEdges {
+		d.RemoveEdges = append(d.RemoveEdges, repro.EdgeChange{U: e.U, V: e.V})
+	}
+	return d
+}
+
+// MigrationRec mirrors repro.Migration.
+type MigrationRec struct {
+	Vertices int     `json:"vertices"`
+	Weight   float64 `json:"weight"`
+	Fraction float64 `json:"fraction"`
+}
+
+// Migration converts back to the session form.
+func (m MigrationRec) Migration() repro.Migration {
+	return repro.Migration{Vertices: m.Vertices, Weight: m.Weight, Fraction: m.Fraction}
+}
+
+// NewMigrationRec converts a session migration to its durable form.
+func NewMigrationRec(m repro.Migration) MigrationRec {
+	return MigrationRec{Vertices: m.Vertices, Weight: m.Weight, Fraction: m.Fraction}
+}
+
+// RepartRec logs one successful repartition: base id, client delta,
+// derived id (the digest-chain check replay re-verifies), the result
+// coloring the pipeline produced, and the migration entry the session
+// appended — everything recovery needs to rebuild the session
+// byte-identically without re-running a pipeline.
+type RepartRec struct {
+	BaseID       string       `json:"base_id"`
+	Opt          OptionsRec   `json:"opt"`
+	Delta        DeltaRec     `json:"delta"`
+	NextID       string       `json:"next_id"`
+	Coloring     []int32      `json:"coloring"`
+	UsedFallback bool         `json:"used_fallback,omitempty"`
+	Migration    MigrationRec `json:"migration"`
+}
+
+// validate checks the type tag against the populated body.
+func (op *Op) validate() error {
+	switch op.Type {
+	case TypeUpload:
+		if op.Upload == nil || op.Upload.GraphID == "" {
+			return fmt.Errorf("%w: upload record missing body", ErrCorrupt)
+		}
+	case TypeResult:
+		if op.Result == nil || op.Result.GraphID == "" {
+			return fmt.Errorf("%w: result record missing body", ErrCorrupt)
+		}
+	case TypeRepart:
+		if op.Repart == nil || op.Repart.BaseID == "" || op.Repart.NextID == "" {
+			return fmt.Errorf("%w: repart record missing body", ErrCorrupt)
+		}
+	case TypeSeal:
+	default:
+		return fmt.Errorf("%w: unknown record type %q", ErrCorrupt, op.Type)
+	}
+	return nil
+}
+
+// appendFrame frames payload onto dst: [u32 len][u32 crc32c][payload].
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// readFrame decodes one frame from the head of data, returning the
+// payload and total bytes consumed. A frame cut off mid-write is
+// ErrShort (the torn-tail shape); a bad CRC or an implausible length is
+// ErrCorrupt.
+func readFrame(data []byte) ([]byte, int, error) {
+	if len(data) < frameHeaderLen {
+		return nil, 0, ErrShort
+	}
+	n := binary.LittleEndian.Uint32(data[0:4])
+	if n > MaxRecordBytes {
+		return nil, 0, fmt.Errorf("%w: declared frame length %d exceeds %d", ErrCorrupt, n, MaxRecordBytes)
+	}
+	want := binary.LittleEndian.Uint32(data[4:8])
+	end := frameHeaderLen + int(n)
+	if len(data) < end {
+		return nil, 0, ErrShort
+	}
+	payload := data[frameHeaderLen:end]
+	if crc32.Checksum(payload, crcTable) != want {
+		return nil, 0, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	return payload, end, nil
+}
+
+// EncodeRecord frames one log record. Exported (with DecodeRecord) so
+// the fuzz targets exercise exactly the bytes the store writes.
+func EncodeRecord(op *Op) ([]byte, error) {
+	if err := op.validate(); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(op)
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding record: %w", err)
+	}
+	return appendFrame(nil, payload), nil
+}
+
+// DecodeRecord decodes one framed record from the head of data,
+// returning the record and total bytes consumed. Errors are ErrShort
+// (incomplete frame) or ErrCorrupt-wrapped (bad CRC, oversize length,
+// undecodable or invalid payload).
+func DecodeRecord(data []byte) (*Op, int, error) {
+	payload, n, err := readFrame(data)
+	if err != nil {
+		return nil, 0, err
+	}
+	var op Op
+	if err := json.Unmarshal(payload, &op); err != nil {
+		return nil, 0, fmt.Errorf("%w: undecodable payload: %v", ErrCorrupt, err)
+	}
+	if err := op.validate(); err != nil {
+		return nil, 0, err
+	}
+	return &op, n, nil
+}

@@ -1,0 +1,168 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro"
+	"repro/internal/graph"
+)
+
+// Snapshot payload shapes. Graphs ride the canonical textual format
+// (graph.Marshal round-trips float64 weights exactly via %g shortest
+// representation, so content hashes survive the round trip bit-for-bit).
+// Every entry carries its last-touch seq so warm-up can rebuild the
+// server's LRU insertion order.
+type snapGraph struct {
+	ID    string `json:"id"`
+	At    uint64 `json:"at"`
+	Graph []byte `json:"graph"`
+}
+
+type snapResult struct {
+	GraphID      string     `json:"graph_id"`
+	Opt          OptionsRec `json:"opt"`
+	At           uint64     `json:"at"`
+	Coloring     []int32    `json:"coloring"`
+	UsedFallback bool       `json:"used_fallback,omitempty"`
+}
+
+type snapSession struct {
+	KeyGraphID string         `json:"key_graph_id"`
+	Opt        OptionsRec     `json:"opt"`
+	At         uint64         `json:"at"`
+	GraphID    string         `json:"graph_id"`
+	Coloring   []int32        `json:"coloring"`
+	History    []MigrationRec `json:"history"`
+}
+
+type snapPayload struct {
+	// Seq is the log position the snapshot covers: recovery replays only
+	// records with seq beyond it.
+	Seq      uint64        `json:"seq"`
+	Graphs   []snapGraph   `json:"graphs"`
+	Results  []snapResult  `json:"results"`
+	Sessions []snapSession `json:"sessions"`
+}
+
+// EncodeSnapshot serializes the state as one CRC-framed payload behind
+// the snapshot magic. Entries are sorted by last-touch seq (ties by
+// key), so identical states produce identical bytes.
+func EncodeSnapshot(st *State) ([]byte, error) {
+	p := snapPayload{Seq: st.seq}
+	for _, gs := range st.graphs {
+		p.Graphs = append(p.Graphs, snapGraph{ID: gs.id, At: gs.at, Graph: graph.Marshal(gs.g)})
+	}
+	sort.Slice(p.Graphs, func(i, j int) bool {
+		if p.Graphs[i].At != p.Graphs[j].At {
+			return p.Graphs[i].At < p.Graphs[j].At
+		}
+		return p.Graphs[i].ID < p.Graphs[j].ID
+	})
+	for _, rs := range st.results {
+		p.Results = append(p.Results, snapResult{
+			GraphID:      rs.key.GraphID,
+			Opt:          rs.key.Opt,
+			At:           rs.at,
+			Coloring:     rs.coloring,
+			UsedFallback: rs.usedFallback,
+		})
+	}
+	sort.Slice(p.Results, func(i, j int) bool {
+		if p.Results[i].At != p.Results[j].At {
+			return p.Results[i].At < p.Results[j].At
+		}
+		return p.Results[i].GraphID < p.Results[j].GraphID
+	})
+	for _, ss := range st.sessions {
+		h := make([]MigrationRec, len(ss.history))
+		for i, m := range ss.history {
+			h[i] = NewMigrationRec(m)
+		}
+		p.Sessions = append(p.Sessions, snapSession{
+			KeyGraphID: ss.key.GraphID,
+			Opt:        ss.key.Opt,
+			At:         ss.at,
+			GraphID:    ss.graphID,
+			Coloring:   ss.coloring,
+			History:    h,
+		})
+	}
+	sort.Slice(p.Sessions, func(i, j int) bool {
+		if p.Sessions[i].At != p.Sessions[j].At {
+			return p.Sessions[i].At < p.Sessions[j].At
+		}
+		return p.Sessions[i].KeyGraphID < p.Sessions[j].KeyGraphID
+	})
+
+	payload, err := json.Marshal(&p)
+	if err != nil {
+		return nil, fmt.Errorf("store: encoding snapshot: %w", err)
+	}
+	return appendFrame([]byte(snapMagic), payload), nil
+}
+
+// DecodeSnapshot parses and verifies a snapshot file: magic, frame CRC,
+// payload shape, and semantic integrity (every graph re-hashes to its
+// recorded id; results and sessions reference present graphs with
+// length-consistent colorings). Any failure is an error — the recovery
+// path then falls back to an older snapshot.
+func DecodeSnapshot(data []byte) (*State, error) {
+	if !bytes.HasPrefix(data, []byte(snapMagic)) {
+		return nil, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	payload, n, err := readFrame(data[len(snapMagic):])
+	if err != nil {
+		return nil, err
+	}
+	if len(snapMagic)+n != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after snapshot frame", ErrCorrupt, len(data)-len(snapMagic)-n)
+	}
+	var p snapPayload
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return nil, fmt.Errorf("%w: undecodable snapshot payload: %v", ErrCorrupt, err)
+	}
+
+	st := newState()
+	st.seq = p.Seq
+	for _, sg := range p.Graphs {
+		g, err := graph.Unmarshal(sg.Graph)
+		if err != nil {
+			return nil, fmt.Errorf("%w: snapshot graph %s: %v", ErrCorrupt, sg.ID, err)
+		}
+		d := graph.NewContentDigest(g)
+		if id := d.HashWeights(g.Weight); id != sg.ID {
+			return nil, fmt.Errorf("%w: snapshot graph re-hashes to %s, recorded as %s", ErrCorrupt, id, sg.ID)
+		}
+		st.graphs[sg.ID] = &graphState{id: sg.ID, g: g, digest: d, at: sg.At}
+	}
+	for _, sr := range p.Results {
+		gs, ok := st.graphs[sr.GraphID]
+		if !ok {
+			return nil, fmt.Errorf("%w: snapshot result references unknown graph %s", ErrCorrupt, sr.GraphID)
+		}
+		if len(sr.Coloring) != gs.g.N() {
+			return nil, fmt.Errorf("%w: snapshot result coloring length %d != N %d", ErrCorrupt, len(sr.Coloring), gs.g.N())
+		}
+		key := Key{sr.GraphID, sr.Opt}
+		st.results[key] = &resultState{key: key, coloring: sr.Coloring, usedFallback: sr.UsedFallback, at: sr.At}
+	}
+	for _, ss := range p.Sessions {
+		gs, ok := st.graphs[ss.GraphID]
+		if !ok {
+			return nil, fmt.Errorf("%w: snapshot session references unknown graph %s", ErrCorrupt, ss.GraphID)
+		}
+		if len(ss.Coloring) != gs.g.N() {
+			return nil, fmt.Errorf("%w: snapshot session coloring length %d != N %d", ErrCorrupt, len(ss.Coloring), gs.g.N())
+		}
+		h := make([]repro.Migration, len(ss.History))
+		for i, m := range ss.History {
+			h[i] = m.Migration()
+		}
+		key := Key{ss.KeyGraphID, ss.Opt}
+		st.sessions[key] = &sessionState{key: key, graphID: ss.GraphID, coloring: ss.Coloring, history: h, at: ss.At}
+	}
+	return st, nil
+}

@@ -1,0 +1,346 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"repro"
+	"repro/internal/graph"
+)
+
+// Key addresses a result or session in the shadow state: the graph id
+// the serving layer keys it under × the result-relevant options.
+type Key struct {
+	GraphID string
+	Opt     OptionsRec
+}
+
+// opMemo is the in-process fast path of State.apply: the live server
+// already holds the parsed successor graph and its digest, so the
+// shadow apply adopts them instead of recomputing. See Op.memo.
+type opMemo struct {
+	graph  *graph.Graph
+	digest graph.ContentDigest
+}
+
+// Memoize attaches the live operation's materialized graph and digest
+// to the record, so the in-process shadow apply is O(1) in the graph.
+func (op *Op) Memoize(g *graph.Graph, d graph.ContentDigest) {
+	op.memo = &opMemo{graph: g, digest: d}
+}
+
+// graphState is one materialized graph of the shadow state.
+type graphState struct {
+	id     string
+	g      *graph.Graph
+	digest graph.ContentDigest
+	at     uint64 // seq of last touch, for warm-up insertion order
+}
+
+// resultState is one cached partition result.
+type resultState struct {
+	key          Key
+	coloring     []int32
+	usedFallback bool
+	at           uint64
+}
+
+// sessionState is one repartition session: the chain's current graph,
+// coloring, and migration history. Weight chains live under their base
+// id, topology chains under the derived id — the same keying the
+// serving layer uses.
+type sessionState struct {
+	key      Key
+	graphID  string // current graph id (advances with every weight delta)
+	coloring []int32
+	history  []repro.Migration
+	at       uint64
+}
+
+// State is the authoritative shadow of everything the log and snapshots
+// persist. Unlike the server's LRUs it never evicts: a restart comes up
+// at least as warm as the process that died. The Store guards it with
+// its own mutex; State has none.
+type State struct {
+	seq      uint64
+	graphs   map[string]*graphState
+	results  map[Key]*resultState
+	sessions map[Key]*sessionState
+}
+
+func newState() *State {
+	return &State{
+		graphs:   make(map[string]*graphState),
+		results:  make(map[Key]*resultState),
+		sessions: make(map[Key]*sessionState),
+	}
+}
+
+// bump advances the state's high-water sequence number (used for
+// records that carry a seq but mutate nothing, e.g. seal).
+func (st *State) bump(seq uint64) {
+	if seq > st.seq {
+		st.seq = seq
+	}
+}
+
+// apply folds one record into the state. It validates the record
+// against the state it lands on — unknown base ids, mismatched derived
+// hashes (the digest-chain integrity check), or malformed colorings are
+// errors, and the state is left untouched except for the seq high-water
+// mark. Callers replaying a log warn and skip on error rather than
+// failing the boot.
+func (st *State) apply(op *Op) error {
+	defer st.bump(op.Seq)
+	switch op.Type {
+	case TypeUpload:
+		return st.applyUpload(op)
+	case TypeResult:
+		return st.applyResult(op)
+	case TypeRepart:
+		return st.applyRepart(op)
+	case TypeSeal:
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown record type %q", ErrCorrupt, op.Type)
+	}
+}
+
+func (st *State) applyUpload(op *Op) error {
+	rec := op.Upload
+	if gs, ok := st.graphs[rec.GraphID]; ok {
+		gs.at = op.Seq
+		return nil
+	}
+	var g *graph.Graph
+	var d graph.ContentDigest
+	if op.memo != nil {
+		g, d = op.memo.graph, op.memo.digest
+	} else {
+		var err error
+		g, err = graph.Unmarshal(rec.Graph)
+		if err != nil {
+			return fmt.Errorf("store: upload seq %d: %w", op.Seq, err)
+		}
+		d = graph.NewContentDigest(g)
+		if id := d.HashWeights(g.Weight); id != rec.GraphID {
+			return fmt.Errorf("store: upload seq %d: content hash %s != recorded id %s", op.Seq, id, rec.GraphID)
+		}
+	}
+	st.graphs[rec.GraphID] = &graphState{id: rec.GraphID, g: g, digest: d, at: op.Seq}
+	return nil
+}
+
+func (st *State) applyResult(op *Op) error {
+	rec := op.Result
+	gs, ok := st.graphs[rec.GraphID]
+	if !ok {
+		return fmt.Errorf("store: result seq %d: unknown graph %s", op.Seq, rec.GraphID)
+	}
+	if len(rec.Coloring) != gs.g.N() {
+		return fmt.Errorf("store: result seq %d: coloring length %d != N %d", op.Seq, len(rec.Coloring), gs.g.N())
+	}
+	st.results[Key{rec.GraphID, rec.Opt}] = &resultState{
+		key:          Key{rec.GraphID, rec.Opt},
+		coloring:     rec.Coloring,
+		usedFallback: rec.UsedFallback,
+		at:           op.Seq,
+	}
+	return nil
+}
+
+func (st *State) applyRepart(op *Op) error {
+	rec := op.Repart
+	base, ok := st.graphs[rec.BaseID]
+	if !ok {
+		return fmt.Errorf("store: repart seq %d: unknown base graph %s", op.Seq, rec.BaseID)
+	}
+	d := rec.Delta.Delta()
+	topo := d.HasTopology()
+
+	var next *graph.Graph
+	var nd graph.ContentDigest
+	if op.memo != nil {
+		next, nd = op.memo.graph, op.memo.digest
+	} else {
+		// Re-derive the successor through the one canonical delta
+		// definition, and verify the digest chain: the recomputed content
+		// id must equal what the live path handed out, or the record does
+		// not describe this base and is skipped by the caller.
+		ap, err := d.Apply(base.g)
+		if err != nil {
+			return fmt.Errorf("store: repart seq %d: %w", op.Seq, err)
+		}
+		next = ap.Graph
+		if ap.Topo != nil {
+			nd = base.digest.Patch(ap.Topo)
+		} else {
+			nd = base.digest
+		}
+		if id := nd.HashWeights(next.Weight); id != rec.NextID {
+			return fmt.Errorf("store: repart seq %d: derived hash %s != recorded next id %s (digest chain broken)", op.Seq, id, rec.NextID)
+		}
+	}
+	if len(rec.Coloring) != next.N() {
+		return fmt.Errorf("store: repart seq %d: coloring length %d != N %d", op.Seq, len(rec.Coloring), next.N())
+	}
+
+	if gs, ok := st.graphs[rec.NextID]; ok {
+		gs.at = op.Seq
+	} else {
+		st.graphs[rec.NextID] = &graphState{id: rec.NextID, g: next, digest: nd, at: op.Seq}
+	}
+	st.results[Key{rec.NextID, rec.Opt}] = &resultState{
+		key:          Key{rec.NextID, rec.Opt},
+		coloring:     rec.Coloring,
+		usedFallback: rec.UsedFallback,
+		at:           op.Seq,
+	}
+
+	// Session bookkeeping mirrors the serving layer: a weight delta
+	// advances the base-keyed chain; a topology delta starts (or
+	// restates) a chain keyed by the derived id, leaving the base
+	// session untouched.
+	sessKey := Key{rec.BaseID, rec.Opt}
+	if topo {
+		sessKey = Key{rec.NextID, rec.Opt}
+		st.sessions[sessKey] = &sessionState{
+			key:      sessKey,
+			graphID:  rec.NextID,
+			coloring: rec.Coloring,
+			history:  []repro.Migration{rec.Migration.Migration()},
+			at:       op.Seq,
+		}
+		return nil
+	}
+	ss, ok := st.sessions[sessKey]
+	if !ok {
+		ss = &sessionState{key: sessKey}
+		st.sessions[sessKey] = ss
+	}
+	ss.graphID = rec.NextID
+	ss.coloring = rec.Coloring
+	ss.history = append(ss.history, rec.Migration.Migration())
+	ss.at = op.Seq
+	return nil
+}
+
+// Entry accessors: the server warm-up path reads the shadow state
+// through these, sorted by last-touch seq ascending — inserting in that
+// order reproduces the LRU recency the dead process had, so eviction
+// under pressure drops the stalest entries first.
+
+// GraphEntry is one recovered graph, exported for server warm-up.
+type GraphEntry struct {
+	ID     string
+	Graph  *graph.Graph
+	Digest graph.ContentDigest
+}
+
+// ResultEntry is one recovered partition result.
+type ResultEntry struct {
+	GraphID      string
+	Opt          OptionsRec
+	Graph        *graph.Graph // the graph the coloring colors
+	Coloring     []int32
+	UsedFallback bool
+}
+
+// SessionEntry is one recovered repartition session.
+type SessionEntry struct {
+	// KeyGraphID is the id the serving layer keys the session under
+	// (base id for weight chains, derived id for topology chains).
+	KeyGraphID string
+	Opt        OptionsRec
+	// GraphID and Graph are the chain's current instance.
+	GraphID  string
+	Graph    *graph.Graph
+	Coloring []int32
+	History  []repro.Migration
+}
+
+// RecoveredGraphs lists the shadow state's graphs in last-touch order.
+func (s *Store) RecoveredGraphs() []GraphEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := make([]*graphState, 0, len(s.st.graphs))
+	for _, gs := range s.st.graphs {
+		list = append(list, gs)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].at != list[j].at {
+			return list[i].at < list[j].at
+		}
+		return list[i].id < list[j].id
+	})
+	out := make([]GraphEntry, len(list))
+	for i, gs := range list {
+		out[i] = GraphEntry{ID: gs.id, Graph: gs.g, Digest: gs.digest}
+	}
+	return out
+}
+
+// RecoveredResults lists the shadow state's partition results in
+// last-touch order, each paired with the graph its coloring colors.
+func (s *Store) RecoveredResults() []ResultEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := make([]*resultState, 0, len(s.st.results))
+	for _, rs := range s.st.results {
+		list = append(list, rs)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].at != list[j].at {
+			return list[i].at < list[j].at
+		}
+		return list[i].key.GraphID < list[j].key.GraphID
+	})
+	out := make([]ResultEntry, 0, len(list))
+	for _, rs := range list {
+		gs, ok := s.st.graphs[rs.key.GraphID]
+		if !ok {
+			continue // unreachable: apply/DecodeSnapshot enforce presence
+		}
+		out = append(out, ResultEntry{
+			GraphID:      rs.key.GraphID,
+			Opt:          rs.key.Opt,
+			Graph:        gs.g,
+			Coloring:     rs.coloring,
+			UsedFallback: rs.usedFallback,
+		})
+	}
+	return out
+}
+
+// RecoveredSessions lists the shadow state's repartition sessions in
+// last-touch order, each paired with its chain's current graph.
+func (s *Store) RecoveredSessions() []SessionEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := make([]*sessionState, 0, len(s.st.sessions))
+	for _, ss := range s.st.sessions {
+		list = append(list, ss)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].at != list[j].at {
+			return list[i].at < list[j].at
+		}
+		return list[i].key.GraphID < list[j].key.GraphID
+	})
+	out := make([]SessionEntry, 0, len(list))
+	for _, ss := range list {
+		gs, ok := s.st.graphs[ss.graphID]
+		if !ok {
+			continue // unreachable: apply/DecodeSnapshot enforce presence
+		}
+		out = append(out, SessionEntry{
+			KeyGraphID: ss.key.GraphID,
+			Opt:        ss.key.Opt,
+			GraphID:    ss.graphID,
+			Graph:      gs.g,
+			Coloring:   ss.coloring,
+			History:    ss.history,
+		})
+	}
+	return out
+}

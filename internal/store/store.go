@@ -1,0 +1,629 @@
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FsyncMode selects the log's durability policy.
+type FsyncMode int
+
+const (
+	// FsyncBatch (default) group-commits: appends land in the OS via a
+	// buffered writer and a single flush+fsync runs per BatchWindow, so
+	// the hot path pays an encode and a buffered write, never a sync.
+	// Crash exposure is bounded by the window.
+	FsyncBatch FsyncMode = iota
+	// FsyncAlways flushes and fsyncs before Append returns: every
+	// acknowledged record survives power loss.
+	FsyncAlways
+	// FsyncNone flushes on the batch timer but never fsyncs; the OS
+	// decides when bytes reach disk. Survives process crashes, not
+	// machine crashes.
+	FsyncNone
+)
+
+// ParseFsyncMode parses the daemon flag vocabulary: batch, always, none.
+func ParseFsyncMode(s string) (FsyncMode, error) {
+	switch s {
+	case "batch", "":
+		return FsyncBatch, nil
+	case "always":
+		return FsyncAlways, nil
+	case "none":
+		return FsyncNone, nil
+	default:
+		return 0, fmt.Errorf("store: unknown fsync mode %q (want batch, always or none)", s)
+	}
+}
+
+func (m FsyncMode) String() string {
+	switch m {
+	case FsyncAlways:
+		return "always"
+	case FsyncNone:
+		return "none"
+	default:
+		return "batch"
+	}
+}
+
+// Options configures Open. Dir is required; zero values elsewhere
+// select the documented defaults.
+type Options struct {
+	// Dir is the data directory (created if absent). It holds log
+	// segments (wal-<seq>.log, named by the first sequence number they
+	// can contain) and snapshots (snap-<seq>.snap, named by the log
+	// position they cover).
+	Dir string
+	// Fsync selects the durability policy (default FsyncBatch).
+	Fsync FsyncMode
+	// BatchWindow is the group-commit delay for FsyncBatch and the flush
+	// delay for FsyncNone (default 2ms).
+	BatchWindow time.Duration
+	// SnapshotInterval, when positive, snapshots (and compacts) on a
+	// background ticker.
+	SnapshotInterval time.Duration
+	// SnapshotEvery, when positive, snapshots synchronously after every
+	// n appended records — the deterministic trigger tests use.
+	SnapshotEvery int
+	// Logf receives recovery warnings (default log.Printf).
+	Logf func(format string, args ...any)
+}
+
+// RecoveryInfo describes what Open reconstructed.
+type RecoveryInfo struct {
+	// SnapshotSeq is the log position of the snapshot recovery loaded
+	// (0 = none found).
+	SnapshotSeq uint64
+	// Replayed counts log-tail records folded into the state; Skipped
+	// counts records that failed their integrity checks and were dropped
+	// with a warning.
+	Replayed int
+	Skipped  int
+	// TruncatedBytes is how much of a torn final record was cut from the
+	// last segment.
+	TruncatedBytes int64
+	// CleanShutdown reports that the log ended with a seal record — the
+	// previous process exited through Close.
+	CleanShutdown bool
+	// Graphs, Results and Sessions count the recovered state.
+	Graphs, Results, Sessions int
+}
+
+// Metrics is the counter snapshot the serving stats export.
+type Metrics struct {
+	// Records counts data records represented by this store lifetime:
+	// log-tail records replayed at recovery plus records appended since.
+	Records int64
+	// Snapshots counts snapshots written this lifetime (a recovery that
+	// replayed a tail writes one immediately, making boot durable).
+	Snapshots int64
+}
+
+// ErrClosed is returned by operations on a closed (or abandoned) store.
+var ErrClosed = fmt.Errorf("store: closed")
+
+// Store is the durable operation log + snapshot subsystem. All methods
+// are safe for concurrent use.
+type Store struct {
+	opt Options
+
+	mu         sync.Mutex
+	st         *State
+	f          *os.File
+	bw         *bufio.Writer
+	segName    string
+	segRecords int  // frames written to the active segment
+	sinceSnap  int  // records since the last snapshot
+	syncArmed  bool // a group-commit timer is pending
+	timer      *time.Timer
+	closed     bool
+
+	records   int64 // atomic; see Metrics
+	snapshots int64 // atomic
+	recov     RecoveryInfo
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// Open recovers (or initializes) the data directory and returns a store
+// ready for appends: newest valid snapshot loaded, log tail replayed
+// with torn-tail truncation, a fresh active segment opened past the
+// recovered position, and — when a tail was replayed — a post-recovery
+// snapshot written so the reconstructed state is immediately durable
+// and the replayed segments compact away.
+func Open(opt Options) (*Store, error) {
+	if opt.Dir == "" {
+		return nil, fmt.Errorf("store: Options.Dir is required")
+	}
+	if opt.BatchWindow <= 0 {
+		opt.BatchWindow = 2 * time.Millisecond
+	}
+	if opt.Logf == nil {
+		opt.Logf = log.Printf
+	}
+	if err := os.MkdirAll(opt.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{opt: opt, st: newState(), stop: make(chan struct{})}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	if err := s.openSegment(); err != nil {
+		return nil, err
+	}
+	if s.recov.Replayed > 0 || s.recov.Skipped > 0 || s.recov.TruncatedBytes > 0 {
+		if err := s.snapshotLocked(); err != nil {
+			return nil, err
+		}
+	}
+	if opt.SnapshotInterval > 0 {
+		s.wg.Add(1)
+		go s.snapshotLoop()
+	}
+	return s, nil
+}
+
+// Recovery returns what Open reconstructed.
+func (s *Store) Recovery() RecoveryInfo { return s.recov }
+
+// Metrics returns the lifetime counters.
+func (s *Store) Metrics() Metrics {
+	return Metrics{
+		Records:   atomic.LoadInt64(&s.records),
+		Snapshots: atomic.LoadInt64(&s.snapshots),
+	}
+}
+
+// segment and snapshot file naming.
+func segFile(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%020d.log", seq))
+}
+
+func snapFile(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("snap-%020d.snap", seq))
+}
+
+// parseSeq extracts the sequence number from a data file name.
+func parseSeq(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	mid := strings.TrimSuffix(strings.TrimPrefix(name, prefix), suffix)
+	seq, err := strconv.ParseUint(mid, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// recover loads the newest valid snapshot and replays the log tail.
+func (s *Store) recover() error {
+	entries, err := os.ReadDir(s.opt.Dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var snapSeqs, segSeqs []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// Leftover of an interrupted snapshot write: never valid.
+			_ = os.Remove(filepath.Join(s.opt.Dir, name))
+			continue
+		}
+		if seq, ok := parseSeq(name, "snap-", ".snap"); ok {
+			snapSeqs = append(snapSeqs, seq)
+		}
+		if seq, ok := parseSeq(name, "wal-", ".log"); ok {
+			segSeqs = append(segSeqs, seq)
+		}
+	}
+	slices.Sort(snapSeqs)
+	slices.Sort(segSeqs)
+
+	// Newest valid snapshot wins; a corrupt one falls back to the next
+	// older with a warning (disaster tolerance, not the contract — the
+	// compaction horizon keeps the log the older snapshot needs).
+	for i := len(snapSeqs) - 1; i >= 0; i-- {
+		path := snapFile(s.opt.Dir, snapSeqs[i])
+		data, err := os.ReadFile(path)
+		if err != nil {
+			s.opt.Logf("store: recovery: reading %s: %v", path, err)
+			continue
+		}
+		st, err := DecodeSnapshot(data)
+		if err != nil {
+			s.opt.Logf("store: recovery: invalid snapshot %s (falling back): %v", path, err)
+			continue
+		}
+		s.st = st
+		s.recov.SnapshotSeq = snapSeqs[i]
+		break
+	}
+
+	// Replay segments in order, skipping records the snapshot already
+	// covers. Corruption in the final segment truncates (torn tail);
+	// corruption anywhere earlier fails the boot — that is real damage,
+	// not a crash artifact.
+	lastWasSeal := false
+	for i, seq := range segSeqs {
+		path := segFile(s.opt.Dir, seq)
+		last := i == len(segSeqs)-1
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("store: recovery: %w", err)
+		}
+		if !bytes.HasPrefix(data, []byte(logMagic)) {
+			if last && int64(len(data)) < int64(len(logMagic)) {
+				// Crash during segment creation: header never made it.
+				s.opt.Logf("store: recovery: truncating torn segment header of %s (%d bytes)", path, len(data))
+				s.recov.TruncatedBytes += int64(len(data))
+				if err := os.Truncate(path, 0); err != nil {
+					return fmt.Errorf("store: recovery: %w", err)
+				}
+				continue
+			}
+			return fmt.Errorf("store: recovery: %s: bad segment magic", path)
+		}
+		off := len(logMagic)
+		for off < len(data) {
+			op, n, err := DecodeRecord(data[off:])
+			if err != nil {
+				if !last {
+					return fmt.Errorf("store: recovery: %s at offset %d: %w", path, off, err)
+				}
+				torn := int64(len(data) - off)
+				s.opt.Logf("store: recovery: truncating torn tail of %s at offset %d (%d bytes): %v", path, off, torn, err)
+				s.recov.TruncatedBytes += torn
+				if err := os.Truncate(path, int64(off)); err != nil {
+					return fmt.Errorf("store: recovery: %w", err)
+				}
+				break
+			}
+			lastWasSeal = op.Type == TypeSeal
+			if op.Type != TypeSeal && op.Seq > s.st.seq {
+				if err := s.st.apply(op); err != nil {
+					s.opt.Logf("store: recovery: skipping record seq %d: %v", op.Seq, err)
+					s.recov.Skipped++
+				} else {
+					s.recov.Replayed++
+				}
+			}
+			s.st.bump(op.Seq)
+			off += n
+		}
+	}
+	s.recov.CleanShutdown = lastWasSeal
+	s.recov.Graphs = len(s.st.graphs)
+	s.recov.Results = len(s.st.results)
+	s.recov.Sessions = len(s.st.sessions)
+	atomic.StoreInt64(&s.records, int64(s.recov.Replayed))
+	return nil
+}
+
+// openSegment starts the active segment at the next sequence number:
+// header written, flushed and fsynced so the file is well-formed on
+// disk before any record lands in it.
+func (s *Store) openSegment() error {
+	name := segFile(s.opt.Dir, s.st.seq+1)
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.WriteString(logMagic); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	s.f = f
+	s.bw = bufio.NewWriterSize(f, 1<<16)
+	s.segName = name
+	s.segRecords = 0
+	s.syncDir()
+	return nil
+}
+
+// syncDir fsyncs the data directory so renames and creates are durable.
+// Best effort: some filesystems reject directory fsync.
+func (s *Store) syncDir() {
+	if d, err := os.Open(s.opt.Dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// Append assigns the next sequence number, folds the record into the
+// shadow state (validating it), and writes the frame under the
+// configured durability policy. Upload records for already-present
+// graphs and result records identical to the present one are absorbed
+// without a write, so re-uploads and cached repeats cost nothing.
+func (s *Store) Append(op *Op) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	switch op.Type {
+	case TypeUpload:
+		if _, ok := s.st.graphs[op.Upload.GraphID]; ok {
+			return nil
+		}
+	case TypeResult:
+		key := Key{op.Result.GraphID, op.Result.Opt}
+		if r, ok := s.st.results[key]; ok &&
+			r.usedFallback == op.Result.UsedFallback &&
+			slices.Equal(r.coloring, op.Result.Coloring) {
+			return nil
+		}
+	}
+	op.Seq = s.st.seq + 1
+	if err := s.st.apply(op); err != nil {
+		return err
+	}
+	if err := s.writeFrame(op); err != nil {
+		return err
+	}
+	atomic.AddInt64(&s.records, 1)
+	s.segRecords++
+	s.sinceSnap++
+	switch s.opt.Fsync {
+	case FsyncAlways:
+		if err := s.bw.Flush(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	case FsyncBatch:
+		s.armFlush(true)
+	case FsyncNone:
+		s.armFlush(false)
+	}
+	if s.opt.SnapshotEvery > 0 && s.sinceSnap >= s.opt.SnapshotEvery {
+		return s.snapshotLocked()
+	}
+	return nil
+}
+
+// writeFrame encodes and buffers one record (mu held).
+func (s *Store) writeFrame(op *Op) error {
+	payload, err := json.Marshal(op)
+	if err != nil {
+		return fmt.Errorf("store: encoding record: %w", err)
+	}
+	if _, err := s.bw.Write(appendFrame(nil, payload)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// armFlush schedules the group commit (mu held): one timer per window,
+// flushing the buffer and — for FsyncBatch — fsyncing the segment.
+func (s *Store) armFlush(sync bool) {
+	if s.syncArmed {
+		return
+	}
+	s.syncArmed = true
+	s.timer = time.AfterFunc(s.opt.BatchWindow, func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.syncArmed = false
+		if s.closed {
+			return
+		}
+		if err := s.bw.Flush(); err != nil {
+			s.opt.Logf("store: group commit flush: %v", err)
+			return
+		}
+		if sync {
+			if err := s.f.Sync(); err != nil {
+				s.opt.Logf("store: group commit fsync: %v", err)
+			}
+		}
+	})
+}
+
+// Snapshot writes a compacting snapshot of the current state.
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.snapshotLocked()
+}
+
+// snapshotLocked (mu held) writes the snapshot atomically (tmp → fsync
+// → rename → dir fsync), rotates the active segment when it holds
+// records, and compacts: snapshots older than the two newest, and
+// segments wholly covered by the older kept snapshot, are deleted. Two
+// snapshots are kept so a corrupt newest one still recovers losslessly
+// (older snapshot + retained log).
+func (s *Store) snapshotLocked() error {
+	data, err := EncodeSnapshot(s.st)
+	if err != nil {
+		return err
+	}
+	path := snapFile(s.opt.Dir, s.st.seq)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.syncDir()
+	atomic.AddInt64(&s.snapshots, 1)
+	s.sinceSnap = 0
+
+	if s.segRecords > 0 {
+		if err := s.bw.Flush(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := s.f.Close(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		if err := s.openSegment(); err != nil {
+			return err
+		}
+	}
+	s.compactLocked()
+	return nil
+}
+
+// compactLocked deletes data the kept snapshots make redundant (mu
+// held). The horizon is the older kept snapshot: a closed segment is
+// deleted only when every record it can contain is at or below the
+// horizon (its successor segment's first seq bounds its last record).
+func (s *Store) compactLocked() {
+	entries, err := os.ReadDir(s.opt.Dir)
+	if err != nil {
+		return
+	}
+	var snapSeqs, segSeqs []uint64
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), "snap-", ".snap"); ok {
+			snapSeqs = append(snapSeqs, seq)
+		}
+		if seq, ok := parseSeq(e.Name(), "wal-", ".log"); ok {
+			segSeqs = append(segSeqs, seq)
+		}
+	}
+	slices.Sort(snapSeqs)
+	slices.Sort(segSeqs)
+	if len(snapSeqs) > 2 {
+		for _, seq := range snapSeqs[:len(snapSeqs)-2] {
+			_ = os.Remove(snapFile(s.opt.Dir, seq))
+		}
+		snapSeqs = snapSeqs[len(snapSeqs)-2:]
+	}
+	if len(snapSeqs) < 2 {
+		// With a single snapshot the fallback on its corruption is the
+		// raw log — keep every segment until a second snapshot exists.
+		return
+	}
+	horizon := snapSeqs[0]
+	for i, seq := range segSeqs {
+		path := segFile(s.opt.Dir, seq)
+		if path == s.segName || i == len(segSeqs)-1 {
+			continue // never the active segment
+		}
+		if segSeqs[i+1] <= horizon+1 {
+			_ = os.Remove(path)
+		}
+	}
+	s.syncDir()
+}
+
+// snapshotLoop is the periodic snapshot ticker.
+func (s *Store) snapshotLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.opt.SnapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			if !s.closed && s.sinceSnap > 0 {
+				if err := s.snapshotLocked(); err != nil {
+					s.opt.Logf("store: periodic snapshot: %v", err)
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// stopBackground halts the ticker goroutine and any pending group
+// commit timer. Must be called without mu (waits on goroutines that
+// take it).
+func (s *Store) stopBackground() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+	s.mu.Lock()
+	if s.timer != nil {
+		s.timer.Stop()
+	}
+	s.mu.Unlock()
+}
+
+// Close is the graceful shutdown: final compacting snapshot, a seal
+// record closing the active segment, flush, fsync. A sealed log lets
+// the next boot verify the shutdown was clean.
+func (s *Store) Close() error {
+	s.stopBackground()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	var firstErr error
+	if err := s.snapshotLocked(); err != nil {
+		firstErr = err
+	}
+	seal := &Op{Type: TypeSeal, Seq: s.st.seq + 1}
+	s.st.bump(seal.Seq)
+	if err := s.writeFrame(seal); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := s.bw.Flush(); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("store: %w", err)
+	}
+	if err := s.f.Sync(); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("store: %w", err)
+	}
+	if err := s.f.Close(); err != nil && firstErr == nil {
+		firstErr = fmt.Errorf("store: %w", err)
+	}
+	s.closed = true
+	return firstErr
+}
+
+// Abandon simulates a crash honestly: background work stops, the file
+// handle closes, and anything still sitting in the user-space buffer is
+// dropped — exactly what SIGKILL would lose. Tests use it to exercise
+// the recovery path without forking a process.
+func (s *Store) Abandon() {
+	s.stopBackground()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.closed = true
+	_ = s.f.Close()
+}
