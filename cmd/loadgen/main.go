@@ -10,6 +10,8 @@
 //	loadgen -quick -trace                     # also dump the request trace (stderr)
 //	loadgen -quick -restart                   # certified kill-and-restart scenario
 //	loadgen -quick -persist=false             # measure without the durable store
+//	loadgen -quick -capacity                  # also binary-search max sustainable rate
+//	loadgen -quick -capacity -cap-p99 25      # capacity at a tighter p99 bound (ms)
 //
 // Without -target the command builds an in-process service.Server with the
 // profile's configuration and drives its handler directly — no sockets, so
@@ -25,6 +27,13 @@
 // server is SIGKILL-ed (the op-log buffer dropped), and a restarted
 // server must finish the chains from recovered state with zero
 // re-uploads and zero cold starts.
+//
+// -capacity appends a capacity search to the profile run: a stepped rate
+// sweep (-cap-start, doubling by -cap-factor up to -cap-max) walks rates
+// upward until p99 exceeds -cap-p99 milliseconds, sheds appear, or a
+// certification fails, then a binary search refines the boundary. The
+// report gains capacity_rps, the bound, and the full per-step sweep;
+// certifier violations at any rate step make the exit status nonzero.
 //
 // The same seed always produces the same request trace (the report records
 // its digest). Every 200 response is certified: strict balance and
@@ -71,6 +80,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	persist := fs.Bool("persist", true, "back the in-process server with a durable store (ignored with -target)")
 	dataDir := fs.String("data-dir", "", "durable state directory (empty = scratch dir, removed afterwards)")
 	restart := fs.Bool("restart", false, "run the certified kill-and-restart scenario instead of a profile trace")
+	capacity := fs.Bool("capacity", false, "after the profile run, binary-search the max sustainable rate")
+	capStart := fs.Float64("cap-start", 50, "capacity sweep starting rate (req/s)")
+	capMax := fs.Float64("cap-max", 6400, "capacity sweep ceiling (req/s)")
+	capFactor := fs.Float64("cap-factor", 2, "capacity sweep multiplicative step")
+	capRequests := fs.Int("cap-requests", 200, "trace operations measured per rate step")
+	capP99 := fs.Float64("cap-p99", 50, "capacity sustainability bound: p99 latency (ms)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -145,6 +160,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "loadgen: %v\n", err)
 		return 1
+	}
+	if *capacity {
+		cres, err := h.Capacity(tgt, loadgen.CapacityConfig{
+			StartRPS:     *capStart,
+			MaxRPS:       *capMax,
+			Factor:       *capFactor,
+			StepRequests: *capRequests,
+			P99BoundMS:   *capP99,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "loadgen: capacity: %v\n", err)
+			return 1
+		}
+		report.AttachCapacity(cres)
+		for _, step := range cres.Sweep {
+			if step.Violations > 0 {
+				fmt.Fprintf(stderr, "loadgen: %d certifier violations at %.1f req/s\n", step.Violations, step.TargetRPS)
+				return 1
+			}
+		}
 	}
 	fmt.Fprint(stdout, report.Summary())
 	if *out != "" {

@@ -80,3 +80,45 @@ func TestRunRejectsUnknownProfile(t *testing.T) {
 		t.Fatalf("stderr: %s", stderr.String())
 	}
 }
+
+// `-capacity` appends the capacity search to the run: the written report
+// carries capacity_rps, the p99 bound, and a non-empty sweep, and the
+// summary line mentions the found capacity.
+func TestRunCapacityWritesSweep(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_service.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-quick", "-requests", "24", "-persist=false",
+		"-capacity", "-cap-start", "100", "-cap-max", "400",
+		"-cap-requests", "20", "-cap-p99", "60000",
+		"-out", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "capacity") {
+		t.Fatalf("summary missing the capacity line:\n%s", stdout.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report loadgen.Report
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatal(err)
+	}
+	if report.CapacityRPS < 100 {
+		t.Fatalf("capacity %.1f below the sweep start; sweep: %+v", report.CapacityRPS, report.CapacitySweep)
+	}
+	if report.CapacityP99BoundMS != 60000 {
+		t.Fatalf("bound %.0f, want 60000", report.CapacityP99BoundMS)
+	}
+	if len(report.CapacitySweep) == 0 {
+		t.Fatal("report missing the capacity sweep")
+	}
+	for _, step := range report.CapacitySweep {
+		if step.Violations != 0 {
+			t.Fatalf("certifier violations at %.1f req/s", step.TargetRPS)
+		}
+	}
+}

@@ -30,6 +30,11 @@
 //	POST /v1/repartition  {"graph_id": "...", "k": 16, "scale": [{"v":0,"w":2}]}
 //	GET  /v1/stats        cache/coalescing/scheduler/persistence counters
 //	GET  /v1/healthz      liveness
+//	GET  /metrics         Prometheus text exposition: per-stage pipeline
+//	                      latency histograms (multibalance, almoststrict,
+//	                      strictpack, polish, coarsen, multilevel), per-
+//	                      endpoint request histograms, and every /v1/stats
+//	                      counter as a scrape-time metric
 package main
 
 import (

@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -191,6 +194,65 @@ func TestServeClimatePartitionEndToEnd(t *testing.T) {
 	post("/v1/partition", service.PartitionRequest{GraphID: rep.GraphID, K: k}, &chained)
 	if !chained.Cached {
 		t.Fatal("repartition result was not cached under the new graph id")
+	}
+
+	// The loaded server's /metrics scrape shows per-stage pipeline
+	// histograms and every serving counter (the observability acceptance
+	// criterion: Prometheus text format, stage histograms populated by the
+	// runs above, counters agreeing with /v1/stats).
+	mr, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, err := io.ReadAll(mr.Body)
+	mr.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: status %d", mr.StatusCode)
+	}
+	if ct := mr.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	metricsText := string(mbody)
+	for _, stage := range srv.StageNames() {
+		line := `repro_stage_duration_seconds_count{stage="` + stage + `"}`
+		if !strings.Contains(metricsText, line) {
+			t.Fatalf("/metrics missing the %s stage histogram:\n%s", stage, metricsText)
+		}
+	}
+	for _, want := range []string{
+		"repro_stage_duration_seconds_bucket{",
+		`repro_request_duration_seconds_count{endpoint="partition"}`,
+		`repro_request_duration_seconds_count{endpoint="repartition"}`,
+		"repro_cache_hits_total",
+		"repro_cache_misses_total",
+		"repro_pipeline_runs_total",
+		"repro_requests_served_total",
+		"repro_requests_shed_total",
+		"repro_coalesced_total",
+		"repro_jobs_executed_total",
+		"repro_sessions",
+	} {
+		if !strings.Contains(metricsText, want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+	// Counter values agree with the stats surface they mirror: both read
+	// the same atomics, so the scrape can never under-report what an
+	// earlier /v1/stats saw.
+	var scrapedHits float64
+	for _, line := range strings.Split(metricsText, "\n") {
+		if v, ok := strings.CutPrefix(line, "repro_cache_hits_total "); ok {
+			if _, err := fmt.Sscanf(v, "%g", &scrapedHits); err != nil {
+				t.Fatalf("unparseable cache-hit sample %q: %v", line, err)
+			}
+		}
+	}
+	if int64(scrapedHits) < st.CacheHits+1 {
+		t.Fatalf("/metrics cache hits %v, want at least %d (stats snapshot plus the chained hit)",
+			scrapedHits, st.CacheHits+1)
 	}
 }
 

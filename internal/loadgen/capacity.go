@@ -1,0 +1,217 @@
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// CapacityConfig tunes the capacity search. Zero values select the
+// documented defaults.
+type CapacityConfig struct {
+	// StartRPS is the first sweep rate (default 50).
+	StartRPS float64
+	// MaxRPS caps the sweep (default 100000) — a target that sustains the
+	// cap reports it as capacity without refinement.
+	MaxRPS float64
+	// Factor is the multiplicative sweep step (default 2; must be > 1).
+	Factor float64
+	// StepRequests is how many trace operations each rate step measures
+	// (default 200). The trace cycles when shorter.
+	StepRequests int
+	// Burst is the pacer's token-bucket depth (default 1: strictly paced).
+	Burst int
+	// P99BoundMS is the sustainability bound: a step whose p99 latency
+	// exceeds it is unsustainable (default 50).
+	P99BoundMS float64
+	// Refine is the number of binary-search iterations between the last
+	// sustainable and first unsustainable rate (default 6).
+	Refine int
+	// Clock injects a deterministic time source into the pacer (tests);
+	// nil selects the real clock.
+	Clock Clock
+}
+
+func (cc CapacityConfig) withDefaults() CapacityConfig {
+	if cc.StartRPS <= 0 {
+		cc.StartRPS = 50
+	}
+	if cc.MaxRPS <= 0 {
+		cc.MaxRPS = 100000
+	}
+	if cc.Factor <= 1 {
+		cc.Factor = 2
+	}
+	if cc.StepRequests <= 0 {
+		cc.StepRequests = 200
+	}
+	if cc.Burst < 1 {
+		cc.Burst = 1
+	}
+	if cc.P99BoundMS <= 0 {
+		cc.P99BoundMS = 50
+	}
+	if cc.Refine <= 0 {
+		cc.Refine = 6
+	}
+	if cc.Clock == nil {
+		cc.Clock = realClock{}
+	}
+	return cc
+}
+
+// RateStep records one measured rate step of the capacity search.
+type RateStep struct {
+	// TargetRPS is the pacer's configured rate.
+	TargetRPS float64 `json:"target_rps"`
+	// OfferedRPS is what the pacer actually dispatched over the step's
+	// wall time (≤ target when the dispatcher itself lagged).
+	OfferedRPS float64 `json:"offered_rps"`
+	// AchievedRPS counts successful responses per wall second.
+	AchievedRPS float64 `json:"achieved_rps"`
+
+	// Requests counts measured responses — ≥ StepRequests when burst trace
+	// entries fan out to several concurrent queries per dispatched op.
+	Requests  int `json:"requests"`
+	OK        int `json:"ok"`
+	Shed      int `json:"shed"`
+	Cancelled int `json:"cancelled"`
+	Failed    int `json:"failed"`
+
+	P50MS  float64 `json:"p50_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	P999MS float64 `json:"p999_ms"`
+	MaxMS  float64 `json:"max_ms"`
+
+	// Violations is this step's certifier-violation delta: the Lemma 40
+	// lower-bound checks (and every other response certification) stay
+	// live at every rate.
+	Violations int `json:"violations"`
+
+	// Sustainable reports the step passed: no sheds, no failures, no
+	// violations, and p99 within the bound.
+	Sustainable bool `json:"sustainable"`
+}
+
+// CapacityResult is the outcome of a capacity search: the max sustainable
+// rate found and every step measured on the way (sweep order, then
+// refinement order).
+type CapacityResult struct {
+	// CapacityRPS is the highest rate measured sustainable (0 when even
+	// the first step failed).
+	CapacityRPS float64 `json:"capacity_rps"`
+	// P99BoundMS echoes the sustainability bound the search used.
+	P99BoundMS float64    `json:"p99_bound_ms"`
+	Sweep      []RateStep `json:"sweep"`
+}
+
+// runRate measures one rate step: StepRequests operations of the cycled
+// trace, dispatched open-loop by a fresh pacer at the target rate, with
+// dispatch lag charged to latency. Every 200 response passes through the
+// certifier, same as a profile run.
+func (h *Harness) runRate(t Target, rate float64, cc CapacityConfig) RateStep {
+	rec := newRecorder()
+	p := NewPacer(rate, cc.Burst, cc.Clock)
+	before := h.cert.summary()
+	start := cc.Clock.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cc.StepRequests; i++ {
+		r := &h.trace[i%len(h.trace)]
+		_, lag := p.Wait()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			h.execute(t, r, lag, rec)
+		}()
+	}
+	wg.Wait()
+	wall := cc.Clock.Now().Sub(start)
+	after := h.cert.summary()
+
+	rec.mu.Lock()
+	var all []float64
+	for _, ms := range rec.durations {
+		all = append(all, ms...)
+	}
+	sort.Float64s(all)
+	step := RateStep{
+		TargetRPS:  rate,
+		Requests:   rec.ok + rec.shed + rec.cancelled + rec.failed,
+		OK:         rec.ok,
+		Shed:       rec.shed,
+		Cancelled:  rec.cancelled,
+		Failed:     rec.failed,
+		P50MS:      percentile(all, 0.50),
+		P99MS:      percentile(all, 0.99),
+		P999MS:     percentile(all, 0.999),
+		Violations: after.Violations - before.Violations,
+	}
+	if len(all) > 0 {
+		step.MaxMS = all[len(all)-1]
+	}
+	rec.mu.Unlock()
+	if secs := wall.Seconds(); secs > 0 {
+		step.OfferedRPS = float64(cc.StepRequests) / secs
+		step.AchievedRPS = float64(step.OK) / secs
+	}
+	step.Sustainable = step.Shed == 0 && step.Failed == 0 &&
+		step.Violations == 0 && step.P99MS <= cc.P99BoundMS
+	return step
+}
+
+// Capacity finds the max sustainable request rate against the target:
+// a stepped sweep walks rates upward by Factor until p99 exceeds the
+// bound, sheds appear, or a certification fails; a binary search then
+// refines between the last sustainable and first unsustainable rate.
+// Setup (uploads + prior warming) runs once, untimed, before the sweep;
+// the certifier is fresh for the whole search, so the result's per-step
+// violation deltas partition its totals.
+func (h *Harness) Capacity(t Target, cc CapacityConfig) (*CapacityResult, error) {
+	cc = cc.withDefaults()
+	if cc.StartRPS > cc.MaxRPS {
+		return nil, fmt.Errorf("loadgen: capacity start rate %.1f exceeds max %.1f", cc.StartRPS, cc.MaxRPS)
+	}
+	h.cert = NewCertifier(h.prof.BoundFactor)
+	if err := h.setup(t); err != nil {
+		return nil, err
+	}
+	res := &CapacityResult{P99BoundMS: cc.P99BoundMS}
+
+	// Sweep: multiplicative walk until the first unsustainable step.
+	lo, hi := 0.0, 0.0
+	for rate := cc.StartRPS; ; {
+		step := h.runRate(t, rate, cc)
+		res.Sweep = append(res.Sweep, step)
+		if !step.Sustainable {
+			hi = rate
+			break
+		}
+		lo = rate
+		if rate >= cc.MaxRPS {
+			break // the target outruns the sweep ceiling
+		}
+		rate = math.Min(rate*cc.Factor, cc.MaxRPS)
+	}
+
+	// Refine: binary search in (lo, hi). lo == 0 (first step failed)
+	// searches down from the start rate; hi == 0 (ceiling reached) needs
+	// no refinement.
+	if hi > 0 {
+		for i := 0; i < cc.Refine; i++ {
+			mid := (lo + hi) / 2
+			if hi-lo <= 0.05*hi || mid <= 0 {
+				break
+			}
+			step := h.runRate(t, mid, cc)
+			res.Sweep = append(res.Sweep, step)
+			if step.Sustainable {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+	}
+	res.CapacityRPS = lo
+	return res, nil
+}

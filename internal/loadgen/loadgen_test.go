@@ -393,3 +393,111 @@ func TestProfileValidation(t *testing.T) {
 		}
 	}
 }
+
+// Capacity search against an in-process server: the sweep must walk
+// upward through sustainable steps, certification stays live at every
+// rate (zero violations on the healthy target), and the merged report
+// carries the schema /4 capacity block.
+func TestCapacitySearchEndToEnd(t *testing.T) {
+	p := testProfile()
+	h := mustHarness(t, p)
+	srv := service.New(p.Service)
+	t.Cleanup(srv.Close)
+	target := NewHandlerTarget(srv.Handler())
+
+	cc := CapacityConfig{
+		StartRPS:     100,
+		MaxRPS:       400,
+		Factor:       2,
+		StepRequests: 30,
+		P99BoundMS:   60000, // generous: the in-process target must sustain the whole grid
+		Refine:       2,
+	}
+	res, err := h.Capacity(target, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CapacityRPS < cc.StartRPS {
+		t.Fatalf("capacity %.1f below the start rate; sweep: %+v", res.CapacityRPS, res.Sweep)
+	}
+	if len(res.Sweep) == 0 {
+		t.Fatal("empty sweep")
+	}
+	for i, step := range res.Sweep {
+		if step.Requests < cc.StepRequests {
+			t.Fatalf("step %d measured %d requests, want at least %d", i, step.Requests, cc.StepRequests)
+		}
+		if step.Violations != 0 {
+			t.Fatalf("step %d at %.1f rps reported %d certifier violations", i, step.TargetRPS, step.Violations)
+		}
+		if step.OK > 0 && (step.P99MS < step.P50MS || step.MaxMS < step.P99MS) {
+			t.Fatalf("step %d quantiles not ordered: %+v", i, step)
+		}
+		if step.OfferedRPS <= 0 {
+			t.Fatalf("step %d offered rate not measured: %+v", i, step)
+		}
+	}
+
+	// The merged report carries the capacity block and the /4 schema.
+	rep := runInProcess(t, h)
+	rep.AttachCapacity(res)
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"capacity_rps", "capacity_p99_bound_ms", "capacity_sweep"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("report lost capacity key %q", key)
+		}
+	}
+	lat, ok := m["latency_ms"].(map[string]any)
+	if !ok {
+		t.Fatal("latency_ms section is not an object")
+	}
+	if _, ok := lat["p999"]; !ok {
+		t.Fatal("latency summary lost p999 (schema /4)")
+	}
+	server, ok := m["server"].(map[string]any)
+	if !ok {
+		t.Fatal("server section is not an object")
+	}
+	if _, ok := server["stages"]; !ok {
+		t.Fatal("server snapshot lost per-stage summaries (schema /4)")
+	}
+}
+
+// An unreachable bound makes the first step unsustainable: the search
+// binary-searches downward and reports zero capacity rather than looping
+// or inventing a rate.
+func TestCapacitySearchUnsustainableBound(t *testing.T) {
+	p := testProfile()
+	p.Requests = 24
+	h := mustHarness(t, p)
+	srv := service.New(p.Service)
+	t.Cleanup(srv.Close)
+
+	cc := CapacityConfig{
+		StartRPS:     200,
+		MaxRPS:       200,
+		StepRequests: 12,
+		P99BoundMS:   1e-6, // no real server clears a nanosecond p99
+		Refine:       3,
+	}
+	res, err := h.Capacity(NewHandlerTarget(srv.Handler()), cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CapacityRPS != 0 {
+		t.Fatalf("capacity %.1f under an unreachable bound, want 0", res.CapacityRPS)
+	}
+	if res.Sweep[0].Sustainable {
+		t.Fatal("first step reported sustainable under an unreachable bound")
+	}
+	if len(res.Sweep) > 1+cc.Refine {
+		t.Fatalf("%d steps, want at most 1 sweep + %d refinements", len(res.Sweep), cc.Refine)
+	}
+}

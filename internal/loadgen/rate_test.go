@@ -1,0 +1,181 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a deterministic Clock: Now returns the virtual time,
+// Sleep advances it exactly (plus a configurable overshoot, modeling the
+// real clock's sleep inaccuracy). Single-goroutine, like the Pacer.
+type fakeClock struct {
+	now       time.Time
+	overshoot time.Duration
+	sleeps    []time.Duration
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time { return c.now }
+
+func (c *fakeClock) Sleep(d time.Duration) {
+	c.sleeps = append(c.sleeps, d)
+	c.now = c.now.Add(d + c.overshoot)
+}
+
+// advance models time passing outside Sleep (request execution, a stalled
+// dispatcher).
+func (c *fakeClock) advance(d time.Duration) { c.now = c.now.Add(d) }
+
+// The dispatch schedule is exact: with burst 1 at 100 rps, call i is
+// scheduled at epoch + i·10ms, the pacer sleeps precisely the remaining
+// gap, and lag is zero when nothing stalls.
+func TestPacerExactSchedule(t *testing.T) {
+	clock := newFakeClock()
+	epoch := clock.Now()
+	p := NewPacer(100, 1, clock)
+	for i := 0; i < 10; i++ {
+		scheduled, lag := p.Wait()
+		want := epoch.Add(time.Duration(i) * 10 * time.Millisecond)
+		if !scheduled.Equal(want) {
+			t.Fatalf("call %d scheduled at %v, want %v", i, scheduled.Sub(epoch), want.Sub(epoch))
+		}
+		if lag != 0 {
+			t.Fatalf("call %d lag %v, want 0", i, lag)
+		}
+		if !clock.Now().Equal(want) {
+			t.Fatalf("call %d dispatched at %v, want %v", i, clock.Now().Sub(epoch), want.Sub(epoch))
+		}
+	}
+	// The first call dispatches immediately: 9 sleeps for 10 calls.
+	if len(clock.sleeps) != 9 {
+		t.Fatalf("%d sleeps, want 9", len(clock.sleeps))
+	}
+	for i, d := range clock.sleeps {
+		if d != 10*time.Millisecond {
+			t.Fatalf("sleep %d was %v, want 10ms", i, d)
+		}
+	}
+}
+
+// Burst semantics: burst b admits the first b calls at the epoch, then
+// one per interval — the token bucket starts full.
+func TestPacerBurst(t *testing.T) {
+	clock := newFakeClock()
+	epoch := clock.Now()
+	p := NewPacer(100, 4, clock)
+	wantOffsets := []time.Duration{
+		0, 0, 0, 0, // the full bucket
+		10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond,
+	}
+	for i, want := range wantOffsets {
+		scheduled, lag := p.Wait()
+		if got := scheduled.Sub(epoch); got != want {
+			t.Fatalf("call %d scheduled at %v, want %v", i, got, want)
+		}
+		if lag != 0 {
+			t.Fatalf("call %d lag %v, want 0", i, lag)
+		}
+	}
+}
+
+// Open-loop lag accounting: a stalled dispatcher falls behind the fixed
+// schedule and the pacer reports the deficit as lag — the schedule never
+// slips, so the lag is charged to latency instead of silently re-timing
+// arrivals (coordinated omission).
+func TestPacerLagChargedNotAbsorbed(t *testing.T) {
+	clock := newFakeClock()
+	epoch := clock.Now()
+	p := NewPacer(100, 1, clock)
+	if _, lag := p.Wait(); lag != 0 {
+		t.Fatalf("first call lag %v, want 0", lag)
+	}
+	// Stall 35ms: the next slot (10ms) is 25ms in the past.
+	clock.advance(35 * time.Millisecond)
+	scheduled, lag := p.Wait()
+	if got := scheduled.Sub(epoch); got != 10*time.Millisecond {
+		t.Fatalf("scheduled at %v, want the un-slipped 10ms slot", got)
+	}
+	if lag != 25*time.Millisecond {
+		t.Fatalf("lag %v, want 25ms", lag)
+	}
+	// The slot after is also past (20ms < 35ms): still no sleep, smaller lag.
+	scheduled, lag = p.Wait()
+	if got := scheduled.Sub(epoch); got != 20*time.Millisecond {
+		t.Fatalf("scheduled at %v, want 20ms", got)
+	}
+	if lag != 15*time.Millisecond {
+		t.Fatalf("lag %v, want 15ms", lag)
+	}
+	// 30ms slot: 5ms lag. 40ms slot: back on schedule, sleeps 5ms.
+	if _, lag = p.Wait(); lag != 5*time.Millisecond {
+		t.Fatalf("lag %v, want 5ms", lag)
+	}
+	sleepsBefore := len(clock.sleeps)
+	scheduled, lag = p.Wait()
+	if got := scheduled.Sub(epoch); got != 40*time.Millisecond {
+		t.Fatalf("scheduled at %v, want 40ms", got)
+	}
+	if lag != 0 || len(clock.sleeps) != sleepsBefore+1 {
+		t.Fatalf("recovery call: lag=%v sleeps=%d, want 0 and %d", lag, len(clock.sleeps), sleepsBefore+1)
+	}
+}
+
+// Sleep overshoot (the real-clock case: Sleep returns late) shows up as
+// lag on the overshooting call, and the schedule still does not slip.
+func TestPacerSleepOvershoot(t *testing.T) {
+	clock := newFakeClock()
+	clock.overshoot = 3 * time.Millisecond
+	epoch := clock.Now()
+	p := NewPacer(100, 1, clock)
+	p.Wait() // immediate
+	scheduled, lag := p.Wait()
+	if got := scheduled.Sub(epoch); got != 10*time.Millisecond {
+		t.Fatalf("scheduled at %v, want 10ms", got)
+	}
+	if lag != 3*time.Millisecond {
+		t.Fatalf("lag %v, want the 3ms overshoot", lag)
+	}
+}
+
+// Same configuration, same fake clock behavior ⇒ identical dispatch
+// timestamp sequences: the controller is deterministic for a fixed seed
+// trace to ride on.
+func TestPacerDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		clock := newFakeClock()
+		epoch := clock.Now()
+		p := NewPacer(333, 2, clock)
+		var out []time.Duration
+		for i := 0; i < 50; i++ {
+			s, _ := p.Wait()
+			out = append(out, s.Sub(epoch))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("dispatch %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// And the steady-state spacing is the configured interval.
+	rps := 333.0
+	interval := time.Duration(float64(time.Second) / rps)
+	for i := 3; i < len(a); i++ {
+		if a[i]-a[i-1] != interval {
+			t.Fatalf("spacing at %d is %v, want %v", i, a[i]-a[i-1], interval)
+		}
+	}
+}
+
+func TestPacerRejectsNonPositiveRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPacer(0, ...) did not panic")
+		}
+	}()
+	NewPacer(0, 1, newFakeClock())
+}

@@ -42,7 +42,17 @@ import (
 // "recovered_sessions" and "persist_errors" (DESIGN.md §11; zero when
 // the server runs without a store): strictly new additive fields, so no
 // schema bump — consumers that ignore unknown fields are unaffected.
-const ReportSchema = "repro-loadgen/3"
+//
+// Compatibility note — repro-loadgen/4 (vs /3): latency summaries gained
+// "p999"; reports gained the capacity-search block — "capacity_rps",
+// "capacity_p99_bound_ms" and "capacity_sweep" (per-rate-step outcomes;
+// present only when the run included a capacity search) — and the
+// embedded server snapshot gained "stages", the per-stage pipeline
+// latency summaries backed by the serving tier's histograms (the same
+// distributions GET /metrics exposes in full). All /3 fields are
+// retained with unchanged meaning, so a /3 consumer that ignores unknown
+// fields reads a /4 report correctly.
+const ReportSchema = "repro-loadgen/4"
 
 // LatencySummary is a percentile digest of successful-request latencies.
 type LatencySummary struct {
@@ -52,6 +62,9 @@ type LatencySummary struct {
 	P90MS  float64 `json:"p90"`
 	P95MS  float64 `json:"p95"`
 	P99MS  float64 `json:"p99"`
+	// P999MS is the 99.9th percentile (schema /4) — the tail the capacity
+	// search watches alongside p99.
+	P999MS float64 `json:"p999"`
 	MaxMS  float64 `json:"max"`
 }
 
@@ -113,8 +126,24 @@ type Report struct {
 
 	Certification CertSummary `json:"certification"`
 
+	// CapacityRPS is the max sustainable request rate the capacity search
+	// found (schema /4; zero when the run included no capacity search).
+	CapacityRPS float64 `json:"capacity_rps,omitempty"`
+	// CapacityP99BoundMS echoes the search's sustainability bound.
+	CapacityP99BoundMS float64 `json:"capacity_p99_bound_ms,omitempty"`
+	// CapacitySweep lists every rate step the search measured, sweep
+	// order then refinement order.
+	CapacitySweep []RateStep `json:"capacity_sweep,omitempty"`
+
 	// Server is the absolute post-run counter snapshot (includes setup).
 	Server service.StatsResponse `json:"server"`
+}
+
+// AttachCapacity merges a capacity-search outcome into the report.
+func (r *Report) AttachCapacity(c *CapacityResult) {
+	r.CapacityRPS = c.CapacityRPS
+	r.CapacityP99BoundMS = c.P99BoundMS
+	r.CapacitySweep = c.Sweep
 }
 
 // percentile reads the q-quantile (0 ≤ q ≤ 1) off a sorted slice with
@@ -150,6 +179,7 @@ func summarizeLatency(ms []float64) LatencySummary {
 		P90MS:  percentile(sorted, 0.90),
 		P95MS:  percentile(sorted, 0.95),
 		P99MS:  percentile(sorted, 0.99),
+		P999MS: percentile(sorted, 0.999),
 		MaxMS:  sorted[len(sorted)-1],
 	}
 }
@@ -252,6 +282,10 @@ func (r *Report) Summary() string {
 	fmt.Fprintf(&sb, "  certified    %d responses checked, %d Lemma 40 certificates, max gap %.3f, scratch ratio ≤ %.3f\n",
 		r.Certification.Checked, r.Certification.Certificates,
 		r.Certification.MaxCertificateGap, r.Certification.MaxScratchRatio)
+	if len(r.CapacitySweep) > 0 {
+		fmt.Fprintf(&sb, "  capacity     %.1f req/s sustainable at p99 < %.0fms (%d rate steps)\n",
+			r.CapacityRPS, r.CapacityP99BoundMS, len(r.CapacitySweep))
+	}
 	if r.Certification.Violations == 0 {
 		fmt.Fprintf(&sb, "  violations   none\n")
 	} else {

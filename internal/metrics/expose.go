@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+)
+
+// This file renders a Registry in the Prometheus text exposition format
+// (version 0.0.4). The output order is deterministic — families sorted by
+// name, series sorted by label signature — so scrapes are diffable and
+// the format is pinned by a golden test.
+
+// ContentType is the Content-Type of the exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// formatValue renders a sample value: shortest float representation that
+// round-trips, matching what Prometheus clients emit.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders every family to w.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	// Snapshot the family/series structure under the lock, then render
+	// outside it: rendering reads atomics only.
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type renderSeries struct {
+		labels string
+		s      *series
+	}
+	type renderFamily struct {
+		f      *family
+		series []renderSeries
+	}
+	fams := make([]renderFamily, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		rf := renderFamily{f: f}
+		sigs := make([]string, 0, len(f.series))
+		for sig := range f.series {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			rf.series = append(rf.series, renderSeries{labels: sig, s: f.series[sig]})
+		}
+		fams = append(fams, rf)
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, rf := range fams {
+		f := rf.f
+		if f.help != "" {
+			bw.WriteString("# HELP " + f.name + " " + f.help + "\n")
+		}
+		bw.WriteString("# TYPE " + f.name + " " + f.kind.String() + "\n")
+		for _, rs := range rf.series {
+			switch f.kind {
+			case kindCounter:
+				v := float64(rs.s.c.Value())
+				if rs.s.cf != nil {
+					v = rs.s.cf()
+				}
+				bw.WriteString(f.name + rs.labels + " " + formatValue(v) + "\n")
+			case kindGauge:
+				v := rs.s.g.Value()
+				if rs.s.gf != nil {
+					v = rs.s.gf()
+				}
+				bw.WriteString(f.name + rs.labels + " " + formatValue(v) + "\n")
+			case kindHistogram:
+				snap := rs.s.h.Snapshot()
+				var cum int64
+				for i, bound := range snap.Bounds {
+					cum += snap.Counts[i]
+					bw.WriteString(f.name + "_bucket" + withLabel(rs.labels, `le="`+formatValue(bound)+`"`) +
+						" " + strconv.FormatInt(cum, 10) + "\n")
+				}
+				bw.WriteString(f.name + "_bucket" + withLabel(rs.labels, `le="+Inf"`) +
+					" " + strconv.FormatInt(snap.Count, 10) + "\n")
+				bw.WriteString(f.name + "_sum" + rs.labels + " " + formatValue(snap.Sum) + "\n")
+				bw.WriteString(f.name + "_count" + rs.labels + " " + strconv.FormatInt(snap.Count, 10) + "\n")
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// withLabel appends one rendered label pair to a signature ("" or
+// "{a=\"b\"}").
+func withLabel(sig, pair string) string {
+	if sig == "" {
+		return "{" + pair + "}"
+	}
+	return sig[:len(sig)-1] + "," + pair + "}"
+}
+
+// Handler returns an http.Handler serving the exposition — the GET
+// /metrics endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,475 @@
+// Package metrics is a dependency-free, race-safe metrics registry for
+// the serving tier (DESIGN.md §12): counters, gauges, and fixed-bucket
+// latency histograms with log-spaced bounds, exposable in the Prometheus
+// text format.
+//
+// Design rules:
+//
+//  1. Record paths are lock-free: Counter.Add and Histogram.Observe are
+//     single atomic operations, cheap enough to sit on the pipeline's
+//     Observer hook (whose contract demands callbacks that never block).
+//  2. Histograms have fixed bucket layouts chosen at construction.
+//     Snapshots are taken on read, never maintained incrementally, and
+//     two snapshots with the same layout merge exactly: Merge(a, b)
+//     equals recording the union of the two observation streams
+//     (integer bucket counts add; the soundness rule of §12).
+//  3. Quantile estimates are bucket-sound: the estimate lies in the same
+//     bucket as the exact sorted-sample quantile, so the error is
+//     bounded by one bucket width (log-spaced buckets make that a
+//     bounded relative error).
+//  4. Exposition order is deterministic: families sort by name, series
+//     by label signature, so scrapes diff cleanly and the format can be
+//     golden-pinned.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension (e.g. {Key: "stage", Value: "polish"}).
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Counter is a monotonically increasing value. All methods are safe for
+// concurrent use.
+type Counter struct {
+	v int64
+}
+
+// Add increments the counter by n (n must be ≥ 0; a negative n is
+// ignored — counters never go down).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		atomic.AddInt64(&c.v, n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { atomic.AddInt64(&c.v, 1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return atomic.LoadInt64(&c.v) }
+
+// Gauge is a value that can go up and down. All methods are safe for
+// concurrent use.
+type Gauge struct {
+	bits uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { atomic.StoreUint64(&g.bits, math.Float64bits(v)) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(atomic.LoadUint64(&g.bits)) }
+
+// Histogram is a fixed-bucket distribution: len(bounds)+1 buckets, where
+// bucket i counts observations in (bounds[i-1], bounds[i]] (bucket 0 is
+// (-inf, bounds[0]], the last bucket is the overflow (bounds[last], +inf)).
+// Observe is a single atomic add plus one CAS loop for the sum, safe for
+// concurrent use from any number of recorders.
+type Histogram struct {
+	bounds  []float64 // strictly increasing finite upper bounds
+	counts  []int64   // len(bounds)+1; accessed atomically
+	sumBits uint64    // float64 bits; CAS-updated
+}
+
+// ExpBuckets returns n log-spaced bucket bounds: min, min·factor,
+// min·factor², … — the layout latency histograms use. min must be > 0 and
+// factor > 1.
+func ExpBuckets(min, factor float64, n int) []float64 {
+	if min <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("metrics: invalid ExpBuckets(%v, %v, %d)", min, factor, n))
+	}
+	out := make([]float64, n)
+	v := min
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// DefaultLatencyBuckets returns the canonical latency layout in seconds:
+// 27 log-spaced buckets from 1µs to ~67s with factor 2, so a quantile
+// estimate is within a factor of 2 of the exact sample quantile anywhere
+// in the range.
+func DefaultLatencyBuckets() []float64 { return ExpBuckets(1e-6, 2, 27) }
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("metrics: histogram needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if !(bounds[i] > bounds[i-1]) {
+			panic(fmt.Sprintf("metrics: histogram bounds not strictly increasing at %d: %v", i, bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}
+}
+
+// Observe records one sample. NaN samples are dropped (they have no
+// bucket and would poison the sum).
+func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
+	atomic.AddInt64(&h.counts[i], 1)
+	for {
+		old := atomic.LoadUint64(&h.sumBits)
+		s := math.Float64frombits(old) + v
+		if atomic.CompareAndSwapUint64(&h.sumBits, old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// Bounds returns the histogram's bucket bounds (a copy).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// Snapshot returns a point-in-time copy of the distribution. Concurrent
+// Observes may land between bucket reads; every observation fully
+// recorded before the call is included, and the snapshot's Count always
+// equals the sum of its bucket counts.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]int64, len(h.counts)),
+	}
+	for i := range h.counts {
+		c := atomic.LoadInt64(&h.counts[i])
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = math.Float64frombits(atomic.LoadUint64(&h.sumBits))
+	return s
+}
+
+// HistSnapshot is an immutable copy of a Histogram's state: per-bucket
+// (non-cumulative) counts, the total count, and the sum of samples.
+type HistSnapshot struct {
+	Bounds []float64
+	Counts []int64
+	Count  int64
+	Sum    float64
+}
+
+// Merge combines two snapshots with identical bucket layouts. The result
+// is exactly the snapshot that recording both observation streams into
+// one histogram would have produced (bucket counts and totals add; the
+// sum adds up to float rounding).
+func (s HistSnapshot) Merge(o HistSnapshot) (HistSnapshot, error) {
+	if len(s.Bounds) != len(o.Bounds) {
+		return HistSnapshot{}, fmt.Errorf("metrics: merging histograms with %d vs %d buckets", len(s.Bounds), len(o.Bounds))
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != o.Bounds[i] {
+			return HistSnapshot{}, fmt.Errorf("metrics: merging histograms with different bounds at %d: %v vs %v", i, s.Bounds[i], o.Bounds[i])
+		}
+	}
+	m := HistSnapshot{
+		Bounds: append([]float64(nil), s.Bounds...),
+		Counts: make([]int64, len(s.Counts)),
+		Count:  s.Count + o.Count,
+		Sum:    s.Sum + o.Sum,
+	}
+	for i := range s.Counts {
+		m.Counts[i] = s.Counts[i] + o.Counts[i]
+	}
+	return m, nil
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// inside the bucket holding the nearest-rank sample. Soundness: the exact
+// nearest-rank quantile of the recorded samples lies in the same bucket,
+// so the estimate is within one bucket width of it (the overflow bucket
+// has no upper bound and reports the last finite bound — callers size the
+// layout so real traffic never lands there). Returns 0 on an empty
+// distribution.
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if c == 0 || cum < rank {
+			continue
+		}
+		if i == len(s.Bounds) {
+			// Overflow bucket: no finite upper bound to interpolate toward.
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		frac := float64(rank-(cum-c)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// kind is the metric family type; it fixes the TYPE line and which
+// series representation a family holds.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled instance within a family. Exactly one of the
+// value fields is set, matching the family kind.
+type series struct {
+	labels string // rendered {k="v",…} signature, "" for unlabeled
+
+	c  *Counter
+	g  *Gauge
+	h  *Histogram
+	cf func() float64 // counter func (scrape-time read)
+	gf func() float64 // gauge func (scrape-time read)
+}
+
+// family groups every series sharing one metric name (and therefore one
+// HELP/TYPE pair).
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	bounds []float64 // histogram families only: the shared layout
+
+	series map[string]*series
+}
+
+// Registry holds metric families and renders them. The zero value is not
+// usable; construct with New. Get-or-create calls are idempotent:
+// requesting an existing (name, labels) pair returns the same metric, and
+// requesting a name with a conflicting kind or bucket layout panics —
+// that is a programming error, not a runtime condition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// validName reports whether name fits the Prometheus metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// labelSignature renders labels in sorted-key order as the series key and
+// exposition form. Values are escaped per the text format (backslash,
+// quote, newline).
+func labelSignature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	out := "{"
+	for i, l := range ls {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("metrics: invalid label name %q", l.Key))
+		}
+		if i > 0 {
+			out += ","
+		}
+		out += l.Key + `="` + escapeLabelValue(l.Value) + `"`
+	}
+	return out + "}"
+}
+
+func escapeLabelValue(v string) string {
+	out := make([]byte, 0, len(v))
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, v[i])
+		}
+	}
+	return string(out)
+}
+
+// getSeries returns the series for (name, labels), creating family and
+// series as needed and checking kind/layout consistency.
+func (r *Registry) getSeries(name, help string, k kind, bounds []float64, labels []Label) *series {
+	if !validName(name) {
+		panic(fmt.Sprintf("metrics: invalid metric name %q", name))
+	}
+	sig := labelSignature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k, series: make(map[string]*series)}
+		if k == kindHistogram {
+			f.bounds = append([]float64(nil), bounds...)
+		}
+		r.families[name] = f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("metrics: %s re-registered as %s (was %s)", name, k, f.kind))
+	}
+	if k == kindHistogram {
+		if len(f.bounds) != len(bounds) {
+			panic(fmt.Sprintf("metrics: %s re-registered with %d buckets (was %d)", name, len(bounds), len(f.bounds)))
+		}
+		for i := range bounds {
+			if f.bounds[i] != bounds[i] {
+				panic(fmt.Sprintf("metrics: %s re-registered with different bucket bounds", name))
+			}
+		}
+	}
+	s, ok := f.series[sig]
+	if !ok {
+		s = &series{labels: sig}
+		switch k {
+		case kindCounter:
+			s.c = &Counter{}
+		case kindGauge:
+			s.g = &Gauge{}
+		case kindHistogram:
+			s.h = newHistogram(bounds)
+		}
+		f.series[sig] = s
+	}
+	return s
+}
+
+// Counter returns the counter for (name, labels), creating it on first
+// use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return r.getSeries(name, help, kindCounter, nil, labels).c
+}
+
+// Gauge returns the gauge for (name, labels), creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return r.getSeries(name, help, kindGauge, nil, labels).g
+}
+
+// Histogram returns the histogram for (name, labels) with the given
+// bucket layout, creating it on first use. Every series of one family
+// shares one layout (re-registration with different bounds panics), so
+// family-wide merges are always sound.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	return r.getSeries(name, help, kindHistogram, bounds, labels).h
+}
+
+// CounterFunc registers a scrape-time counter: fn is read at exposition.
+// fn must be monotonically non-decreasing and safe for concurrent use.
+// Registering the same (name, labels) again replaces the function.
+func (r *Registry) CounterFunc(name, help string, labels []Label, fn func() float64) {
+	s := r.getSeries(name, help, kindCounter, nil, labels)
+	r.mu.Lock()
+	s.cf = fn
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers a scrape-time gauge; fn is read at exposition and
+// must be safe for concurrent use. Registering the same (name, labels)
+// again replaces the function.
+func (r *Registry) GaugeFunc(name, help string, labels []Label, fn func() float64) {
+	s := r.getSeries(name, help, kindGauge, nil, labels)
+	r.mu.Lock()
+	s.gf = fn
+	r.mu.Unlock()
+}
+
+// HistogramSnapshots returns a snapshot of every series in the named
+// histogram family, keyed by the value of the given label key (series
+// missing that key are returned under their full label signature). Used
+// by the serving layer to turn per-stage histograms into stats summaries.
+func (r *Registry) HistogramSnapshots(name, labelKey string) map[string]HistSnapshot {
+	r.mu.Lock()
+	f, ok := r.families[name]
+	var hs []*series
+	if ok && f.kind == kindHistogram {
+		for _, s := range f.series {
+			hs = append(hs, s)
+		}
+	}
+	r.mu.Unlock()
+	out := make(map[string]HistSnapshot, len(hs))
+	for _, s := range hs {
+		key := labelValue(s.labels, labelKey)
+		if key == "" {
+			key = s.labels
+		}
+		out[key] = s.h.Snapshot()
+	}
+	return out
+}
+
+// labelValue extracts one label's value from a rendered signature. Only
+// used for registry-internal signatures, which are canonically rendered.
+func labelValue(sig, key string) string {
+	needle := key + `="`
+	for i := 0; i+len(needle) <= len(sig); i++ {
+		if sig[i:i+len(needle)] != needle {
+			continue
+		}
+		if i > 0 && sig[i-1] != '{' && sig[i-1] != ',' {
+			continue
+		}
+		rest := sig[i+len(needle):]
+		for j := 0; j < len(rest); j++ {
+			if rest[j] == '"' && (j == 0 || rest[j-1] != '\\') {
+				return rest[:j]
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,298 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// exactQuantile is the sorted-sample oracle: nearest-rank on the sorted
+// observation stream — the definition the histogram estimate is sound
+// against.
+func exactQuantile(sorted []float64, q float64) float64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// bucketWidth returns the width of the bucket of the given layout that
+// contains v (lower bound 0 for the first bucket).
+func bucketWidth(bounds []float64, v float64) float64 {
+	i := sort.SearchFloat64s(bounds, v)
+	if i >= len(bounds) {
+		return math.Inf(1) // overflow bucket: unbounded
+	}
+	lo := 0.0
+	if i > 0 {
+		lo = bounds[i-1]
+	}
+	return bounds[i] - lo
+}
+
+// The histogram soundness property (DESIGN.md §12), over 200 seeds of
+// random latency-like samples: every quantile estimate is within one
+// bucket width of the exact sorted-sample quantile, and Merge(a, b) is
+// exactly the histogram of the union stream.
+func TestHistogramQuantileProperty(t *testing.T) {
+	bounds := DefaultLatencyBuckets()
+	quantiles := []float64{0, 0.01, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1}
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(2000)
+		h := newHistogram(bounds)
+		samples := make([]float64, n)
+		for i := range samples {
+			// Log-uniform over the bucket range plus occasional heavy tails,
+			// mimicking latency distributions: most mass low, rare spikes.
+			v := math.Exp(rng.Float64()*math.Log(50) - math.Log(1e5)) // ~[1e-5, 5e-4)·e^…
+			if rng.Intn(20) == 0 {
+				v *= 1000
+			}
+			samples[i] = v
+			h.Observe(v)
+		}
+		sorted := append([]float64(nil), samples...)
+		sort.Float64s(sorted)
+		snap := h.Snapshot()
+		if snap.Count != int64(n) {
+			t.Fatalf("seed %d: snapshot count %d, want %d", seed, snap.Count, n)
+		}
+		var sum float64
+		for _, v := range samples {
+			sum += v
+		}
+		if math.Abs(snap.Sum-sum) > 1e-9*math.Max(1, math.Abs(sum)) {
+			t.Fatalf("seed %d: snapshot sum %g, want %g", seed, snap.Sum, sum)
+		}
+		for _, q := range quantiles {
+			est := snap.Quantile(q)
+			exact := exactQuantile(sorted, q)
+			if width := bucketWidth(bounds, exact); math.Abs(est-exact) > width+1e-12 {
+				t.Fatalf("seed %d q=%g: estimate %g vs exact %g differ by more than bucket width %g",
+					seed, q, est, exact, width)
+			}
+		}
+	}
+}
+
+// Merge(a, b) must equal recording the union stream — bucket counts,
+// count, and sum all agree with a third histogram fed both streams.
+func TestHistogramMergeIsUnion(t *testing.T) {
+	bounds := ExpBuckets(0.001, 2, 16)
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		a, b, union := newHistogram(bounds), newHistogram(bounds), newHistogram(bounds)
+		for i := 0; i < 300; i++ {
+			v := rng.Float64() * 40
+			if rng.Intn(2) == 0 {
+				a.Observe(v)
+			} else {
+				b.Observe(v)
+			}
+			union.Observe(v)
+		}
+		m, err := a.Snapshot().Merge(b.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := union.Snapshot()
+		if m.Count != u.Count {
+			t.Fatalf("seed %d: merged count %d, union %d", seed, m.Count, u.Count)
+		}
+		for i := range m.Counts {
+			if m.Counts[i] != u.Counts[i] {
+				t.Fatalf("seed %d bucket %d: merged %d, union %d", seed, i, m.Counts[i], u.Counts[i])
+			}
+		}
+		if math.Abs(m.Sum-u.Sum) > 1e-9*math.Max(1, u.Sum) {
+			t.Fatalf("seed %d: merged sum %g, union sum %g", seed, m.Sum, u.Sum)
+		}
+	}
+	// Layout mismatch is an error, never a silent mis-merge.
+	other := newHistogram(ExpBuckets(0.001, 2, 8)).Snapshot()
+	if _, err := newHistogram(bounds).Snapshot().Merge(other); err == nil {
+		t.Fatal("merging different layouts did not error")
+	}
+}
+
+// 16 concurrent recorders on one histogram (and one counter): run under
+// -race; every observation must land exactly once.
+func TestHistogramConcurrentRecorders(t *testing.T) {
+	const recorders, perRecorder = 16, 5000
+	h := newHistogram(DefaultLatencyBuckets())
+	var c Counter
+	var wg sync.WaitGroup
+	for r := 0; r < recorders; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perRecorder; i++ {
+				h.Observe(rng.Float64())
+				c.Inc()
+			}
+		}(int64(r))
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if want := int64(recorders * perRecorder); snap.Count != want {
+		t.Fatalf("lost observations: count %d, want %d", snap.Count, want)
+	}
+	if c.Value() != int64(recorders*perRecorder) {
+		t.Fatalf("counter %d, want %d", c.Value(), recorders*perRecorder)
+	}
+	var fromBuckets int64
+	for _, n := range snap.Counts {
+		fromBuckets += n
+	}
+	if fromBuckets != snap.Count {
+		t.Fatalf("bucket counts sum to %d, snapshot count %d", fromBuckets, snap.Count)
+	}
+}
+
+// Registry get-or-create is idempotent per (name, labels); kind and
+// layout conflicts panic.
+func TestRegistryIdempotence(t *testing.T) {
+	r := New()
+	c1 := r.Counter("x_total", "", Label{"a", "1"})
+	c2 := r.Counter("x_total", "", Label{"a", "1"})
+	if c1 != c2 {
+		t.Fatal("same (name, labels) returned distinct counters")
+	}
+	if r.Counter("x_total", "", Label{"a", "2"}) == c1 {
+		t.Fatal("distinct labels returned the same counter")
+	}
+	h1 := r.Histogram("d_seconds", "", ExpBuckets(1, 2, 4), Label{"s", "p"})
+	if h1 != r.Histogram("d_seconds", "", ExpBuckets(1, 2, 4), Label{"s", "p"}) {
+		t.Fatal("same histogram series returned distinct instances")
+	}
+	mustPanic(t, "kind conflict", func() { r.Gauge("x_total", "") })
+	mustPanic(t, "layout conflict", func() { r.Histogram("d_seconds", "", ExpBuckets(1, 3, 4)) })
+	mustPanic(t, "bad name", func() { r.Counter("0bad", "") })
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	f()
+}
+
+// The exposition format is pinned exactly: deterministic family and
+// series order, HELP/TYPE lines, cumulative le buckets with +Inf, sum
+// and count. This is the registry-level golden; the serving layer pins
+// its /metrics surface separately.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := New()
+	r.Counter("repro_requests_total", "Requests that reached a work handler.").Add(3)
+	r.Counter("repro_cache_hits_total", "Result-cache hits.").Add(7)
+	r.Gauge("repro_sessions", "Live repartition sessions.").Set(2)
+	r.GaugeFunc("repro_up", "Whether the server is up.", nil, func() float64 { return 1 })
+	h := r.Histogram("repro_stage_duration_seconds", "Pipeline stage wall time.",
+		ExpBuckets(0.001, 10, 3), Label{"stage", "polish"})
+	h.Observe(0.0005)
+	h.Observe(0.002)
+	h.Observe(0.05)
+	h.Observe(99)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# HELP repro_cache_hits_total Result-cache hits.",
+		"# TYPE repro_cache_hits_total counter",
+		"repro_cache_hits_total 7",
+		"# HELP repro_requests_total Requests that reached a work handler.",
+		"# TYPE repro_requests_total counter",
+		"repro_requests_total 3",
+		"# HELP repro_sessions Live repartition sessions.",
+		"# TYPE repro_sessions gauge",
+		"repro_sessions 2",
+		"# HELP repro_stage_duration_seconds Pipeline stage wall time.",
+		"# TYPE repro_stage_duration_seconds histogram",
+		`repro_stage_duration_seconds_bucket{stage="polish",le="0.001"} 1`,
+		`repro_stage_duration_seconds_bucket{stage="polish",le="0.01"} 2`,
+		`repro_stage_duration_seconds_bucket{stage="polish",le="0.1"} 3`,
+		`repro_stage_duration_seconds_bucket{stage="polish",le="+Inf"} 4`,
+		`repro_stage_duration_seconds_sum{stage="polish"} 99.0525`,
+		`repro_stage_duration_seconds_count{stage="polish"} 4`,
+		"# HELP repro_up Whether the server is up.",
+		"# TYPE repro_up gauge",
+		"repro_up 1",
+		"",
+	}, "\n")
+	if got := sb.String(); got != want {
+		t.Fatalf("exposition drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// Label values with quotes, backslashes and newlines must be escaped per
+// the text format.
+func TestLabelEscaping(t *testing.T) {
+	r := New()
+	r.Counter("weird_total", "", Label{"k", "a\"b\\c\nd"}).Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `weird_total{k="a\"b\\c\nd"} 1`) {
+		t.Fatalf("escaping wrong: %s", sb.String())
+	}
+}
+
+// Quantile edge cases: empty histogram, everything-in-overflow, q
+// clamping.
+func TestQuantileEdges(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	if got := h.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %g, want 0", got)
+	}
+	h.Observe(100) // overflow bucket
+	if got := h.Snapshot().Quantile(0.5); got != 2 {
+		t.Fatalf("overflow quantile = %g, want last bound 2", got)
+	}
+	h.Observe(0.5)
+	s := h.Snapshot()
+	if got := s.Quantile(-1); got > 1 {
+		t.Fatalf("clamped q=-1 gave %g", got)
+	}
+	if got := s.Quantile(2); got != 2 {
+		t.Fatalf("clamped q=2 gave %g, want 2", got)
+	}
+	if math.IsNaN(s.Quantile(math.NaN())) {
+		t.Fatal("NaN q produced NaN")
+	}
+	// NaN observations are dropped.
+	before := h.Snapshot().Count
+	h.Observe(math.NaN())
+	if h.Snapshot().Count != before {
+		t.Fatal("NaN observation was recorded")
+	}
+}
+
+// HistogramSnapshots keys series by the requested label value.
+func TestHistogramSnapshots(t *testing.T) {
+	r := New()
+	bounds := ExpBuckets(1, 2, 3)
+	r.Histogram("d", "", bounds, Label{"stage", "polish"}).Observe(1)
+	r.Histogram("d", "", bounds, Label{"stage", "coarsen"}).Observe(2)
+	snaps := r.HistogramSnapshots("d", "stage")
+	if len(snaps) != 2 {
+		t.Fatalf("got %d series, want 2", len(snaps))
+	}
+	if snaps["polish"].Count != 1 || snaps["coarsen"].Count != 1 {
+		t.Fatalf("bad keys: %v", snaps)
+	}
+	if len(r.HistogramSnapshots("missing", "stage")) != 0 {
+		t.Fatal("missing family returned series")
+	}
+}

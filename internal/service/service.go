@@ -154,13 +154,14 @@ func (c Config) withDefaults() Config {
 // Server serves decompositions over HTTP. Construct with New, expose via
 // Handler, and Close when done (stops the batch scheduler).
 type Server struct {
-	cfg    Config
-	eng    *repro.Engine
-	mux    *http.ServeMux
-	graphs *lru[*graph.Graph]
-	cache  *lru[repro.Result]
-	flight *flightGroup
-	sched  *scheduler
+	cfg     Config
+	eng     *repro.Engine
+	metrics *serverMetrics
+	mux     *http.ServeMux
+	graphs  *lru[*graph.Graph]
+	cache   *lru[repro.Result]
+	flight  *flightGroup
+	sched   *scheduler
 
 	// sessions holds the repartition Instances, keyed by base graph id ×
 	// options: each carries one drift chain's session state (current
@@ -209,13 +210,17 @@ type Server struct {
 // New builds a Server with the given configuration.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	m := newServerMetrics()
+	// The engine-wide observer is the metrics recorder, chaining to the
+	// caller's Config.Observer so existing hooks see every event unchanged.
 	eng := repro.NewEngine(
 		repro.WithParallelism(cfg.Parallelism),
-		repro.WithObserver(cfg.Observer),
+		repro.WithObserver(&metricsObserver{m: m, inner: cfg.Observer}),
 	)
 	s := &Server{
 		cfg:       cfg,
 		eng:       eng,
+		metrics:   m,
 		mux:       http.NewServeMux(),
 		graphs:    newLRU[*graph.Graph](cfg.GraphStoreSize),
 		cache:     newLRU[repro.Result](cfg.CacheSize),
@@ -232,11 +237,16 @@ func New(cfg Config) *Server {
 		// after a restart already sees the pre-restart state.
 		s.warmFromStore()
 	}
-	s.mux.HandleFunc("POST /v1/graphs", s.instrument(s.handleUpload))
-	s.mux.HandleFunc("POST /v1/partition", s.instrument(s.handlePartition))
-	s.mux.HandleFunc("POST /v1/repartition", s.instrument(s.handleRepartition))
+	// Grouped scheduler jobs run through Engine.Batch, which drops the
+	// observer; their stage timings arrive via per-run Diagnostics instead.
+	s.sched.onResult = m.observeDiag
+	m.registerServerFuncs(s)
+	s.mux.HandleFunc("POST /v1/graphs", s.instrument("upload", s.handleUpload))
+	s.mux.HandleFunc("POST /v1/partition", s.instrument("partition", s.handlePartition))
+	s.mux.HandleFunc("POST /v1/repartition", s.instrument("repartition", s.handleRepartition))
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.Handle("GET /metrics", s.MetricsHandler())
 	return s
 }
 
@@ -256,7 +266,7 @@ func (r *statusRecorder) WriteHeader(code int) {
 // handler occupancy measured with the configured clock. Stats and healthz
 // probes are left unwrapped so the counters reflect decomposition traffic
 // only.
-func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := s.cfg.Clock()
 		if s.cfg.RequestTimeout > 0 {
@@ -273,7 +283,9 @@ func (s *Server) instrument(h http.HandlerFunc) http.HandlerFunc {
 		case statusClientClosedRequest, http.StatusGatewayTimeout:
 			atomic.AddInt64(&s.requestsCancelled, 1)
 		}
-		atomic.AddInt64(&s.busyNS, s.cfg.Clock().Sub(start).Nanoseconds())
+		took := s.cfg.Clock().Sub(start)
+		atomic.AddInt64(&s.busyNS, took.Nanoseconds())
+		s.metrics.observeRequest(endpoint, took)
 	}
 }
 
@@ -930,6 +942,7 @@ func (s *Server) Stats() StatsResponse {
 		st.LogRecords = m.Records
 		st.Snapshots = m.Snapshots
 	}
+	st.Stages = s.metrics.stageSummaries()
 	return st
 }
 

@@ -268,6 +268,23 @@ type StatsResponse struct {
 	// PersistErrors counts op-log appends that failed. The serving path
 	// never fails a request over persistence; this counter is the signal.
 	PersistErrors int64 `json:"persist_errors"`
+	// Stages summarizes the per-stage pipeline latency histograms (the
+	// same distributions GET /metrics exposes in full), keyed by
+	// core.StageName. Omitted until the first pipeline run records a
+	// stage. Schema note: additive field — older clients that decode with
+	// unknown-field tolerance are unaffected.
+	Stages map[string]StageStatsWire `json:"stages,omitempty"`
+}
+
+// StageStatsWire is the compact per-stage latency summary in /v1/stats:
+// histogram-estimated quantiles (nanoseconds; bucket-sound per DESIGN.md
+// §12, so each is within one log-spaced bucket width of the exact sample
+// quantile) plus the exact count and summed duration.
+type StageStatsWire struct {
+	Count   int64 `json:"count"`
+	P50NS   int64 `json:"p50_ns"`
+	P99NS   int64 `json:"p99_ns"`
+	TotalNS int64 `json:"total_ns"`
 }
 
 // statsWire converts coloring statistics to the wire form.

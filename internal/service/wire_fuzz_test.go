@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -202,6 +203,75 @@ func TestWireRepartitionWeightsLength(t *testing.T) {
 		}
 		if rec.Code != http.StatusBadRequest {
 			t.Fatalf("weights length %d: status %d, want 400", n, rec.Code)
+		}
+	}
+}
+
+// Stats/metrics wire hardening for the stage-summary fields: after
+// arbitrary interleavings of valid and garbage work requests, GET
+// /v1/stats must stay decodable with internally consistent stage
+// summaries (ordered quantiles, positive counts), and GET /metrics must
+// render a structurally valid exposition — never a panic on either
+// read-only surface, since both now walk live histogram state.
+func TestWireStatsStagesRobust(t *testing.T) {
+	s := fuzzServer(t)
+	g := workload.ClimateMesh(6, 6, 2, 7)
+	up := do(s, http.MethodPost, "/v1/graphs", string(graph.Marshal(g)))
+	var ur UploadResponse
+	if err := json.Unmarshal(up.Body.Bytes(), &ur); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(83))
+	valid, err := json.Marshal(PartitionRequest{GraphID: ur.GraphID, K: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 60; trial++ {
+		switch rng.Intn(3) {
+		case 0:
+			do(s, http.MethodPost, "/v1/partition", string(valid))
+		case 1:
+			do(s, http.MethodPost, "/v1/repartition",
+				fmt.Sprintf(`{"graph_id":%q,"k":3,"scale":[{"v":%d,"w":%g}]}`,
+					ur.GraphID, rng.Intn(2*g.N())-g.N(), 0.5+rng.Float64()))
+		default:
+			b := make([]byte, rng.Intn(64))
+			rng.Read(b)
+			do(s, http.MethodPost, "/v1/partition", string(b))
+		}
+
+		rec := do(s, http.MethodGet, "/v1/stats", "")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("trial %d: /v1/stats status %d", trial, rec.Code)
+		}
+		var st StatsResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+			t.Fatalf("trial %d: stats undecodable: %v", trial, err)
+		}
+		for name, sw := range st.Stages {
+			if sw.Count <= 0 || sw.TotalNS < 0 || sw.P50NS < 0 || sw.P99NS < sw.P50NS {
+				t.Fatalf("trial %d: stage %q summary inconsistent: %+v", trial, name, sw)
+			}
+		}
+		if st.PipelineRuns > 0 && len(st.Stages) == 0 {
+			t.Fatalf("trial %d: %d pipeline runs but no stage summaries", trial, st.PipelineRuns)
+		}
+
+		mrec := do(s, http.MethodGet, "/metrics", "")
+		if mrec.Code != http.StatusOK {
+			t.Fatalf("trial %d: /metrics status %d", trial, mrec.Code)
+		}
+		for _, line := range strings.Split(mrec.Body.String(), "\n") {
+			if line == "" || strings.HasPrefix(line, "# ") {
+				continue
+			}
+			sp := strings.LastIndex(line, " ")
+			if sp < 0 {
+				t.Fatalf("trial %d: malformed sample line %q", trial, line)
+			}
+			if _, err := strconv.ParseFloat(line[sp+1:], 64); err != nil {
+				t.Fatalf("trial %d: unparseable sample %q", trial, line)
+			}
 		}
 	}
 }
