@@ -1,0 +1,108 @@
+// Package analysistest runs reprolint analyzers over fixture corpora the
+// way golang.org/x/tools/go/analysis/analysistest does: each fixture file
+// marks the diagnostics it expects with trailing
+//
+//	// want "regexp" ["regexp" ...]
+//
+// comments, and the runner fails on any unmatched expectation or
+// unexpected diagnostic. Fixtures live under testdata/src/<name>; every
+// directory holding .go files becomes one package whose import path is
+// its path relative to that root, so multi-package fixtures (a fake
+// "repro" package plus a caller, a cross-package atomic pair) are plain
+// directory trees.
+package analysistest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	met  bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// Run loads the fixture tree at root, applies the analyzers, and matches
+// the diagnostics against the fixtures' want-comments.
+func Run(t *testing.T, root string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	pkgs, fset, err := analysis.LoadFixture(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			tf := fset.File(f.Pos())
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, pat := range splitQuoted(m[1]) {
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", tf.Name(), pos.Line, pat, err)
+						}
+						wants = append(wants, &expectation{file: tf.Name(), line: pos.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+
+	diags, err := analysis.Run(fset, pkgs, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var surplus []string
+outer:
+	for _, d := range diags {
+		for _, w := range wants {
+			if !w.met && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				continue outer
+			}
+		}
+		surplus = append(surplus, d.String())
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	for _, s := range surplus {
+		t.Errorf("unexpected diagnostic: %s", s)
+	}
+}
+
+// splitQuoted extracts the quoted segments of a want comment: either
+// `backquoted` (the usual form, since patterns often contain double
+// quotes) or "double-quoted".
+func splitQuoted(s string) []string {
+	var out []string
+	for i := 0; i < len(s); i++ {
+		q := s[i]
+		if q != '"' && q != '`' {
+			continue
+		}
+		j := strings.IndexByte(s[i+1:], q)
+		if j < 0 {
+			return out
+		}
+		out = append(out, s[i+1:i+1+j])
+		i += j + 1
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicField enforces atomic discipline module-wide (DESIGN.md §6/§12):
+// a struct field that is accessed via sync/atomic anywhere — the service
+// stats counters, the store record counters — must never be read or
+// written through a pointer non-atomically anywhere else. Mixed access is
+// exactly the race the /metrics tier was built not to have; the race
+// detector only catches it when a test happens to interleave the two
+// sides, this analyzer catches it at build time.
+//
+// A field is under the discipline when some package passes its address to
+// a sync/atomic function (atomic.AddInt64(&s.hits, 1)), or when its
+// declaration carries the //repro:atomic marker — the escape hatch for
+// fields like core.Diagnostics.SplitterCalls whose atomic updates flow
+// through a stored *int64 rather than a direct &x.f argument. Flagged
+// accesses are those through a pointer base (shared memory); reads of a
+// struct *value* copy are the copying site's concern, and audited
+// happens-before sites carry //repro:atomic-ok with a DESIGN.md citation.
+var AtomicField = &Analyzer{
+	Name:      "atomicfield",
+	Doc:       "flags non-atomic pointer accesses to struct fields that are elsewhere accessed via sync/atomic (or marked //repro:atomic)",
+	Directive: "atomic-ok",
+	Run:       runAtomicField,
+	Finish:    finishAtomicField,
+}
+
+// atomicCapable are the primitive field types sync/atomic operates on.
+func atomicCapable(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int32, types.Int64, types.Uint32, types.Uint64, types.Uintptr:
+		return true
+	}
+	return false
+}
+
+type atomicUse struct {
+	pos token.Pos
+	how string // "atomic.AddInt64" or "//repro:atomic marker"
+}
+
+func atomicState(state map[string]any) (atomicFields map[string]atomicUse, plain map[string][]token.Pos) {
+	if state["atomic"] == nil {
+		state["atomic"] = map[string]atomicUse{}
+		state["plain"] = map[string][]token.Pos{}
+	}
+	return state["atomic"].(map[string]atomicUse), state["plain"].(map[string][]token.Pos)
+}
+
+func runAtomicField(pass *Pass) error {
+	atomicFields, plain := atomicState(pass.State())
+
+	// Fields declared under the discipline via the //repro:atomic marker.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !fieldHasMarker(field) {
+					continue
+				}
+				for _, name := range field.Names {
+					key := pass.Pkg.Path() + "." + ts.Name.Name + "." + name.Name
+					atomicFields[key] = atomicUse{pos: name.Pos(), how: "//repro:atomic marker"}
+				}
+			}
+			return true
+		})
+	}
+
+	// Field addresses passed to sync/atomic, and every other pointer-based
+	// field access of an atomic-capable field.
+	for _, f := range pass.Files {
+		consumed := map[*ast.SelectorExpr]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFor(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || len(call.Args) == 0 {
+				return true
+			}
+			unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || unary.Op != token.AND {
+				return true
+			}
+			sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if key, ok := selectorFieldKey(pass.Info, sel, false); ok {
+				consumed[sel] = true
+				if _, seen := atomicFields[key]; !seen {
+					atomicFields[key] = atomicUse{pos: call.Pos(), how: "atomic." + fn.Name()}
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || consumed[sel] {
+				return true
+			}
+			if key, ok := selectorFieldKey(pass.Info, sel, true); ok {
+				plain[key] = append(plain[key], sel.Sel.Pos())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// selectorFieldKey resolves sel to a named struct field and returns its
+// module-wide key. With pointerOnly set it additionally requires the
+// receiver to be a pointer (shared memory, not a value copy) and the
+// field type to be atomic-capable.
+func selectorFieldKey(info *types.Info, sel *ast.SelectorExpr, pointerOnly bool) (string, bool) {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return "", false
+	}
+	field, ok := s.Obj().(*types.Var)
+	if !ok {
+		return "", false
+	}
+	if pointerOnly {
+		if _, isPtr := s.Recv().Underlying().(*types.Pointer); !isPtr {
+			return "", false
+		}
+		if !atomicCapable(field.Type()) {
+			return "", false
+		}
+	}
+	named := namedOf(s.Recv())
+	if named == nil {
+		return "", false
+	}
+	return fieldKey(named, field.Name()), true
+}
+
+// fieldHasMarker reports whether a struct field's doc or line comment
+// carries the //repro:atomic declaration.
+func fieldHasMarker(field *ast.Field) bool {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if d, _, ok := parseDirective(c.Text); ok && d == "atomic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func finishAtomicField(state map[string]any, report ReportFunc) {
+	atomicFields, plain := atomicState(state)
+	keys := make([]string, 0, len(plain))
+	for k := range plain {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		use, ok := atomicFields[key]
+		if !ok {
+			continue
+		}
+		for _, pos := range plain[key] {
+			report(pos, "non-atomic access to %s, which is under atomic discipline (%s); use sync/atomic or suppress an audited happens-before site with //repro:atomic-ok",
+				key, use.how)
+		}
+	}
+}

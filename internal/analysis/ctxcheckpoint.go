@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxCheckpoint enforces the cancellation contract of DESIGN.md §8: every
+// long loop in the deterministic core polls a cancellation checkpoint, so
+// a cancelled run unwinds within the documented checkpoint granularity
+// instead of running a stage to completion. A loop counts as long when
+// its body calls long-running work — any function taking a
+// context.Context, or one of the documented long-work helpers (the
+// splitting oracle and the graph traversal/contraction machinery). Such a
+// loop must also contain a checkpoint: a call to interrupted, split, or
+// parRange (which checkpoint internally), a ctx.Err()-style call, or a
+// receive from a done channel. Audited exceptions carry
+// //repro:checkpoint-ok with a DESIGN.md citation.
+var CtxCheckpoint = &Analyzer{
+	Name:      "ctxcheckpoint",
+	Doc:       "requires a cancellation checkpoint in every deterministic-core loop that calls long-running work",
+	Directive: "checkpoint-ok",
+	Run:       runCtxCheckpoint,
+}
+
+// longWorkNames are the documented long-work helpers that do not take a
+// context themselves: the splitting oracle adapter and the pooled graph
+// traversals a single call of which is one checkpoint-granularity unit
+// (DESIGN.md §8, §9).
+var longWorkNames = map[string]bool{
+	"Split":          true,
+	"BFSOrder":       true,
+	"Components":     true,
+	"EdgesWithin":    true,
+	"CostNormWithin": true,
+	"InducedCopy":    true,
+	"Contract":       true,
+}
+
+// checkpointNames are calls that poll (or internally poll) the run's
+// cancellation: the core ctx helpers and the context.Context Err method.
+var checkpointNames = map[string]bool{
+	"interrupted": true,
+	"split":       true,
+	"parRange":    true,
+	"checkpoint":  true,
+	"Err":         true,
+}
+
+func runCtxCheckpoint(pass *Pass) error {
+	if !pass.InDeterministicCore() {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				body = loop.Body
+			case *ast.RangeStmt:
+				body = loop.Body
+			default:
+				return true
+			}
+			work := ""
+			checkpointed := false
+			ast.Inspect(body, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.CallExpr:
+					name := calleeName(m)
+					if checkpointNames[name] {
+						checkpointed = true
+					}
+					if work == "" && isLongWork(pass.Info, m, name) {
+						work = name
+					}
+				case *ast.UnaryExpr:
+					// A receive from the run's done channel is the raw
+					// form of the interrupted() checkpoint.
+					if m.Op.String() == "<-" && isDoneChannel(m.X) {
+						checkpointed = true
+					}
+				}
+				return true
+			})
+			if work != "" && !checkpointed {
+				pass.Reportf(n.Pos(), "loop calls long-running work (%s) without a cancellation checkpoint (interrupted/ctx.Err/parRange); poll one per iteration or suppress with //repro:checkpoint-ok", work)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isLongWork reports whether call is long-running work: its callee has a
+// context.Context parameter, or its name is a documented long-work helper.
+func isLongWork(info *types.Info, call *ast.CallExpr, name string) bool {
+	if longWorkNames[name] {
+		return true
+	}
+	fn := funcFor(info, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if named := namedOf(sig.Params().At(i).Type()); named != nil {
+			if named.Obj().Name() == "Context" && named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == "context" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// isDoneChannel reports whether e textually names a done channel (c.done,
+// ctx.Done(), done).
+func isDoneChannel(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return strings.EqualFold(e.Name, "done")
+	case *ast.SelectorExpr:
+		return strings.EqualFold(e.Sel.Name, "done")
+	case *ast.CallExpr:
+		return calleeName(e) == "Done"
+	}
+	return false
+}

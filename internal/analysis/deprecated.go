@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DeprecatedCall is the AST-and-types successor of the grep-based
+// TestNoInRepoCallersOfDeprecatedWrappers guard: any call to a function
+// or method whose doc comment carries a standard "Deprecated:" notice is
+// flagged everywhere outside the declaring package. The free functions
+// repro.Partition/Repartition/… exist only so external callers migrate to
+// the Engine API without breakage (DESIGN.md §8); in-repo code has no
+// such excuse. Working on the type-checked callee (not text) means
+// renamed imports, method values, and dot-imports are all caught, and
+// comments mentioning the wrappers are never false positives. The grep
+// test remains in place as the hermetic offline fallback.
+var DeprecatedCall = &Analyzer{
+	Name:      "deprecated",
+	Doc:       "flags in-module calls to functions whose doc comment carries a Deprecated: notice, from outside the declaring package",
+	Directive: "deprecated-ok",
+	Run:       runDeprecatedCall,
+}
+
+func deprecatedState(state map[string]any) map[string]bool {
+	if state["decls"] == nil {
+		state["decls"] = map[string]bool{}
+	}
+	return state["decls"].(map[string]bool)
+}
+
+// funcKey names a function or method module-wide: pkgpath.Name for
+// functions, pkgpath.Recv.Name for methods.
+func funcKey(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return ""
+	}
+	key := fn.Pkg().Path() + "."
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if named := namedOf(sig.Recv().Type()); named != nil {
+			key += named.Obj().Name() + "."
+		}
+	}
+	return key + fn.Name()
+}
+
+// isDeprecated implements the godoc convention: a paragraph beginning
+// "Deprecated:" anywhere in the doc comment.
+func isDeprecated(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}
+
+func runDeprecatedCall(pass *Pass) error {
+	decls := deprecatedState(pass.State())
+
+	// Packages load in dependency order, so a callee's declaring package
+	// is always processed before its callers: record this package's
+	// deprecated declarations first, then scan its calls.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !isDeprecated(fd.Doc) {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[funcKey(fn)] = true
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := funcFor(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg() == pass.Pkg {
+				return true
+			}
+			if key := funcKey(fn); decls[key] {
+				pass.Reportf(call.Pos(), "call to deprecated %s (migrate per its Deprecated: notice); the declaring package is the only in-repo caller allowed", key)
+			}
+			return true
+		})
+	}
+	return nil
+}

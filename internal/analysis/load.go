@@ -1,0 +1,303 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct {
+		Path string
+		Main bool
+	}
+	Error *struct{ Err string }
+}
+
+// LoadModule lists patterns (and their dependencies) with the go tool,
+// then parses and type-checks every main-module package in dependency
+// order. Dependencies outside the module (the standard library) are
+// imported from the compiler export data `go list -export` produces, so
+// loading works offline; the module itself is checked from source, which
+// is what gives analyzers doc comments and exact token positions.
+// _test.go files are not loaded.
+func LoadModule(dir string, patterns ...string) ([]*Package, *token.FileSet, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, nil, fmt.Errorf("analysis: go list: %s", p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		// -deps guarantees dependency order (dependencies first), so
+		// appending preserves a valid type-checking order.
+		if p.Module != nil && p.Module.Main && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := &combinedImporter{
+		local:  map[string]*types.Package{},
+		export: importer.ForCompiler(fset, "gc", exportLookup(exports)),
+	}
+	var pkgs []*Package
+	for _, lp := range targets {
+		var files []*ast.File
+		for _, name := range lp.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, nil, fmt.Errorf("analysis: %v", err)
+			}
+			files = append(files, f)
+		}
+		pkg, err := checkPackage(fset, lp.ImportPath, files, imp)
+		if err != nil {
+			return nil, nil, err
+		}
+		imp.local[lp.ImportPath] = pkg.Types
+		pkg.Dir = lp.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, fset, nil
+}
+
+// LoadFixture loads an analysistest-style fixture tree: every directory
+// under root holding .go files becomes a package whose import path is its
+// slash-separated path relative to root. Fixture packages may import each
+// other (by those relative paths) and the standard library; stdlib export
+// data is obtained from the go tool on demand.
+func LoadFixture(root string) ([]*Package, *token.FileSet, error) {
+	byDir := map[string][]string{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			byDir[filepath.Dir(path)] = append(byDir[filepath.Dir(path)], path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(byDir) == 0 {
+		return nil, nil, fmt.Errorf("analysis: no fixture packages under %s", root)
+	}
+
+	fset := token.NewFileSet()
+	type fixturePkg struct {
+		path    string
+		files   []*ast.File
+		imports []string
+	}
+	var fixtures []fixturePkg
+	external := map[string]bool{}
+	local := map[string]bool{}
+	for dir, files := range byDir {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, nil, err
+		}
+		path := filepath.ToSlash(rel)
+		local[path] = true
+		sort.Strings(files)
+		fp := fixturePkg{path: path}
+		for _, name := range files {
+			f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+			if err != nil {
+				return nil, nil, fmt.Errorf("analysis: %v", err)
+			}
+			fp.files = append(fp.files, f)
+			for _, spec := range f.Imports {
+				fp.imports = append(fp.imports, strings.Trim(spec.Path.Value, `"`))
+			}
+		}
+		fixtures = append(fixtures, fp)
+	}
+	for _, fp := range fixtures {
+		for _, im := range fp.imports {
+			if !local[im] && im != "unsafe" {
+				external[im] = true
+			}
+		}
+	}
+
+	exports, err := exportData(root, external)
+	if err != nil {
+		return nil, nil, err
+	}
+	imp := &combinedImporter{
+		local:  map[string]*types.Package{},
+		export: importer.ForCompiler(fset, "gc", exportLookup(exports)),
+	}
+
+	// Topologically order fixtures by their intra-fixture imports.
+	sort.Slice(fixtures, func(i, j int) bool { return fixtures[i].path < fixtures[j].path })
+	var pkgs []*Package
+	done := map[string]bool{}
+	for len(pkgs) < len(fixtures) {
+		progressed := false
+		for _, fp := range fixtures {
+			if done[fp.path] {
+				continue
+			}
+			ready := true
+			for _, im := range fp.imports {
+				if local[im] && !done[im] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			pkg, err := checkPackage(fset, fp.path, fp.files, imp)
+			if err != nil {
+				return nil, nil, err
+			}
+			imp.local[fp.path] = pkg.Types
+			done[fp.path] = true
+			pkgs = append(pkgs, pkg)
+			progressed = true
+		}
+		if !progressed {
+			return nil, nil, fmt.Errorf("analysis: import cycle among fixture packages under %s", root)
+		}
+	}
+	return pkgs, fset, nil
+}
+
+// exportData asks the go tool for compiler export data covering the given
+// import paths and their dependencies. dir anchors the invocation (any
+// directory inside a module or GOPATH works; the paths are stdlib).
+func exportData(dir string, paths map[string]bool) (map[string]string, error) {
+	if len(paths) == 0 {
+		return nil, nil
+	}
+	args := []string{"list", "-export", "-json", "-deps", "--"}
+	for p := range paths {
+		args = append(args, p)
+	}
+	sort.Strings(args[5:])
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list (fixture deps): %v\n%s", err, stderr.String())
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// CheckFiles type-checks already-parsed files as the package at path,
+// resolving imports through imp — the entry point the vet-tool mode of
+// cmd/reprolint uses with a vet-config-backed importer.
+func CheckFiles(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*Package, error) {
+	return checkPackage(fset, path, files, imp)
+}
+
+// checkPackage type-checks one package's parsed files with full Info maps.
+func checkPackage(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// combinedImporter resolves module/fixture packages checked from source
+// first, then falls back to compiler export data. Source-first keeps
+// object identity consistent across the whole run.
+type combinedImporter struct {
+	local  map[string]*types.Package
+	export types.Importer
+}
+
+func (c *combinedImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	return c.export.Import(path)
+}
+
+// exportLookup adapts an importpath→file map to the gc importer's lookup.
+func exportLookup(exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}

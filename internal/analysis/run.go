@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Run executes the analyzers over the loaded packages (in the load order,
+// which is dependency order) and returns the surviving diagnostics,
+// sorted by position. Suppression directives are applied centrally here,
+// so analyzers only ever report; the directive-validation diagnostics
+// (unknown directives, uncited suppressions) ride along under the
+// analyzer name "reprolint".
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	idx, diags := buildSuppressionIndex(fset, pkgs, analyzers)
+
+	report := func(a *Analyzer, pos token.Pos, msg string) {
+		position := fset.Position(pos)
+		if idx.suppressed(a.Directive, position) {
+			return
+		}
+		diags = append(diags, Diagnostic{Analyzer: a.Name, Pos: position, Message: msg})
+	}
+
+	states := map[string]map[string]any{}
+	for _, a := range analyzers {
+		states[a.Name] = map[string]any{}
+	}
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a := a
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				state:    states[a.Name],
+				report:   func(pos token.Pos, msg string) { report(a, pos, msg) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		a := a
+		a.Finish(states[a.Name], func(pos token.Pos, format string, args ...any) {
+			report(a, pos, fmt.Sprintf(format, args...))
+		})
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

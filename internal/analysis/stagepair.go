@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// StagePair enforces the Observer bracketing contract of DESIGN.md §8:
+// every StageEnter must be balanced by a matching StageLeave on all paths
+// — normal return, error return, cancellation, and panic. Serving layers
+// hang metrics windows off the pair (internal/service keys in-flight
+// stage timers on it), so an unbalanced pair silently corrupts the
+// per-stage histograms.
+//
+// Mechanically: at every call site of stageEnter/StageEnter in the
+// deterministic core, the analyzer demands a later stageLeave/StageLeave
+// with the same stage argument, and demands it be registered in a defer
+// whenever the region between the pair contains an early return, an
+// explicit panic, or any intervening call that could panic. Observer
+// implementations that merely forward events (a method named StageEnter
+// calling inner.StageEnter) are exempt: forwarding one event is not
+// opening a bracket.
+var StagePair = &Analyzer{
+	Name:      "stagepair",
+	Doc:       "requires every StageEnter to dominate a matching StageLeave on all paths (early-return and panic included)",
+	Directive: "stagepair-ok",
+	Run:       runStagePair,
+}
+
+// stagePairSafeCalls can sit between a non-deferred enter/leave pair:
+// they cannot panic (the time reads are the canonical stage-duration
+// bookkeeping).
+var stagePairSafeCalls = map[string]bool{
+	"Now":    true,
+	"Since":  true,
+	"len":    true,
+	"cap":    true,
+	"append": true,
+}
+
+func runStagePair(pass *Pass) error {
+	if pass.Pkg.Path() != "repro/internal/core" && !pass.HasMarker("deterministic-core") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkStagePairs(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkStagePairs(pass *Pass, fd *ast.FuncDecl) {
+	fname := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		if !strings.EqualFold(name, "stageEnter") {
+			return true
+		}
+		// Forwarder exemption: an Observer decorator's StageEnter method
+		// forwarding to its inner observer (and the core ctx's own
+		// stageEnter helper forwarding to the attached Observer) emits a
+		// single event, it does not open a bracket.
+		if strings.EqualFold(fname, "stageEnter") {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		stageArg := exprString(pass.Fset, call.Args[0])
+		leave, deferred := findStageLeave(pass, fd, call.End(), stageArg)
+		if leave == nil {
+			pass.Reportf(call.Pos(), "StageEnter(%s) has no matching StageLeave in this function: the Observer pair must balance on every path", stageArg)
+			return true
+		}
+		if deferred {
+			return true
+		}
+		// The pair is straight-line. Anything between it that can escape
+		// — an early return, an explicit panic, or a call that may panic
+		// — skips the leave; demand a defer.
+		if reason := escapeBetween(pass, fd, call.End(), leave.Pos()); reason != "" {
+			pass.Reportf(call.Pos(), "StageLeave(%s) can be skipped on %s; register the StageLeave in a defer so the pair balances on every path", stageArg, reason)
+		}
+		return true
+	})
+}
+
+// findStageLeave locates the first stageLeave/StageLeave call after pos
+// with the same first-argument source text, reporting whether it is
+// registered inside a defer (which balances every path, panics included).
+func findStageLeave(pass *Pass, fd *ast.FuncDecl, pos token.Pos, stageArg string) (leave *ast.CallExpr, deferred bool) {
+	var deferRanges []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			deferRanges = append(deferRanges, ds)
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || leave != nil {
+			return leave == nil
+		}
+		if call.Pos() < pos || !strings.EqualFold(calleeName(call), "stageLeave") {
+			return true
+		}
+		if len(call.Args) == 0 || exprString(pass.Fset, call.Args[0]) != stageArg {
+			return true
+		}
+		leave = call
+		return false
+	})
+	if leave == nil {
+		return nil, false
+	}
+	for _, dr := range deferRanges {
+		if dr.Pos() <= leave.Pos() && leave.End() <= dr.End() {
+			return leave, true
+		}
+	}
+	return leave, false
+}
+
+// escapeBetween scans the (lo, hi) position window of fd for a construct
+// that can skip a straight-line leave: a return, an explicit panic, or an
+// intervening call outside the safe set.
+func escapeBetween(pass *Pass, fd *ast.FuncDecl, lo, hi token.Pos) string {
+	reason := ""
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil || reason != "" {
+			return false
+		}
+		if n.End() <= lo || hi <= n.Pos() {
+			// Disjoint from the window: prune (children lie inside n).
+			return false
+		}
+		if lo <= n.Pos() && n.End() <= hi {
+			switch n := n.(type) {
+			case *ast.ReturnStmt:
+				reason = "an early-return path"
+			case *ast.BranchStmt:
+				reason = "a " + n.Tok.String() + " path"
+			case *ast.CallExpr:
+				name := calleeName(n)
+				if name == "panic" {
+					reason = "an explicit panic path"
+				} else if !stagePairSafeCalls[name] && !strings.EqualFold(name, "stageLeave") {
+					reason = "a panic inside the intervening " + name + " call"
+				}
+			}
+		}
+		return reason == ""
+	})
+	return reason
+}

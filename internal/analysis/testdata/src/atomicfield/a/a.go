@@ -1,0 +1,46 @@
+// Package a is the atomic-discipline fixture: Hits comes under the
+// discipline by having its address passed to sync/atomic, Marked by the
+// //repro:atomic declaration marker.
+package a
+
+import "sync/atomic"
+
+type Stats struct {
+	Hits   int64
+	Copies int64
+	//repro:atomic incremented through a stored pointer elsewhere
+	Marked int64
+}
+
+func Bump(s *Stats) {
+	atomic.AddInt64(&s.Hits, 1)
+}
+
+func LoadHits(s *Stats) int64 {
+	return atomic.LoadInt64(&s.Hits)
+}
+
+func badIncrement(s *Stats) {
+	s.Hits++ // want `non-atomic access to a.Stats.Hits`
+}
+
+func badMarked(s *Stats) int64 {
+	return s.Marked // want `non-atomic access to a.Stats.Marked`
+}
+
+// valueCopy reads a struct value, not shared memory: the copying site is
+// where any race would be, so plain reads of the copy are exempt.
+func valueCopy(s Stats) int64 {
+	return s.Hits + s.Copies
+}
+
+func plainField(s *Stats) int64 {
+	// Copies is never accessed atomically anywhere, so plain pointer
+	// access is fine.
+	return s.Copies
+}
+
+func audited(s *Stats) int64 {
+	//repro:atomic-ok read after all writers joined; no concurrent increments — DESIGN.md §6
+	return s.Hits
+}

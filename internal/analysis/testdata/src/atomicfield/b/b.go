@@ -1,0 +1,9 @@
+// Package b exercises the module-wide half of the discipline: the atomic
+// registration lives in package a, the violation here.
+package b
+
+import "a"
+
+func Poke(s *a.Stats) {
+	s.Hits = 0 // want `non-atomic access to a.Stats.Hits`
+}

@@ -1,0 +1,26 @@
+// Package a is the cachekey fixture: OptionsKey reads K and P, exempts
+// Debug, reads the Tune pointer and its MinV — but misses Tune.MaxL.
+package a
+
+import "fmt"
+
+type Sub struct {
+	MinV int
+	MaxL int
+}
+
+type Options struct {
+	K     int
+	P     float64
+	Debug bool
+	Tune  *Sub
+}
+
+func OptionsKey(opt Options) string { // want `does not incorporate Options.Tune.MaxL`
+	//repro:cachekey-exempt Debug — log verbosity only, no result influence (DESIGN.md §9)
+	key := fmt.Sprintf("k%d;p%g", opt.K, opt.P)
+	if t := opt.Tune; t != nil {
+		key += fmt.Sprintf(";t%d", t.MinV)
+	}
+	return key
+}

@@ -1,0 +1,15 @@
+// Package clean is the negative cachekey fixture: every field is either
+// incorporated or exempted, so no diagnostics fire.
+package clean
+
+import "fmt"
+
+type Options struct {
+	K       int
+	Verbose bool
+}
+
+func OptionsKey(opt Options) string {
+	//repro:cachekey-exempt Verbose — logging only, no result influence (DESIGN.md §9)
+	return fmt.Sprintf("k%d", opt.K)
+}

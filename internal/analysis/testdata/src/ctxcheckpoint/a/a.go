@@ -1,0 +1,71 @@
+// Package a is the ctxcheckpoint fixture.
+//
+//repro:deterministic-core
+package a
+
+import "context"
+
+type oracle struct{}
+
+// Split is a documented long-work name (the splitting oracle).
+func (oracle) Split(ctx context.Context) {}
+
+func longWork(ctx context.Context) {}
+
+func short() {}
+
+func interrupted() bool { return false }
+
+func badCtxCallee(ctx context.Context, items []int) {
+	for range items { // want `without a cancellation checkpoint`
+		longWork(ctx)
+	}
+}
+
+func badOracle(o oracle, ctx context.Context, items []int) {
+	for i := 0; i < len(items); i++ { // want `without a cancellation checkpoint`
+		o.Split(ctx)
+	}
+}
+
+func goodErrPoll(ctx context.Context, items []int) {
+	for range items {
+		if ctx.Err() != nil {
+			return
+		}
+		longWork(ctx)
+	}
+}
+
+func goodInterrupted(ctx context.Context, items []int) {
+	for range items {
+		if interrupted() {
+			return
+		}
+		longWork(ctx)
+	}
+}
+
+func goodDoneChannel(done chan struct{}, ctx context.Context, items []int) {
+	for range items {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		longWork(ctx)
+	}
+}
+
+func goodShortWork(items []int) {
+	for range items {
+		short()
+	}
+}
+
+func audited(ctx context.Context, items []int) {
+	//repro:checkpoint-ok one call is the documented checkpoint-granularity unit — DESIGN.md §8
+	for range items {
+		longWork(ctx)
+	}
+}

@@ -1,0 +1,23 @@
+// Package caller exercises cross-package deprecated-call detection.
+package caller
+
+import "lib"
+
+func bad() int {
+	return lib.Old() // want `call to deprecated lib.Old`
+}
+
+func badMethod() int {
+	var t lib.T
+	return t.OldM() // want `call to deprecated lib.T.OldM`
+}
+
+func good() int {
+	var t lib.T
+	return lib.New() + t.Next()
+}
+
+func audited() int {
+	//repro:deprecated-ok migration shim measured by the compat benchmark — DESIGN.md §8
+	return lib.Old()
+}

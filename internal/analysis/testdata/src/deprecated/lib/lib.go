@@ -1,0 +1,24 @@
+// Package lib declares the deprecated entry points the caller fixture
+// must not use.
+package lib
+
+// Old is the legacy entry point.
+//
+// Deprecated: use New instead.
+func Old() int { return New() }
+
+// New is the supported entry point.
+func New() int { return 1 }
+
+// T carries a deprecated method.
+type T struct{}
+
+// Deprecated: use T.Next instead.
+func (T) OldM() int { return 2 }
+
+// Next is the supported method.
+func (T) Next() int { return 3 }
+
+// internalUse calls Old from the declaring package, which stays legal:
+// the wrapper body itself, tests, and doc examples live here.
+func internalUse() int { return Old() }

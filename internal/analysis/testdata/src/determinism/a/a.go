@@ -1,0 +1,64 @@
+// Package a is the determinism fixture: it opts into the
+// deterministic-core contract with the marker below, so every construct
+// the analyzer polices fires here.
+//
+//repro:deterministic-core
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func mapRange(m map[int]int) int {
+	s := 0
+	for k := range m { // want `range over map`
+		s += k
+	}
+	return s
+}
+
+func sliceRange(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func clock() time.Duration {
+	t := time.Now()      // want `time.Now reads the wall clock`
+	return time.Since(t) // want `time.Since reads the wall clock`
+}
+
+func globalRand() int {
+	return rand.Intn(8) // want `draws from the global, non-seeded source`
+}
+
+func seeded() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(8)
+}
+
+func pick(a, b chan int) int {
+	select { // want `select with 2 communication cases`
+	case x := <-a:
+		return x
+	case x := <-b:
+		return x
+	}
+}
+
+func single(a chan int) int {
+	select {
+	case x := <-a:
+		return x
+	default:
+	}
+	return 0
+}
+
+func audited() time.Time {
+	//repro:nondeterministic-ok timing feeds diagnostics only, never the coloring — DESIGN.md §13
+	return time.Now()
+}

@@ -1,0 +1,15 @@
+// Package outside carries no deterministic-core marker, so the analyzer
+// must stay silent here even on constructs it would flag in the core.
+package outside
+
+import "time"
+
+func mapRange(m map[int]int) int {
+	s := 0
+	for k := range m {
+		s += k
+	}
+	return s
+}
+
+func clock() time.Time { return time.Now() }

@@ -1,0 +1,12 @@
+// Package a exercises the suppression-grammar validation that rides
+// along under the analyzer name "reprolint": unknown directives and
+// suppressions missing their DESIGN.md citation are themselves flagged.
+package a
+
+func f() {
+	//repro:bogus nobody knows this directive // want `unknown //repro: directive "bogus"`
+	_ = 1
+
+	//repro:nondeterministic-ok no citation here // want `must cite the DESIGN.md section`
+	_ = 2
+}

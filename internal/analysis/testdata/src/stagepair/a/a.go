@@ -1,0 +1,65 @@
+// Package a is the stagepair fixture.
+//
+//repro:deterministic-core
+package a
+
+import "time"
+
+type obs struct{ inner *obs }
+
+func (o *obs) StageEnter(name string) {
+	if o.inner != nil {
+		// Forwarder exemption: a method named StageEnter forwarding the
+		// event is not opening a bracket.
+		o.inner.StageEnter(name)
+	}
+}
+
+func (o *obs) StageLeave(name string, d time.Duration) {
+	if o.inner != nil {
+		o.inner.StageLeave(name, d)
+	}
+}
+
+func work() {}
+
+func badNoLeave(o *obs) {
+	o.StageEnter("polish") // want `no matching StageLeave`
+	work()
+}
+
+func badInterveningCall(o *obs) {
+	o.StageEnter("pack") // want `can be skipped on a panic inside the intervening work call`
+	work()
+	o.StageLeave("pack", 0)
+}
+
+func badEarlyReturn(o *obs, err error) error {
+	o.StageEnter("balance") // want `can be skipped on an early-return path`
+	if err != nil {
+		return err
+	}
+	o.StageLeave("balance", 0)
+	return nil
+}
+
+func goodDeferred(o *obs) {
+	mark := time.Now()
+	o.StageEnter("pack")
+	defer func() { o.StageLeave("pack", time.Since(mark)) }()
+	work()
+}
+
+func goodStraightLine(o *obs) {
+	mark := time.Now()
+	o.StageEnter("polish")
+	took := time.Since(mark)
+	o.StageLeave("polish", took)
+}
+
+func audited(o *obs) {
+	//repro:stagepair-ok bracket verified by hand; body cannot panic — DESIGN.md §8
+	o.StageEnter("shrink")
+	work()
+	o.StageLeave("shrink", 0)
+}

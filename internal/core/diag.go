@@ -16,7 +16,10 @@ type Diagnostics struct {
 	// SplitterCalls counts invocations of the splitting-set oracle. The
 	// count is exact and independent of Parallelism: concurrent stages
 	// perform the same oracle calls as the sequential run, only interleaved.
-	SplitterCalls int64
+	// During a run it is incremented through a stored pointer with
+	// sync/atomic (countingSplitter), so the atomicfield analyzer must
+	// treat every mutation as atomic-only.
+	SplitterCalls int64 //repro:atomic incremented via stored *int64 in countingSplitter
 
 	// Parallelism is the resolved worker-pool bound the run used
 	// (Options.Parallelism after defaulting; 1 means fully sequential).
@@ -72,6 +75,11 @@ func (d *Diagnostics) record(name StageName, took time.Duration) {
 // driver's accounting for the per-level Decompose/Refine runs. Parallelism,
 // Levels and Total stay the outer run's own.
 func (d *Diagnostics) absorb(inner Diagnostics) {
+	// Happens-before audit: absorb runs on the multilevel driver goroutine
+	// strictly after the inner Decompose/Refine returns, i.e. after its
+	// worker pool has joined — no countingSplitter increment can be
+	// concurrent with this read-modify-write.
+	//repro:atomic-ok absorb runs after the inner run's workers join; no concurrent increments — DESIGN.md §5
 	d.SplitterCalls += inner.SplitterCalls
 	d.MultiBalance += inner.MultiBalance
 	d.AlmostStrict += inner.AlmostStrict

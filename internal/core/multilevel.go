@@ -19,7 +19,6 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/coarsen"
 	"repro/internal/graph"
@@ -101,23 +100,18 @@ func (multilevelStage) Run(c *ctx, _ []int32) ([]int32, error) {
 	// driver's StageMultilevel bracket; the per-level solves below run as
 	// inner pipelines with their own stage events and diagnostics,
 	// absorbed into this run's.
-	mark := time.Now()
-	c.stageEnter(StageCoarsen)
 	var hier *coarsen.Hierarchy
 	var err error
-	if c.opt.Hierarchy != nil && c.opt.Hierarchy.Fine == c.g {
-		// A session-supplied hierarchy for exactly this graph (pointer
-		// identity: coarse weights are baked in, so a stale fine graph
-		// would silently solve the wrong instance) skips construction.
-		hier = c.opt.Hierarchy
-	} else {
-		hier, err = coarsen.Build(c.run, c.g, ml.CoarsenOptions(c.g, c.opt.K))
-	}
-	took := time.Since(mark)
-	if c.diag != nil {
-		c.diag.record(StageCoarsen, took)
-	}
-	c.stageLeave(StageCoarsen, took)
+	c.stageWindow(StageCoarsen, func() {
+		if c.opt.Hierarchy != nil && c.opt.Hierarchy.Fine == c.g {
+			// A session-supplied hierarchy for exactly this graph (pointer
+			// identity: coarse weights are baked in, so a stale fine graph
+			// would silently solve the wrong instance) skips construction.
+			hier = c.opt.Hierarchy
+		} else {
+			hier, err = coarsen.Build(c.run, c.g, ml.CoarsenOptions(c.g, c.opt.K))
+		}
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -146,6 +140,10 @@ func (multilevelStage) Run(c *ctx, _ []int32) ([]int32, error) {
 	}
 	chi := res.Coloring
 
+	// Cancellation unwinds through Refine itself: it threads c.run and
+	// surfaces ctx.Err() as its error, which the check below turns into an
+	// immediate return, so each level is one checkpoint-granularity unit.
+	//repro:checkpoint-ok Refine polls c.run internally and its error return exits the loop — DESIGN.md §8
 	for i := len(hier.Levels) - 1; i >= 0; i-- {
 		chi = hier.Levels[i].Project(chi)
 		fg := hier.Fine

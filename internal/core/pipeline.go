@@ -122,7 +122,7 @@ func (p *Pipeline) Run(run context.Context, g *graph.Graph, opt Options, prior [
 	// The counter is shared by every pool worker that consults the oracle,
 	// hence atomic (countingSplitter documents the contract).
 	c.sp = countingSplitter{inner: c.sp, calls: &diag.SplitterCalls, obs: c.obs}
-	start := time.Now()
+	start := time.Now() //repro:nondeterministic-ok run timing feeds Diagnostics.Total only, never the coloring — DESIGN.md §13
 
 	var chi []int32
 	if prior != nil {
@@ -133,7 +133,7 @@ func (p *Pipeline) Run(run context.Context, g *graph.Graph, opt Options, prior [
 	if chi, err = c.runStages(p.stages, chi); err != nil {
 		return Result{}, err
 	}
-	diag.Total = time.Since(start)
+	diag.Total = time.Since(start) //repro:nondeterministic-ok run timing feeds Diagnostics.Total only, never the coloring — DESIGN.md §13
 
 	res := Result{Coloring: chi, Diag: diag}
 	res.Stats = graph.Stats(g, chi, k)
@@ -181,14 +181,32 @@ func (c *ctx) runStages(stages []Stage, chi []int32) ([]int32, error) {
 // runStage brackets one stage body with the Observer events and the
 // Diagnostics duration accounting.
 func (c *ctx) runStage(st Stage, chi []int32) ([]int32, error) {
-	name := st.Name()
-	mark := time.Now()
-	c.stageEnter(name)
-	out, err := st.Run(c, chi)
-	took := time.Since(mark)
-	c.diag.record(name, took)
-	c.stageLeave(name, took)
+	var out []int32
+	var err error
+	c.stageWindow(st.Name(), func() { out, err = st.Run(c, chi) })
 	return out, err
+}
+
+// stageWindow runs body inside a StageEnter/StageLeave bracket, recording
+// the wall time into the run's Diagnostics. The leave fires from a defer,
+// so the pair balances on every path — normal completion, error return,
+// cancellation, and panic. Serving layers key in-flight metrics windows
+// on the pair, which is why the stagepair analyzer (DESIGN.md §13)
+// insists on exactly this shape.
+func (c *ctx) stageWindow(name StageName, body func()) {
+	// The wall-clock reads below feed Diagnostics durations and Observer
+	// timings only; they never influence the coloring (DESIGN.md §13
+	// audits the carve-out).
+	mark := time.Now() //repro:nondeterministic-ok stage timing feeds Diagnostics only, never the coloring — DESIGN.md §13
+	c.stageEnter(name)
+	defer func() {
+		took := time.Since(mark) //repro:nondeterministic-ok stage timing feeds Diagnostics only, never the coloring — DESIGN.md §13
+		if c.diag != nil {
+			c.diag.record(name, took)
+		}
+		c.stageLeave(name, took)
+	}()
+	body()
 }
 
 // ---- the classic stages ----

@@ -39,6 +39,14 @@ func GraphHash(g *graph.Graph) string {
 // soundness rule of DESIGN.md §9); direct-path keys keep the historical
 // format, so pre-multilevel clients hash to the same entries as before.
 func OptionsKey(opt repro.Options) string {
+	// The exemptions below are machine-checked by the cachekey analyzer
+	// (DESIGN.md §13): every non-exempt Options field must feed the key.
+	//repro:cachekey-exempt Parallelism — placement-only, never changes the coloring (DESIGN.md §9)
+	//repro:cachekey-exempt Splitter — no wire representation; handlers require it zero (DESIGN.md §9)
+	//repro:cachekey-exempt SplitterFactory — no wire representation; handlers require it zero (DESIGN.md §9)
+	//repro:cachekey-exempt Measures — observability sink only, no result influence (DESIGN.md §9)
+	//repro:cachekey-exempt Observer — observability sink only, no result influence (DESIGN.md §9)
+	//repro:cachekey-exempt Hierarchy — session-scoped pointer resolved per instance, not part of wire options (DESIGN.md §9)
 	p := opt.P
 	if p == 0 {
 		p = 2

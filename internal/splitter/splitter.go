@@ -93,6 +93,10 @@ func BFSOrder(g *graph.Graph, W []int32) []int32 {
 	defer sub.Release()
 	visited := make(map[int32]bool, len(W))
 	out := make([]int32, 0, len(W))
+	// BFSOrder runs inside a single oracle invocation, which is the
+	// documented checkpoint-granularity unit: Split polls ctx on entry and
+	// the caller (core.split) checkpoints around every oracle call.
+	//repro:checkpoint-ok one oracle invocation is the checkpoint granularity unit — DESIGN.md §8
 	for _, start := range sorted {
 		if visited[start] {
 			continue
