@@ -157,7 +157,26 @@ func (e *Engine) splitterFor(g *graph.Graph) splitter.Splitter {
 	if e.factory != nil {
 		return e.factory(g)
 	}
-	return splitter.NewRefined(g, splitter.NewBFS(g))
+	rf := splitter.NewRefined(g, splitter.NewBFS(g))
+	// Fan the FM gain scan across the engine's worker-pool bound: Par is
+	// placement-only (bit-identical colorings at every setting), so this
+	// never splits result identity.
+	rf.Par = resolveParallelism(e.par)
+	return rf
+}
+
+// resolveParallelism applies the Options.Parallelism defaulting rules
+// (0 → GOMAXPROCS, <0 → 1) outside a pipeline run — the session and
+// engine paths that size scratch or worker bounds before core resolves
+// the same value internally.
+func resolveParallelism(n int) int {
+	if n == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if n < 1 {
+		return 1
+	}
+	return n
 }
 
 // resolve fills a run's options from the engine's policy: parallelism

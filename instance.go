@@ -184,8 +184,10 @@ func (in *Instance) Partition(ctx context.Context) (Result, error) {
 		// construction would, so the result is bit-identical either way;
 		// the session just keeps the hierarchy for later deltas.
 		if hier == nil || !hierBuilt || hier.Fine != g {
+			copt := opt.Multilevel.CoarsenOptions(g, opt.K)
+			copt.Parallelism = resolveParallelism(opt.Parallelism)
 			var err error
-			hier, err = coarsen.Build(ctx, g, opt.Multilevel.CoarsenOptions(g, opt.K))
+			hier, err = coarsen.Build(ctx, g, copt)
 			if err != nil {
 				return Result{}, err
 			}

@@ -82,6 +82,10 @@ var deterministicCorePaths = map[string]bool{
 	"repro/internal/coarsen":  true,
 	"repro/internal/graph":    true,
 	"repro/internal/splitter": true,
+	// measure joined the core set when SplittingCostPar gained a parallel
+	// sweep: π feeds the coloring, so its bit-identity is load-bearing
+	// (DESIGN.md §14).
+	"repro/internal/measure": true,
 }
 
 // InDeterministicCore reports whether this pass's package is inside the

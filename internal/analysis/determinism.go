@@ -20,7 +20,14 @@ import (
 //     seedable per-run; explicitly seeded rand.New(rand.NewSource(seed))
 //     generators are fine and are how the workload generators work);
 //   - select statements with two or more communication cases (the
-//     runtime chooses among ready cases pseudo-randomly).
+//     runtime chooses among ready cases pseudo-randomly);
+//   - go statements (ad-hoc fan-out: scheduling order is nondeterministic,
+//     so concurrent writes must merge through one of the audited
+//     order-insensitive forms — per-chunk buffers concatenated in chunk
+//     order, chunk-merged argmax under the strictly-greater rule, or
+//     disjoint index ranges. The audited primitives — parRange workers,
+//     proposeMatches, ContractPar, SplittingCostPar, the FM chunk scan,
+//     the π prefetch — carry suppressions citing DESIGN.md §14).
 var Determinism = &Analyzer{
 	Name:      "determinism",
 	Doc:       "flags nondeterministic constructs (map ranges, wall-clock reads, global math/rand, multi-case selects) in the deterministic core",
@@ -74,6 +81,8 @@ func runDeterminism(pass *Pass) error {
 							fn.Pkg().Path(), fn.Name())
 					}
 				}
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement launches an ad-hoc goroutine in the deterministic core; fan out through an audited parallel primitive or suppress with the DESIGN.md §14 merge-rule audit")
 			case *ast.SelectStmt:
 				comm := 0
 				for _, clause := range n.Body.List {

@@ -69,3 +69,21 @@ func audited(ctx context.Context, items []int) {
 		longWork(ctx)
 	}
 }
+
+// ContractPar is a documented parallel long-work name (DESIGN.md §14).
+func ContractPar() {}
+
+func badParallelPrimitive(ctx context.Context, items []int) {
+	for range items { // want `without a cancellation checkpoint`
+		ContractPar()
+	}
+}
+
+func goodParallelPrimitive(ctx context.Context, items []int) {
+	for range items {
+		if ctx.Err() != nil {
+			return
+		}
+		ContractPar()
+	}
+}

@@ -62,3 +62,12 @@ func audited() time.Time {
 	//repro:nondeterministic-ok timing feeds diagnostics only, never the coloring — DESIGN.md §13
 	return time.Now()
 }
+
+func adHocGoroutine(ch chan int) {
+	go func() { ch <- 1 }() // want `go statement launches an ad-hoc goroutine`
+}
+
+func auditedGoroutine(ch chan int) {
+	//repro:nondeterministic-ok single buffered send drained before return, value bit-identical wherever computed — DESIGN.md §14
+	go func() { ch <- 1 }()
+}

@@ -123,3 +123,70 @@ func TestBuildTinyGraphIsEmptyHierarchy(t *testing.T) {
 		t.Fatalf("16-vertex graph below the default floor built %d levels", len(h.Levels))
 	}
 }
+
+// TestBuildParallelMatchesSequential pins the coarsening determinism
+// contract end-to-end: Parallelism N builds a hierarchy byte-identical to
+// Parallelism 1 — same depth, same per-level content hashes, same
+// assignment maps — on an instance large enough to exercise the parallel
+// matching-proposal and contraction sweeps.
+func TestBuildParallelMatchesSequential(t *testing.T) {
+	g := workload.ClimateMesh(140, 140, 4, 7) // 19600 ≥ matchParCutoff vertices
+	opt := Options{MinVertices: 64, Parallelism: 1}
+	seq, err := Build(context.Background(), g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Levels) == 0 {
+		t.Fatal("instance did not coarsen")
+	}
+	for _, par := range []int{2, 4, 8} {
+		popt := opt
+		popt.Parallelism = par
+		h, err := Build(context.Background(), g, popt)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if len(h.Levels) != len(seq.Levels) {
+			t.Fatalf("par=%d: depth %d != %d", par, len(h.Levels), len(seq.Levels))
+		}
+		for i := range seq.Levels {
+			if a, b := graph.ContentHash(h.Levels[i].Coarse), graph.ContentHash(seq.Levels[i].Coarse); a != b {
+				t.Fatalf("par=%d: level %d coarse hash differs: %s vs %s", par, i, a, b)
+			}
+			for v := range seq.Levels[i].Map {
+				if h.Levels[i].Map[v] != seq.Levels[i].Map[v] {
+					t.Fatalf("par=%d: level %d map differs at %d", par, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestBuildAllocationChurn pins the pooled-scratch behavior (the
+// per-level allocation fix): at steady state a Build allocates only the
+// hierarchy it returns — level graphs, maps, contractions — not fresh
+// matching/quotient scratch per level. The bounds carry ~15–20% headroom
+// over the measured steady state on this instance (306 allocs / ~870 KB);
+// reverting the pools costs roughly +50 allocs and +350 KB here and trips
+// both.
+func TestBuildAllocationChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation benchmark is a full-test concern")
+	}
+	g := workload.ClimateMesh(64, 64, 4, 3)
+	opt := Options{MinVertices: 64}
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Build(context.Background(), g, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	if got := r.AllocsPerOp(); got > 350 {
+		t.Fatalf("Build allocates %d objects/op, want ≤ 350 (per-level scratch churn?)", got)
+	}
+	if got := r.AllocedBytesPerOp(); got > 1<<20 {
+		t.Fatalf("Build allocates %d bytes/op, want ≤ %d (per-level scratch churn?)", got, 1<<20)
+	}
+}

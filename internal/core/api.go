@@ -228,6 +228,15 @@ func RefineLocal(ctx context.Context, g *graph.Graph, opt Options, prior []int32
 // run context is tolerated (treated as context.Background()) so internal
 // callers and tests need no ceremony.
 func newCtx(run context.Context, g *graph.Graph, opt Options) (*ctx, error) {
+	return newCtxPi(run, g, opt, nil)
+}
+
+// newCtxPi is newCtx with a precomputed splitting-cost measure π for g
+// (nil computes it here). The multilevel driver overlaps the next level's
+// π sweep with the current level's refine and passes the result down; the
+// values are bit-identical to an in-context computation at any
+// parallelism, so the overlap never changes a coloring.
+func newCtxPi(run context.Context, g *graph.Graph, opt Options, pi []float64) (*ctx, error) {
 	p := opt.P
 	if p == 0 {
 		p = 2
@@ -235,16 +244,19 @@ func newCtx(run context.Context, g *graph.Graph, opt Options) (*ctx, error) {
 	if p <= 1 || math.IsNaN(p) {
 		return nil, fmt.Errorf("core: P must be > 1, got %v", opt.P)
 	}
-	sp := opt.Splitter
-	if sp == nil {
-		sp = splitter.NewRefined(g, splitter.NewBFS(g))
-	}
 	par := opt.Parallelism
 	if par == 0 {
 		par = runtime.GOMAXPROCS(0)
 	}
 	if par < 1 {
 		par = 1
+	}
+	sp := opt.Splitter
+	spDefault := sp == nil
+	if spDefault {
+		rf := splitter.NewRefined(g, splitter.NewBFS(g))
+		rf.Par = par
+		sp = rf
 	}
 	if run == nil {
 		run = context.Background()
@@ -255,15 +267,24 @@ func newCtx(run context.Context, g *graph.Graph, opt Options) (*ctx, error) {
 	opt.P = p
 	opt.Splitter = sp
 	opt.Parallelism = par
+	if pi == nil {
+		// The π sweep is the pow-heavy prelude of every run; fan it across
+		// the pool (bit-identical at any parallelism — each π(v) is an
+		// independent per-vertex sum). The multilevel driver prefetches the
+		// next level's π while the current level refines and hands it in
+		// here via Pipeline.withPi.
+		pi = measure.SplittingCostPar(g, p, 1, par)
+	}
 	c := &ctx{
-		g:   g,
-		sp:  sp,
-		p:   p,
-		pi:  measure.SplittingCost(g, p, 1),
-		opt: opt,
-		par: par,
-		run: run,
-		obs: opt.Observer,
+		g:         g,
+		sp:        sp,
+		spDefault: spDefault,
+		p:         p,
+		pi:        pi,
+		opt:       opt,
+		par:       par,
+		run:       run,
+		obs:       opt.Observer,
 	}
 	// Done() is nil for Background-style contexts, which keeps the
 	// interrupted() checkpoint free on un-cancellable runs.

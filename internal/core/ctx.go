@@ -35,6 +35,13 @@ type ctx struct {
 	pi  []float64 // splitting-cost measure π of Definition 10 (σ_p = 1)
 	opt Options   // the run's options, with Splitter/Parallelism resolved
 
+	// spDefault records that sp was minted by newCtx rather than supplied
+	// by the caller. The multilevel driver uses it to decide whether the
+	// finest level's oracle may be warm-seeded from the projected coarse
+	// cut (a caller-supplied oracle — e.g. the exact grid splitter — is
+	// always respected as-is).
+	spDefault bool
+
 	par int           // resolved Options.Parallelism (≥ 1)
 	sem chan struct{} // spare-worker tokens; nil when par == 1
 
@@ -157,6 +164,7 @@ func (c *ctx) parRange(n int, f func(i int)) {
 		select {
 		case c.sem <- struct{}{}:
 			wg.Add(1)
+			//repro:nondeterministic-ok parRange workers claim disjoint chunks off an atomic counter and write disjoint index ranges; the caller joins before reading — DESIGN.md §14
 			go func() {
 				defer wg.Done()
 				defer c.release()
@@ -227,9 +235,22 @@ func subtract(X []int32, U []int32) []int32 {
 }
 
 // classLists returns the vertex list of each color class of a (possibly
-// partial) coloring.
+// partial) coloring. Two passes: exact per-class counts first, so the
+// multi-megavertex colorings of the multilevel path never pay append
+// growth (the lists are the largest transient allocations of the balance
+// stages). Each list gets its own exact-capacity backing, so callers may
+// append to one without disturbing the others.
 func classLists(coloring []int32, k int) [][]int32 {
+	counts := make([]int32, k)
+	for _, c := range coloring {
+		if c >= 0 {
+			counts[c]++
+		}
+	}
 	out := make([][]int32, k)
+	for c, n := range counts {
+		out[c] = make([]int32, 0, n)
+	}
 	for v, c := range coloring {
 		if c >= 0 {
 			out[c] = append(out[c], int32(v))

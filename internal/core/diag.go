@@ -30,6 +30,13 @@ type Diagnostics struct {
 	// the coarsening floor).
 	Levels int
 
+	// LevelProfile profiles the multilevel path's per-level solves, from
+	// the coarsest solve down to the finest refine (empty on the direct
+	// path). The profile is observational only — wall times feed no
+	// decision — and is surfaced through the serving layer's DiagWire and
+	// the /metrics per-level histograms.
+	LevelProfile []LevelDiag
+
 	// Durations of the pipeline stages. On the multilevel path the classic
 	// four aggregate across every hierarchy level's inner pipeline, and
 	// Coarsen is the hierarchy construction itself.
@@ -39,6 +46,24 @@ type Diagnostics struct {
 	Polish       time.Duration
 	Coarsen      time.Duration // multilevel hierarchy construction
 	Total        time.Duration
+}
+
+// LevelDiag profiles one hierarchy level's inner run on the multilevel
+// path. Level counts down the hierarchy: len(Levels) is the coarsest
+// solve, level i is the refine on contraction i's fine graph, 0 the
+// finest. Like the stage durations, wall time is diagnostics-only.
+type LevelDiag struct {
+	// Level is the hierarchy position (see above).
+	Level int
+	// Vertices and Edges size the graph solved or refined at this level.
+	Vertices, Edges int
+	// SplitterCalls counts the inner run's oracle invocations.
+	SplitterCalls int64
+	// WarmHits counts the oracle calls served from the warm-start frontier
+	// order (0 when the level ran a cold or caller-supplied oracle).
+	WarmHits int64
+	// Duration is the inner run's wall time.
+	Duration time.Duration
 }
 
 // String renders a one-line summary.

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/coarsen"
 	"repro/internal/graph"
+	"repro/internal/measure"
 	"repro/internal/splitter"
 )
 
@@ -37,6 +38,14 @@ type Multilevel struct {
 	MinVertices int
 	// MaxLevels caps the hierarchy depth. 0 defaults to 24.
 	MaxLevels int
+	// ColdOracles disables the cross-level warm-start oracle: per-level
+	// refines then cold-start their default BFS prefix order from the
+	// smallest vertex id, as the path did before the splitter.Warm wrapper
+	// existed (the pre-warm coloring is recoverable by setting this). The
+	// default (false) seeds each level's default oracle from the projected
+	// coarse cut (DESIGN.md §14). Irrelevant when the caller supplies
+	// Splitter/SplitterFactory — supplied oracles are always used as-is.
+	ColdOracles bool
 }
 
 // resolve applies the documented defaults for a K-part run.
@@ -71,9 +80,25 @@ func (m Multilevel) CoarsenOptions(g *graph.Graph, k int) coarsen.Options {
 
 // defaultSplitterFactory mints the oracle for hierarchy levels when the
 // caller provides no Options.SplitterFactory: the FM-refined BFS prefix
-// splitter, the same default a direct run gets.
-func defaultSplitterFactory(g *graph.Graph) splitter.Splitter {
-	return splitter.NewRefined(g, splitter.NewBFS(g))
+// splitter, the same default a direct run gets, with the gain scan fanned
+// across the run's worker-pool bound.
+func defaultSplitterFactory(par int) func(g *graph.Graph) splitter.Splitter {
+	return func(g *graph.Graph) splitter.Splitter {
+		rf := splitter.NewRefined(g, splitter.NewBFS(g))
+		rf.Par = par
+		return rf
+	}
+}
+
+// warmRefined mints the warm-started per-level oracle: the FM-refined
+// prefix splitter whose order is seeded from the projected coarse cut
+// (prior), falling back to the cold BFS order when a call's W has no
+// prior frontier. Returns the Warm wrapper too, for WarmHits accounting.
+func warmRefined(g *graph.Graph, prior []int32, par int) (splitter.Splitter, *splitter.Warm) {
+	warm := splitter.NewWarm(g, splitter.NewBFS(g), prior)
+	rf := splitter.NewRefined(g, warm)
+	rf.Par = par
+	return rf, warm
 }
 
 // multilevelStage is the driver; see the file comment.
@@ -92,8 +117,12 @@ func (multilevelStage) Run(c *ctx, _ []int32) ([]int32, error) {
 	}
 	ml := c.opt.Multilevel.resolve(c.opt.K)
 	factory := c.opt.SplitterFactory
+	// Warm-start seeding applies only to oracles this driver mints itself:
+	// a caller-supplied factory (or, at the finest level, a caller-supplied
+	// run splitter — e.g. the exact grid oracle) is always used as-is.
+	warmable := factory == nil && !ml.ColdOracles
 	if factory == nil {
-		factory = defaultSplitterFactory
+		factory = defaultSplitterFactory(c.par)
 	}
 
 	// Hierarchy construction gets its own instrumented window inside the
@@ -109,7 +138,9 @@ func (multilevelStage) Run(c *ctx, _ []int32) ([]int32, error) {
 			// would silently solve the wrong instance) skips construction.
 			hier = c.opt.Hierarchy
 		} else {
-			hier, err = coarsen.Build(c.run, c.g, ml.CoarsenOptions(c.g, c.opt.K))
+			copt := ml.CoarsenOptions(c.g, c.opt.K)
+			copt.Parallelism = c.par
+			hier, err = coarsen.Build(c.run, c.g, copt)
 		}
 	})
 	if err != nil {
@@ -118,48 +149,109 @@ func (multilevelStage) Run(c *ctx, _ []int32) ([]int32, error) {
 	if c.diag != nil {
 		c.diag.Levels = len(hier.Levels)
 	}
+	fineAt := func(i int) *graph.Graph {
+		if i == 0 {
+			return hier.Fine
+		}
+		return hier.Levels[i-1].Coarse
+	}
+
+	// Overlap: while level i refines, the next finer level's splitting-cost
+	// prelude (the pow-heavy π sweep every inner run pays at context
+	// construction) computes concurrently. π depends only on the static
+	// level graph — never on the evolving coloring — and is bit-identical
+	// wherever it is computed, so the overlap changes wall time only. The
+	// deferred drain keeps the pipeline contract that no goroutine outlives
+	// the entry point's return, on every path including error unwinds.
+	var piCh chan []float64
+	prefetch := func(g *graph.Graph) chan []float64 {
+		ch := make(chan []float64, 1)
+		//repro:nondeterministic-ok single buffered send, drained before the level (or any error path) consumes it; π is bit-identical wherever computed — DESIGN.md §14
+		go func() { ch <- measure.SplittingCostPar(g, c.p, 1, 1) }()
+		return ch
+	}
+	defer func() {
+		if piCh != nil {
+			<-piCh
+		}
+	}()
 
 	// Per-level options: the inner runs inherit the caller's policy but
 	// never recurse into the multilevel path, and each graph of the
 	// hierarchy gets its own factory-built oracle. The finest level reuses
 	// the run's resolved splitter — the one bound to the input graph
-	// (possibly the caller's, e.g. an exact grid oracle).
+	// (possibly the caller's, e.g. an exact grid oracle) — unless that
+	// splitter was minted by default, in which case it warm-starts like
+	// every other level.
 	inner := c.opt
 	inner.Multilevel = nil
 
 	copt := inner
-	if cg := hier.Coarsest(); cg != c.g {
+	cg := hier.Coarsest()
+	if cg != c.g {
 		copt.Splitter = factory(cg)
 	}
-	res, err := Decompose(c.run, hier.Coarsest(), copt)
+	if c.par > 1 && len(hier.Levels) > 0 && fineAt(len(hier.Levels)-1) != c.g {
+		piCh = prefetch(fineAt(len(hier.Levels) - 1))
+	}
+	res, err := Decompose(c.run, cg, copt)
 	if err != nil {
 		return nil, err
 	}
 	if c.diag != nil {
 		c.diag.absorb(res.Diag)
+		c.diag.LevelProfile = append(c.diag.LevelProfile, LevelDiag{
+			Level: len(hier.Levels), Vertices: cg.N(), Edges: cg.M(),
+			SplitterCalls: res.Diag.SplitterCalls, Duration: res.Diag.Total,
+		})
 	}
 	chi := res.Coloring
 
-	// Cancellation unwinds through Refine itself: it threads c.run and
-	// surfaces ctx.Err() as its error, which the check below turns into an
-	// immediate return, so each level is one checkpoint-granularity unit.
-	//repro:checkpoint-ok Refine polls c.run internally and its error return exits the loop — DESIGN.md §8
+	// Cancellation unwinds through the inner pipeline itself: it threads
+	// c.run and surfaces ctx.Err() as its error, which the check below
+	// turns into an immediate return, so each level is one
+	// checkpoint-granularity unit.
+	//repro:checkpoint-ok the inner pipeline polls c.run internally and its error return exits the loop — DESIGN.md §8
 	for i := len(hier.Levels) - 1; i >= 0; i-- {
 		chi = hier.Levels[i].Project(chi)
-		fg := hier.Fine
-		if i > 0 {
-			fg = hier.Levels[i-1].Coarse
+		fg := fineAt(i)
+		var pi []float64
+		if piCh != nil {
+			pi = <-piCh
+			piCh = nil
+		}
+		if pi == nil && fg == c.g {
+			// The run context already paid the finest graph's π sweep at
+			// construction; reuse it instead of recomputing (or
+			// prefetching — the guards above and below never spawn a
+			// prefetch for c.g). Bit-identical by the SplittingCostPar
+			// contract, so the refine is unchanged.
+			pi = c.pi
+		}
+		if i > 0 && c.par > 1 && fineAt(i-1) != c.g {
+			piCh = prefetch(fineAt(i - 1))
 		}
 		lopt := inner
-		if fg != c.g {
+		var warm *splitter.Warm
+		if warmable && (fg != c.g || c.spDefault) {
+			lopt.Splitter, warm = warmRefined(fg, chi, c.par)
+		} else if fg != c.g {
 			lopt.Splitter = factory(fg)
 		}
-		res, err = Refine(c.run, fg, lopt, chi)
+		res, err = RefinePipeline(lopt).withPi(pi).Run(c.run, fg, lopt, chi)
 		if err != nil {
 			return nil, err
 		}
 		if c.diag != nil {
 			c.diag.absorb(res.Diag)
+			ld := LevelDiag{
+				Level: i, Vertices: fg.N(), Edges: fg.M(),
+				SplitterCalls: res.Diag.SplitterCalls, Duration: res.Diag.Total,
+			}
+			if warm != nil {
+				ld.WarmHits = warm.Hits()
+			}
+			c.diag.LevelProfile = append(c.diag.LevelProfile, ld)
 		}
 		chi = res.Coloring
 	}

@@ -62,6 +62,21 @@ type groupStage interface {
 // reuse it freely: a Pipeline is immutable and safe for concurrent Runs.
 type Pipeline struct {
 	stages []Stage
+
+	// pi, when non-nil, seeds the run's splitting-cost measure (newCtxPi)
+	// instead of computing it at context construction — the multilevel
+	// driver's overlap: the next level's π sweep runs while the current
+	// level refines. Values are bit-identical to an in-context
+	// computation, so the seeding never changes a coloring.
+	pi []float64
+}
+
+// withPi returns a shallow copy of the pipeline whose Run seeds newCtx
+// with the precomputed splitting-cost measure for the run's graph. The
+// receiver is unchanged (pipelines are immutable and shared).
+func (p *Pipeline) withPi(pi []float64) *Pipeline {
+	q := &Pipeline{stages: p.stages, pi: pi}
+	return q
 }
 
 // NewPipeline builds a pipeline from the given stages, run in order.
@@ -111,7 +126,7 @@ func (p *Pipeline) Run(run context.Context, g *graph.Graph, opt Options, prior [
 	if g.N() == 0 {
 		return Result{Coloring: []int32{}, Stats: graph.ColoringStats{K: opt.K}}, nil
 	}
-	c, err := newCtx(run, g, opt)
+	c, err := newCtxPi(run, g, opt, p.pi)
 	if err != nil {
 		return Result{}, err
 	}

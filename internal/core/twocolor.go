@@ -33,6 +33,7 @@ func (c *ctx) twoColor(W []int32, ms [][]float64) [2][]int32 {
 	var p1, p2 [2][]int32
 	if c.acquire(len(U2)) {
 		done := make(chan struct{})
+		//repro:nondeterministic-ok the halves write disjoint results (p1/p2) joined on done before the merge — DESIGN.md §14
 		go func() {
 			defer close(done)
 			defer c.release()

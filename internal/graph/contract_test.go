@@ -135,3 +135,51 @@ func TestContractRejectsBadAssignments(t *testing.T) {
 		t.Fatal("non-surjective assignment accepted")
 	}
 }
+
+// TestContractParMatchesSequential pins the parallel aggregation's
+// bit-identity claim: above the fan-out cutoff, ContractPar at several
+// worker bounds produces byte-identical coarse graphs (weights, sorted
+// edge lists, costs) and identical maps to the sequential Contract.
+func TestContractParMatchesSequential(t *testing.T) {
+	g := testMesh(t, 160, 160) // 50880 edges ≥ contractParCutoff
+	if g.M() < contractParCutoff {
+		t.Fatalf("test mesh too small to exercise the parallel path: m=%d", g.M())
+	}
+	assign, coarseN := pairAssign(g.N())
+	seq, err := Contract(g, assign, coarseN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 4, 8} {
+		con, err := ContractPar(g, assign, coarseN, par)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if a, b := ContentHash(con.Coarse), ContentHash(seq.Coarse); a != b {
+			t.Fatalf("par=%d: coarse content hash %s != sequential %s", par, a, b)
+		}
+		// Bitwise equality beyond the hash: identical edge order and cost
+		// bits (the FP-order part of the determinism contract).
+		if con.Coarse.M() != seq.Coarse.M() {
+			t.Fatalf("par=%d: edge count %d != %d", par, con.Coarse.M(), seq.Coarse.M())
+		}
+		for e := 0; e < seq.Coarse.M(); e++ {
+			au, av := con.Coarse.Endpoints(int32(e))
+			bu, bv := seq.Coarse.Endpoints(int32(e))
+			if au != bu || av != bv || math.Float64bits(con.Coarse.Cost[e]) != math.Float64bits(seq.Coarse.Cost[e]) {
+				t.Fatalf("par=%d: edge %d differs: (%d,%d,%x) vs (%d,%d,%x)",
+					par, e, au, av, math.Float64bits(con.Coarse.Cost[e]), bu, bv, math.Float64bits(seq.Coarse.Cost[e]))
+			}
+		}
+		for v := range seq.Coarse.Weight {
+			if math.Float64bits(con.Coarse.Weight[v]) != math.Float64bits(seq.Coarse.Weight[v]) {
+				t.Fatalf("par=%d: weight of coarse vertex %d differs bitwise", par, v)
+			}
+		}
+		for v := range seq.Map {
+			if con.Map[v] != seq.Map[v] {
+				t.Fatalf("par=%d: map differs at %d", par, v)
+			}
+		}
+	}
+}

@@ -7,6 +7,8 @@ package measure
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 )
@@ -83,15 +85,71 @@ func DegreeWithin(s *graph.Sub) Measure {
 // invariant). For any W ⊆ V it holds σ_p·‖c|W‖_p ≤ π(W)^{1/p}, so π(W)^{1/p}
 // bounds the cost of splitting G[W].
 func SplittingCost(g *graph.Graph, p, sigma float64) Measure {
-	m := make(Measure, g.N())
+	return SplittingCostPar(g, p, sigma, 1)
+}
+
+// splittingChunk is the vertex granularity of the parallel π sweep.
+const splittingChunk = 8192
+
+// splittingParCutoff is the minimum vertex count for which fanning the π
+// sweep across workers pays for the goroutine plumbing.
+const splittingParCutoff = 1 << 15
+
+// SplittingCostPar is SplittingCost with the per-vertex sweep fanned
+// across up to par worker goroutines. π(v) is an independent sum over v's
+// own incidence list, so every entry is computed in the identical
+// floating-point order at any par — the measure is bit-identical to the
+// sequential sweep's. par ≤ 1 runs fully sequentially with no goroutines.
+// The sweep is pow-heavy (one math.Pow per incidence), which is what makes
+// it the dominant prelude of every pipeline run on large graphs.
+func SplittingCostPar(g *graph.Graph, p, sigma float64, par int) Measure {
+	n := g.N()
+	m := make(Measure, n)
 	sp := math.Pow(sigma, p)
-	for v := int32(0); v < int32(g.N()); v++ {
-		s := 0.0
-		for _, e := range g.IncidentEdges(v) {
-			s += math.Pow(g.Cost[e], p)
+	sweep := func(lo, hi int32) {
+		for v := lo; v < hi; v++ {
+			s := 0.0
+			for _, e := range g.IncidentEdges(v) {
+				s += math.Pow(g.Cost[e], p)
+			}
+			m[v] = sp * s / 2
 		}
-		m[v] = sp * s / 2
 	}
+	if par <= 1 || n < splittingParCutoff {
+		sweep(0, int32(n))
+		return m
+	}
+	nChunks := (n + splittingChunk - 1) / splittingChunk
+	var next int64
+	work := func() {
+		for {
+			i := int(atomic.AddInt64(&next, 1)) - 1
+			if i >= nChunks {
+				return
+			}
+			lo := i * splittingChunk
+			hi := lo + splittingChunk
+			if hi > n {
+				hi = n
+			}
+			sweep(int32(lo), int32(hi))
+		}
+	}
+	workers := par
+	if workers > nChunks {
+		workers = nChunks
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < workers; i++ {
+		wg.Add(1)
+		//repro:nondeterministic-ok sweep workers write disjoint m[lo:hi] ranges, each entry an independent per-vertex sum — DESIGN.md §14
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
 	return m
 }
 

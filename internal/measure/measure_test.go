@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/graph"
+	"repro/internal/workload"
 )
 
 func testGraph() *graph.Graph {
@@ -97,5 +98,19 @@ func TestClassTotals(t *testing.T) {
 	ct := m.ClassTotals([]int32{0, 1, 0, graph.Uncolored}, 2)
 	if ct[0] != 4 || ct[1] != 2 {
 		t.Fatalf("class totals %v", ct)
+	}
+}
+
+func TestSplittingCostParMatchesSequential(t *testing.T) {
+	g := workload.RandomGeometric(40000, 0.012, 10, 11) // ≥ splittingParCutoff vertices
+	seq := SplittingCost(g, 2.4, 1.3)
+	for _, par := range []int{2, 4, 8} {
+		got := SplittingCostPar(g, 2.4, 1.3, par)
+		for v := range seq {
+			if math.Float64bits(got[v]) != math.Float64bits(seq[v]) {
+				t.Fatalf("par=%d: π(%d) differs bitwise: %x vs %x",
+					par, v, math.Float64bits(got[v]), math.Float64bits(seq[v]))
+			}
+		}
 	}
 }

@@ -3,6 +3,7 @@ package service
 import (
 	"net/http"
 	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 const (
 	metricStageDuration   = "repro_stage_duration_seconds"
 	metricRequestDuration = "repro_request_duration_seconds"
+	metricLevelDuration   = "repro_multilevel_level_duration_seconds"
 )
 
 // serverMetrics is the Server's metrics surface: a registry plus the
@@ -29,6 +31,7 @@ type serverMetrics struct {
 	oracleCalls   *metrics.Counter
 	polishRounds  *metrics.Counter
 	polishImprove *metrics.Counter
+	warmHits      *metrics.Counter
 }
 
 func newServerMetrics() *serverMetrics {
@@ -41,6 +44,8 @@ func newServerMetrics() *serverMetrics {
 			"Polish sweeps across all pipeline runs."),
 		polishImprove: reg.Counter("repro_polish_improved_total",
 			"Polish sweeps that improved the coloring."),
+		warmHits: reg.Counter("repro_warm_oracle_hits_total",
+			"Per-level oracle calls served from the warm frontier order (DESIGN.md §14)."),
 	}
 }
 
@@ -82,6 +87,27 @@ func (m *serverMetrics) observeDiag(res repro.Result) {
 	} {
 		if sd.took > 0 {
 			m.stageHistogram(sd.stage).Observe(sd.took.Seconds())
+		}
+	}
+}
+
+// observeLevels records a completed multilevel run's per-level durations
+// and warm-oracle hits. Unlike the per-stage histograms, the per-level
+// profile exists only in Diagnostics (the Observer protocol carries no
+// level attribution), so this feed is called at the pipeline-run commit
+// points — the same places pipelineRuns increments — which see every
+// completed run exactly once on both the lone-job and grouped-batch
+// paths. Direct-path runs carry an empty profile and record nothing.
+// Level-label cardinality is bounded by Multilevel.MaxLevels (≤ 64).
+func (m *serverMetrics) observeLevels(res repro.Result) {
+	for _, ld := range res.Diag.LevelProfile {
+		m.reg.Histogram(metricLevelDuration,
+			"Multilevel per-level solve/refine wall time, by hierarchy level (0 = finest).",
+			metrics.DefaultLatencyBuckets(),
+			metrics.Label{Key: "level", Value: strconv.Itoa(ld.Level)}).
+			Observe(ld.Duration.Seconds())
+		if ld.WarmHits > 0 {
+			m.warmHits.Add(ld.WarmHits)
 		}
 	}
 }

@@ -237,6 +237,8 @@ func TestMetricsExpositionGolden(t *testing.T) {
 		"# TYPE repro_jobs_dropped_total counter",
 		"# HELP repro_jobs_executed_total Jobs executed by the admission scheduler.",
 		"# TYPE repro_jobs_executed_total counter",
+		"# HELP repro_multilevel_level_duration_seconds Multilevel per-level solve/refine wall time, by hierarchy level (0 = finest).",
+		"# TYPE repro_multilevel_level_duration_seconds histogram",
 		"# HELP repro_oracle_calls_total Splitting-oracle invocations across all pipeline runs.",
 		"# TYPE repro_oracle_calls_total counter",
 		"# HELP repro_persist_errors_total Op-log appends that failed.",
@@ -261,6 +263,8 @@ func TestMetricsExpositionGolden(t *testing.T) {
 		"# TYPE repro_sessions gauge",
 		"# HELP repro_stage_duration_seconds Pipeline stage wall time by stage name, in seconds.",
 		"# TYPE repro_stage_duration_seconds histogram",
+		"# HELP repro_warm_oracle_hits_total Per-level oracle calls served from the warm frontier order (DESIGN.md §14).",
+		"# TYPE repro_warm_oracle_hits_total counter",
 	}
 	if !reflect.DeepEqual(headers, want) {
 		t.Fatalf("HELP/TYPE surface drifted:\n--- got ---\n%s\n--- want ---\n%s",

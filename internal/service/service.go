@@ -464,7 +464,11 @@ func (s *Server) requestOptions(k int, p float64, ml *MultilevelWire) (repro.Opt
 		if ml.MaxLevels < 0 || ml.MaxLevels > 64 {
 			return repro.Options{}, badRequest("multilevel.max_levels must be in [0, 64], got %d", ml.MaxLevels)
 		}
-		opt.Multilevel = &repro.Multilevel{MinVertices: ml.MinVertices, MaxLevels: ml.MaxLevels}
+		opt.Multilevel = &repro.Multilevel{
+			MinVertices: ml.MinVertices,
+			MaxLevels:   ml.MaxLevels,
+			ColdOracles: ml.ColdOracles,
+		}
 	}
 	return opt, nil
 }
@@ -493,6 +497,7 @@ func (s *Server) partition(ctx context.Context, g *graph.Graph, id string, opt r
 			return repro.Result{}, j.err
 		}
 		atomic.AddInt64(&s.pipelineRuns, 1)
+		s.metrics.observeLevels(j.res)
 		s.cache.put(key, j.res)
 		s.persistResult(id, opt, j.res)
 		return j.res, nil
@@ -716,6 +721,7 @@ func (s *Server) handleRepartition(w http.ResponseWriter, r *http.Request) {
 				return repro.Result{}, err
 			}
 			atomic.AddInt64(&s.pipelineRuns, 1)
+			s.metrics.observeLevels(out)
 			s.cache.put(key, out)
 			var runMig repro.Migration
 			if runPrior != nil && len(runPrior) == next.N() {
@@ -868,6 +874,7 @@ func (s *Server) handleTopologyRepartition(w http.ResponseWriter, ctx context.Co
 				return repro.Result{}, err
 			}
 			atomic.AddInt64(&s.pipelineRuns, 1)
+			s.metrics.observeLevels(out)
 			s.cache.put(key, out)
 			// The mutated session continues the chain under the derived id.
 			s.sessions.put(requestKey(nextID, opt), inst)

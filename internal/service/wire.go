@@ -54,6 +54,12 @@ type PartitionRequest struct {
 type MultilevelWire struct {
 	MinVertices int `json:"min_vertices,omitempty"`
 	MaxLevels   int `json:"max_levels,omitempty"`
+	// ColdOracles disables the cross-level warm-start oracle (DESIGN.md
+	// §14), restoring the pre-warm per-level coloring. Part of result
+	// identity, so it participates in OptionsKey. Schema note: additive
+	// field — absent means false, the historical behavior of clients that
+	// predate it is unchanged.
+	ColdOracles bool `json:"cold_oracles,omitempty"`
 }
 
 // PartitionResponse answers POST /v1/partition.
@@ -219,6 +225,22 @@ type DiagWire struct {
 	PolishNS       int64 `json:"polish_ns"`
 	CoarsenNS      int64 `json:"coarsen_ns,omitempty"`
 	TotalNS        int64 `json:"total_ns"`
+	// LevelProfile is the multilevel path's per-level breakdown, in solve
+	// order (coarsest first, finest last). Omitted on direct-path runs.
+	// Schema note: additive field.
+	LevelProfile []LevelWire `json:"level_profile,omitempty"`
+}
+
+// LevelWire mirrors core.LevelDiag: one hierarchy level's solve or refine,
+// durations in nanoseconds. Level counts down toward the finest graph —
+// len(levels) is the coarsest solve, 0 the finest refine.
+type LevelWire struct {
+	Level         int   `json:"level"`
+	Vertices      int   `json:"vertices"`
+	Edges         int   `json:"edges"`
+	SplitterCalls int64 `json:"splitter_calls"`
+	WarmHits      int64 `json:"warm_hits,omitempty"`
+	DurationNS    int64 `json:"duration_ns"`
 }
 
 // StatsResponse answers GET /v1/stats — the serving-side observability
@@ -307,7 +329,19 @@ func statsWire(st graph.ColoringStats) StatsWire {
 // diagWire converts pipeline diagnostics to the wire form.
 func diagWire(res repro.Result) DiagWire {
 	d := res.Diag
+	var levels []LevelWire
+	for _, ld := range d.LevelProfile {
+		levels = append(levels, LevelWire{
+			Level:         ld.Level,
+			Vertices:      ld.Vertices,
+			Edges:         ld.Edges,
+			SplitterCalls: ld.SplitterCalls,
+			WarmHits:      ld.WarmHits,
+			DurationNS:    ld.Duration.Nanoseconds(),
+		})
+	}
 	return DiagWire{
+		LevelProfile:   levels,
 		SplitterCalls:  d.SplitterCalls,
 		Parallelism:    d.Parallelism,
 		Levels:         d.Levels,

@@ -1,0 +1,81 @@
+package splitter
+
+import (
+	"math"
+	"sync"
+)
+
+// FM scratch: every Refined.Split used to allocate two O(N) boolean masks
+// (W-membership and U-membership) plus a per-pass moved map — the dominant
+// allocation of the oracle on large graphs, paid again at every hierarchy
+// level of a multilevel run. The masks now draw epoch-stamped int32
+// buffers from a pool: membership is "stamp equals the current epoch", so
+// clearing between calls is one counter increment instead of an O(N) wipe,
+// and the buffers are reused process-wide. Concurrent Split calls each
+// acquire their own workspace, preserving the Splitter concurrency
+// contract.
+
+// fmScratch is one refine call's workspace. w marks W-membership, u marks
+// U-membership (revocable: flipping a vertex out of U stores −1, which no
+// positive epoch ever equals), moved marks vertices locked this pass.
+type fmScratch struct {
+	w     []int32
+	u     []int32
+	moved []int32
+	epoch int32
+}
+
+var fmPool = sync.Pool{New: func() any { return &fmScratch{} }}
+
+// acquireFM returns a workspace covering n vertices with a fresh epoch.
+// The epoch only grows, so bumping it invalidates every stale mark at
+// once; the one overflow per ~2 billion acquisitions pays an explicit
+// wipe. Callers must releaseFM when done; the splitting set is copied
+// out, so nothing aliases the workspace afterwards.
+func acquireFM(n int) *fmScratch {
+	s := fmPool.Get().(*fmScratch)
+	if s.epoch == math.MaxInt32 {
+		clear(s.w)
+		clear(s.u)
+		clear(s.moved)
+		s.epoch = 0
+	}
+	s.epoch++
+	if cap(s.w) < n {
+		s.w = make([]int32, n)
+	}
+	s.w = s.w[:cap(s.w)]
+	if cap(s.u) < n {
+		s.u = make([]int32, n)
+	}
+	s.u = s.u[:cap(s.u)]
+	if cap(s.moved) < n {
+		s.moved = make([]int32, n)
+	}
+	s.moved = s.moved[:cap(s.moved)]
+	return s
+}
+
+// releaseFM returns the workspace to the pool.
+func releaseFM(s *fmScratch) { fmPool.Put(s) }
+
+func (s *fmScratch) inW(v int32) bool { return s.w[v] == s.epoch }
+func (s *fmScratch) markW(v int32)    { s.w[v] = s.epoch }
+func (s *fmScratch) inU(v int32) bool { return s.u[v] == s.epoch }
+func (s *fmScratch) setU(v int32, in bool) {
+	if in {
+		s.u[v] = s.epoch
+	} else {
+		s.u[v] = -1
+	}
+}
+func (s *fmScratch) isMoved(v int32) bool { return s.moved[v] == s.epoch }
+func (s *fmScratch) markMoved(v int32)    { s.moved[v] = s.epoch }
+
+// resetMoved clears the moved marks of a pass. Only vertices of W are ever
+// marked, so the reset is O(|W|); −1 never equals a positive epoch.
+func (s *fmScratch) resetMoved(W []int32) {
+	for _, v := range W {
+		s.moved[v] = -1
+	}
+}
